@@ -1,0 +1,34 @@
+// Fig. 5: "Breakdown of execution time for the band-parallel strategy" —
+// percentage of time in the intensity solve, temperature update and
+// communication at 1..55 processes. Paper: intensity ~97% at 1-10 procs,
+// ~73% at 55.
+#include "fig_common.hpp"
+
+using namespace finch;
+using namespace finch::perf;
+
+int main() {
+  bench::print_header("Figure 5", "band-parallel execution-time breakdown (%)");
+  const Workload w = Workload::paper();
+  const CalibratedCosts c = bench::calibrated_costs();
+  const ModelConfig m;
+
+  std::printf("%8s %12s %14s %14s\n", "procs", "intensity", "temperature", "communication");
+  double share1 = 0, share55 = 0;
+  for (int p : {1, 5, 10, 20, 40, 55}) {
+    const ScalingPoint pt = model_band_parallel(w, c, m, p);
+    const double si = 100 * pt.intensity / pt.total;
+    const double st = 100 * pt.temperature / pt.total;
+    const double sc = 100 * pt.communication / pt.total;
+    std::printf("%8d %11.1f%% %13.1f%% %13.1f%%\n", p, si, st, sc);
+    if (p == 1) share1 = si;
+    if (p == 55) share55 = si;
+  }
+
+  std::printf("\n");
+  bench::check(share1 > 90.0, "intensity solve dominates (~97%) at small process counts");
+  bench::check(share55 > 50.0 && share55 < 95.0,
+               "intensity still dominant but visibly reduced (~73%) at 55 processes");
+  bench::check(share1 > share55, "non-intensity share grows with process count");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 8: "Breakdown of execution time for the GPU accelerated version" at
+// 1-8 GPUs. Paper: compared with Fig. 5, a substantially larger share goes to
+// the (CPU) temperature update; GPU<->host communication is visible but not
+// dominant.
+#include "fig_common.hpp"
+
+using namespace finch;
+using namespace finch::perf;
+
+int main() {
+  bench::print_header("Figure 8", "GPU-accelerated execution-time breakdown (%)");
+  const Workload w = Workload::paper();
+  const CalibratedCosts c = bench::calibrated_costs();
+  const ModelConfig m;
+
+  std::printf("%8s %14s %18s %22s\n", "GPUs", "intensity(GPU)", "temperature(CPU)",
+              "communication(CPU<->GPU)");
+  double temp_share_4 = 0, comm_share_4 = 0;
+  for (int p : {1, 2, 4, 8}) {
+    const ScalingPoint pt = model_gpu(w, c, m, p);
+    const double si = 100 * pt.intensity / pt.total;
+    const double st = 100 * pt.temperature / pt.total;
+    const double sc = 100 * pt.communication / pt.total;
+    std::printf("%8d %13.1f%% %17.1f%% %21.1f%%\n", p, si, st, sc);
+    if (p == 4) {
+      temp_share_4 = st;
+      comm_share_4 = sc;
+    }
+  }
+
+  const ScalingPoint cpu4 = model_band_parallel(w, c, m, 4);
+  const double cpu_temp_share_4 = 100 * cpu4.temperature / cpu4.total;
+  std::printf("\ntemperature-update share at 4 partitions: GPU version %.1f%% vs CPU version %.1f%%\n",
+              temp_share_4, cpu_temp_share_4);
+  bench::check(temp_share_4 > 2 * cpu_temp_share_4,
+               "temperature update is a much larger share of the accelerated version (Fig. 8 vs 5)");
+  bench::check(comm_share_4 > 0.5 && comm_share_4 < 40.0,
+               "GPU<->host communication visible but not dominant");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark): costs of the building blocks — the
+// bytecode interpreter, the hand-written direct solver, the per-cell
+// temperature solve, the partitioners and the thread-pool dispatch.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bte/bte_problem.hpp"
+#include "bte/direct_solver.hpp"
+#include "core/codegen/bytecode.hpp"
+#include "core/symbolic/parser.hpp"
+#include "core/symbolic/simplify.hpp"
+#include "mesh/partition.hpp"
+#include "runtime/thread_pool.hpp"
+
+using namespace finch;
+
+namespace {
+
+struct EvalFixture {
+  sym::EntityTable table;
+  fvm::FieldSet fields;
+  std::map<std::string, std::vector<double>> coefs;
+  std::map<std::string, double> scalars;
+  codegen::CompileEnv env;
+  codegen::Program volume, surface;
+
+  EvalFixture() {
+    table.declare_index("d", 1, 8);
+    table.declare_index("b", 1, 11);
+    table.declare({"I", sym::EntityKind::Variable, 1, {"d", "b"}});
+    table.declare({"Io", sym::EntityKind::Variable, 1, {"b"}});
+    table.declare({"beta", sym::EntityKind::Variable, 1, {"b"}});
+    table.declare({"Sx", sym::EntityKind::Coefficient, 1, {"d"}});
+    table.declare({"Sy", sym::EntityKind::Coefficient, 1, {"d"}});
+    table.declare({"vg", sym::EntityKind::Coefficient, 1, {"b"}});
+    fields.add("I", 64, 88, fvm::Layout::CellMajor, 1.0);
+    fields.add("Io", 64, 11, fvm::Layout::CellMajor, 1.0);
+    fields.add("beta", 64, 11, fvm::Layout::CellMajor, 1e10);
+    coefs["Sx"] = std::vector<double>(8, 0.7);
+    coefs["Sy"] = std::vector<double>(8, -0.7);
+    coefs["vg"] = std::vector<double>(11, 5000.0);
+    env.table = &table;
+    env.index_order = {"b", "d"};
+    env.index_extent = {11, 8};
+    env.fields = &fields;
+    env.coefficients = &coefs;
+    env.scalar_coefficients = &scalars;
+
+    sym::OperatorRegistry reg;
+    auto eq = sym::make_conservation_form(
+        *table.find("I"), "(Io[b] - I[d,b]) * beta[b] - surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))",
+        table, reg, 2);
+    auto cls = sym::classify(sym::apply_forward_euler(eq));
+    volume = codegen::compile(sym::simplify(sym::add(cls.rhs_volume)), env);
+    surface = codegen::compile(sym::simplify(sym::add(cls.rhs_surface)), env);
+  }
+};
+
+}  // namespace
+
+static void BM_BytecodeVolumeEval(benchmark::State& state) {
+  EvalFixture f;
+  codegen::EvalContext ctx;
+  ctx.dt = 1e-12;
+  ctx.cell = 3;
+  ctx.loop_values = {4, 2, 0, 0};
+  for (auto _ : state) benchmark::DoNotOptimize(codegen::eval(f.volume, ctx));
+}
+BENCHMARK(BM_BytecodeVolumeEval);
+
+static void BM_BytecodeSurfaceEval(benchmark::State& state) {
+  EvalFixture f;
+  codegen::EvalContext ctx;
+  ctx.dt = 1e-12;
+  ctx.cell = 3;
+  ctx.neighbor = 4;
+  ctx.normal = {1.0, 0.0, 0.0};
+  ctx.loop_values = {4, 2, 0, 0};
+  for (auto _ : state) benchmark::DoNotOptimize(codegen::eval(f.surface, ctx));
+}
+BENCHMARK(BM_BytecodeSurfaceEval);
+
+static void BM_DirectSolverStep(benchmark::State& state) {
+  bte::BteScenario s;
+  s.nx = s.ny = static_cast<int>(state.range(0));
+  s.lx = s.ly = 100e-6;
+  s.ndirs = 8;
+  s.nbands = 8;
+  auto phys = std::make_shared<const bte::BtePhysics>(s.nbands, s.ndirs);
+  bte::DirectSolver solver(s, phys);
+  for (auto _ : state) solver.step();
+  state.SetItemsProcessed(state.iterations() * solver.num_cells() * solver.dofs_per_cell());
+}
+BENCHMARK(BM_DirectSolverStep)->Arg(16)->Arg(32);
+
+static void BM_DslSolverStep(benchmark::State& state) {
+  bte::BteScenario s;
+  s.nx = s.ny = static_cast<int>(state.range(0));
+  s.lx = s.ly = 100e-6;
+  s.ndirs = 8;
+  s.nbands = 8;
+  auto phys = std::make_shared<const bte::BtePhysics>(s.nbands, s.ndirs);
+  bte::BteProblem bp(s, phys);
+  auto solver = bp.compile(dsl::Target::CpuSerial);
+  for (auto _ : state) solver->step();
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(s.nx) * s.ny *
+                          phys->num_bands() * phys->num_dirs());
+}
+BENCHMARK(BM_DslSolverStep)->Arg(16)->Arg(32);
+
+static void BM_TemperatureSolve(benchmark::State& state) {
+  auto phys = std::make_shared<const bte::BtePhysics>(40, 8);  // 55 bands as in the paper
+  std::vector<double> G(static_cast<size_t>(phys->num_bands()));
+  for (int b = 0; b < phys->num_bands(); ++b)
+    G[static_cast<size_t>(b)] = 4.0 * M_PI * phys->table.I0(b, 317.0);
+  for (auto _ : state) benchmark::DoNotOptimize(phys->table.solve_temperature(G, 300.0));
+}
+BENCHMARK(BM_TemperatureSolve);
+
+static void BM_PartitionRcb(benchmark::State& state) {
+  mesh::Mesh m = mesh::Mesh::structured_quad(120, 120, 1.0, 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mesh::partition(m, static_cast<int>(state.range(0)), mesh::PartitionMethod::RCB));
+}
+BENCHMARK(BM_PartitionRcb)->Arg(8)->Arg(64)->Arg(320);
+
+static void BM_PartitionGreedy(benchmark::State& state) {
+  mesh::Mesh m = mesh::Mesh::structured_quad(120, 120, 1.0, 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        mesh::partition(m, static_cast<int>(state.range(0)), mesh::PartitionMethod::GreedyGraph));
+}
+BENCHMARK(BM_PartitionGreedy)->Arg(8)->Arg(64);
+
+static void BM_ThreadPoolDispatch(benchmark::State& state) {
+  rt::ThreadPool pool(2);
+  std::vector<double> v(4096, 1.0);
+  for (auto _ : state) {
+    pool.parallel_for_chunks(0, static_cast<int64_t>(v.size()), [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) v[static_cast<size_t>(i)] *= 1.0000001;
+    });
+  }
+  benchmark::DoNotOptimize(v.data());
+}
+BENCHMARK(BM_ThreadPoolDispatch);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints (a) the series the paper's figure plots, as aligned
+// columns suitable for plotting, and (b) a PAPER-CHECK section stating the
+// qualitative claim from the paper and whether this build reproduces it.
+// Absolute times differ from the paper (different machine, simulated GPU and
+// cluster); shapes and ratios are the reproduction target.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "perf/models.hpp"
+
+namespace finch::bench {
+
+inline perf::CalibratedCosts calibrated_costs() {
+  // One real measurement per process; set FINCH_BENCH_FAST=1 to skip the
+  // calibration run and use canned defaults (CI-friendly).
+  if (std::getenv("FINCH_BENCH_FAST") != nullptr) return perf::CalibratedCosts::defaults();
+  return perf::CalibratedCosts::measure();
+}
+
+inline void print_header(const char* fig, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", fig, what);
+  std::printf("==============================================================\n");
+}
+
+inline void check(bool ok, const std::string& claim) {
+  std::printf("PAPER-CHECK %-4s %s\n", ok ? "[ok]" : "[!!]", claim.c_str());
+}
+
+inline const std::vector<int>& paper_proc_counts() {
+  static const std::vector<int> p = {1, 2, 5, 10, 20, 40, 80, 160, 320};
+  return p;
+}
+
+}  // namespace finch::bench

@@ -1,0 +1,189 @@
+// Full command-line driver for the BTE solvers — the "downstream user" entry
+// point. Selects scenario, discretization, execution strategy and outputs
+// from flags; every execution strategy in the library is reachable:
+//
+//   bte_cli --nx 32 --ny 32 --dirs 8 --bands 8 --steps 200
+//   bte_cli --solver direct                # hand-written baseline
+//   bte_cli --solver dsl --threads 4       # DSL-generated, thread pool
+//   bte_cli --solver gpu                   # hybrid with one simulated GPU
+//   bte_cli --solver multigpu --devices 4  # band-partitioned across devices
+//   bte_cli --solver cellpart --parts 4    # distributed cell partitioning
+//   bte_cli --scenario corner --vtk out.vtk --csv out.csv
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bte/bte_problem.hpp"
+#include "bte/direct_solver.hpp"
+#include "bte/multi_gpu_solver.hpp"
+#include "bte/partitioned_solver.hpp"
+#include "mesh/vtk_io.hpp"
+
+using namespace finch;
+using namespace finch::bte;
+
+namespace {
+
+struct Options {
+  BteScenario scenario = BteScenario::small();
+  std::string solver = "dsl";
+  int threads = 0;
+  int devices = 1;
+  int parts = 2;
+  std::string vtk, csv;
+};
+
+void usage() {
+  std::printf(
+      "usage: bte_cli [options]\n"
+      "  --scenario hotspot|corner|paper   problem setup (default hotspot, scaled)\n"
+      "  --nx N --ny N                     grid resolution\n"
+      "  --dirs N --bands N                angular / spectral discretization\n"
+      "  --steps N --dt SECONDS            time integration\n"
+      "  --solver dsl|direct|gpu|multigpu|cellpart|bandpart\n"
+      "  --threads N                       thread pool for the dsl solver\n"
+      "  --devices N                       simulated GPUs for multigpu\n"
+      "  --parts N                         ranks for cellpart/bandpart\n"
+      "  --vtk FILE --csv FILE             temperature field outputs\n");
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") return false;
+    if (a == "--scenario") {
+      if ((v = next("--scenario")) == nullptr) return false;
+      if (std::strcmp(v, "hotspot") == 0) o.scenario = BteScenario::small();
+      else if (std::strcmp(v, "corner") == 0) o.scenario = BteScenario::corner();
+      else if (std::strcmp(v, "paper") == 0) o.scenario = BteScenario::paper_hotspot();
+      else { std::fprintf(stderr, "unknown scenario %s\n", v); return false; }
+    } else if (a == "--nx") { if ((v = next(a.c_str())) == nullptr) return false; o.scenario.nx = std::atoi(v); }
+    else if (a == "--ny") { if ((v = next(a.c_str())) == nullptr) return false; o.scenario.ny = std::atoi(v); }
+    else if (a == "--dirs") { if ((v = next(a.c_str())) == nullptr) return false; o.scenario.ndirs = std::atoi(v); }
+    else if (a == "--bands") { if ((v = next(a.c_str())) == nullptr) return false; o.scenario.nbands = std::atoi(v); }
+    else if (a == "--steps") { if ((v = next(a.c_str())) == nullptr) return false; o.scenario.nsteps = std::atoi(v); }
+    else if (a == "--dt") { if ((v = next(a.c_str())) == nullptr) return false; o.scenario.dt = std::atof(v); }
+    else if (a == "--solver") { if ((v = next(a.c_str())) == nullptr) return false; o.solver = v; }
+    else if (a == "--threads") { if ((v = next(a.c_str())) == nullptr) return false; o.threads = std::atoi(v); }
+    else if (a == "--devices") { if ((v = next(a.c_str())) == nullptr) return false; o.devices = std::atoi(v); }
+    else if (a == "--parts") { if ((v = next(a.c_str())) == nullptr) return false; o.parts = std::atoi(v); }
+    else if (a == "--vtk") { if ((v = next(a.c_str())) == nullptr) return false; o.vtk = v; }
+    else if (a == "--csv") { if ((v = next(a.c_str())) == nullptr) return false; o.csv = v; }
+    else { std::fprintf(stderr, "unknown option %s\n", a.c_str()); return false; }
+  }
+  return true;
+}
+
+void report(const std::vector<double>& T, double elapsed_ns) {
+  double lo = 1e300, hi = -1e300, mean = 0;
+  for (double t : T) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+    mean += t;
+  }
+  mean /= static_cast<double>(T.size());
+  std::printf("t = %.3f ns: T in [%.3f, %.3f] K, mean %.3f K\n", elapsed_ns, lo, hi, mean);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) {
+    usage();
+    return 1;
+  }
+  const BteScenario& s = o.scenario;
+  auto phys = std::make_shared<const BtePhysics>(s.nbands, s.ndirs);
+  std::printf("bte_cli: %dx%d cells, %d dirs, %d bands (%d resolved), %d steps, solver=%s\n", s.nx,
+              s.ny, s.ndirs, s.nbands, phys->num_bands(), s.nsteps, o.solver.c_str());
+
+  std::vector<double> T;
+  if (o.solver == "direct") {
+    DirectSolver solver(s, phys);
+    solver.run(s.nsteps);
+    T = solver.temperature();
+    report(T, solver.time() * 1e9);
+    std::printf("phases: intensity %.3f s, temperature %.3f s\n", solver.intensity_seconds(),
+                solver.temperature_seconds());
+  } else if (o.solver == "multigpu") {
+    MultiGpuSolver solver(s, phys, o.devices);
+    solver.run(s.nsteps);
+    T = solver.temperature();
+    report(T, s.nsteps * s.dt * 1e9);
+    const auto& ph = solver.phases();
+    std::printf("modeled phases: intensity %.4f s, temperature %.4f s, comm %.4f s\n", ph.intensity,
+                ph.temperature, ph.communication);
+    for (int d = 0; d < solver.num_devices(); ++d)
+      std::printf("  device %d: %lld launches, %.1f MB moved\n", d,
+                  static_cast<long long>(solver.device(d).counters().kernel_launches),
+                  (solver.device(d).counters().bytes_h2d + solver.device(d).counters().bytes_d2h) / 1e6);
+  } else if (o.solver == "cellpart") {
+    CellPartitionedSolver solver(s, phys, o.parts);
+    solver.run(s.nsteps);
+    T = solver.gather_temperature();
+    report(T, s.nsteps * s.dt * 1e9);
+    std::printf("halo exchange: %.2f MB/step over %lld messages\n",
+                solver.comm().bytes_per_step / 1e6,
+                static_cast<long long>(solver.comm().messages_per_step));
+  } else if (o.solver == "bandpart") {
+    BandPartitionedSolver solver(s, phys, o.parts);
+    solver.run(s.nsteps);
+    T = solver.temperature();
+    report(T, s.nsteps * s.dt * 1e9);
+    std::printf("band gather: %.2f MB/step\n", solver.comm().bytes_per_step / 1e6);
+  } else if (o.solver == "dsl" || o.solver == "gpu") {
+    BteProblem bp(s, phys);
+    std::unique_ptr<rt::ThreadPool> pool;
+    rt::SimGpu gpu(rt::GpuSpec::a6000());
+    if (o.solver == "gpu") bp.problem().use_cuda(&gpu);
+    if (o.threads > 0) {
+      pool = std::make_unique<rt::ThreadPool>(static_cast<unsigned>(o.threads));
+      bp.problem().use_threads(pool.get());
+    }
+    auto solver = bp.compile();
+    solver->run(s.nsteps);
+    T = bp.temperature();
+    report(T, solver->time() * 1e9);
+    const auto& ph = solver->phases();
+    std::printf("phases: intensity %.3f s, temperature %.3f s, comm %.4f s\n", ph.intensity,
+                ph.post_process, ph.communication);
+    if (o.solver == "gpu")
+      std::printf("simulated GPU: %lld launches, H2D %.1f MB, D2H %.1f MB\n",
+                  static_cast<long long>(gpu.counters().kernel_launches), gpu.counters().bytes_h2d / 1e6,
+                  gpu.counters().bytes_d2h / 1e6);
+  } else {
+    std::fprintf(stderr, "unknown solver %s\n", o.solver.c_str());
+    usage();
+    return 1;
+  }
+
+  if (!o.csv.empty()) {
+    FILE* f = std::fopen(o.csv.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "x,y,T\n");
+      const double hx = s.lx / s.nx, hy = s.ly / s.ny;
+      for (int j = 0; j < s.ny; ++j)
+        for (int i = 0; i < s.nx; ++i)
+          std::fprintf(f, "%g,%g,%g\n", (i + 0.5) * hx, (j + 0.5) * hy,
+                       T[static_cast<size_t>(j * s.nx + i)]);
+      std::fclose(f);
+      std::printf("wrote %s\n", o.csv.c_str());
+    }
+  }
+  if (!o.vtk.empty()) {
+    mesh::Mesh m = mesh::Mesh::structured_quad(s.nx, s.ny, s.lx, s.ly);
+    mesh::write_vtk_cells_file(o.vtk, m, s.nx, s.ny, 1, "temperature", T);
+    std::printf("wrote %s\n", o.vtk.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "bands.hpp"
+
+#include <stdexcept>
+
+namespace finch::bte {
+
+BandSet make_bands(const Dispersion& disp, int nbands) {
+  if (nbands < 1) throw std::invalid_argument("make_bands: nbands must be >= 1");
+  BandSet set;
+  set.nbands_spectral = nbands;
+  set.dispersion = disp;
+  const double w_max_la = disp.la.omega_max();
+  const double w_max_ta = disp.ta.omega_max();
+  const double dw = w_max_la / nbands;
+
+  auto add = [&](Branch br, int i) {
+    const BranchDispersion& bd = disp.branch(br);
+    Band b;
+    b.branch = br;
+    b.spectral_index = i;
+    b.omega_lo = i * dw;
+    b.omega_hi = (i + 1) * dw;
+    b.omega_c = (i + 0.5) * dw;
+    b.k_c = bd.k_of_omega(b.omega_c);
+    b.vg = std::max(bd.group_velocity(b.k_c), 1.0);  // keep strictly positive
+    b.degeneracy = br == Branch::TA ? 2.0 : 1.0;
+    set.bands.push_back(b);
+  };
+
+  for (int i = 0; i < nbands; ++i) add(Branch::LA, i);
+  for (int i = 0; i < nbands; ++i)
+    if ((i + 1) * dw <= w_max_ta * (1 + 1e-12)) add(Branch::TA, i);
+  return set;
+}
+
+}  // namespace finch::bte

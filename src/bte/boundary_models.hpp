@@ -1,0 +1,30 @@
+#pragma once
+// Reusable boundary-condition callback builders for the BTE.
+//
+// The paper's demonstrations use isothermal and symmetry (specular) walls;
+// real device studies also need diffuse (thermalizing-reflective) walls where
+// incoming phonons are re-emitted isotropically with the energy of the
+// outgoing flux. All three are provided here as the CPU callbacks the DSL's
+// boundary(...) hook expects.
+
+#include <memory>
+
+#include "bte_problem.hpp"
+#include "fvm/boundary.hpp"
+
+namespace finch::bte {
+
+// Isothermal wall at fixed temperature: incoming directions carry the wall's
+// equilibrium intensity (Eq. 6, first case).
+fvm::BoundaryCallback make_isothermal_wall(std::shared_ptr<const BtePhysics> physics, double T_wall);
+
+// Specular (symmetry) wall: incoming directions mirror the outgoing ones
+// (Eq. 6, second case). Requires a direction set closed under reflection.
+fvm::BoundaryCallback make_specular_wall(std::shared_ptr<const BtePhysics> physics);
+
+// Diffuse wall with specularity p in [0,1]: fraction p reflects specularly,
+// fraction (1-p) is re-emitted isotropically so that the net wall flux in
+// each band vanishes (adiabatic diffuse wall). p = 1 reduces to specular.
+fvm::BoundaryCallback make_diffuse_wall(std::shared_ptr<const BtePhysics> physics, double specularity);
+
+}  // namespace finch::bte

@@ -1,0 +1,348 @@
+#include "bte_problem.hpp"
+
+#include <cmath>
+#include <fstream>
+
+namespace finch::bte {
+
+BteScenario BteScenario::paper_hotspot() {
+  BteScenario s;
+  s.nx = s.ny = 120;
+  s.ndirs = 20;
+  s.nbands = 40;
+  s.nsteps = 100;
+  return s;
+}
+
+BteScenario BteScenario::small() {
+  // Scaled-down hot-spot scenario: a 150um domain at the paper's spatial
+  // resolution (~4.7um cells) with a resolved 10um spot — runnable in seconds
+  // on one core while exhibiting the same qualitative transient as Fig. 2.
+  BteScenario s;
+  s.nx = s.ny = 32;
+  s.lx = s.ly = 150e-6;
+  s.ndirs = 8;
+  s.nbands = 8;
+  s.nsteps = 200;
+  return s;
+}
+
+BteScenario BteScenario::corner() {
+  BteScenario s;
+  s.nx = 48;
+  s.ny = 16;
+  s.lx = 300e-6;
+  s.ly = 100e-6;
+  s.ndirs = 8;
+  s.nbands = 8;
+  s.hot_center_frac = 0.0;  // spot in the corner of the hot wall
+  s.T_init = 100.0;
+  s.T_cold = 100.0;
+  s.T_hot = 150.0;
+  s.kind = Kind::CornerSource;
+  s.nsteps = 100;
+  return s;
+}
+
+BtePhysics::BtePhysics(int nbands_spectral, int ndirs)
+    : dispersion(Dispersion::silicon()),
+      bands(make_bands(dispersion, nbands_spectral)),
+      directions(make_directions_2d(ndirs)),
+      relaxation(RelaxationModel::silicon(dispersion)),
+      table(bands, relaxation) {}
+
+BtePhysics::BtePhysics(int nbands_spectral, int n_polar, int n_azimuth)
+    : dispersion(Dispersion::silicon()),
+      bands(make_bands(dispersion, nbands_spectral)),
+      directions(make_directions_3d(n_polar, n_azimuth)),
+      relaxation(RelaxationModel::silicon(dispersion)),
+      table(bands, relaxation) {}
+
+std::vector<double> BtePhysics::vg() const {
+  std::vector<double> v(static_cast<size_t>(bands.size()));
+  for (int b = 0; b < bands.size(); ++b) v[static_cast<size_t>(b)] = bands[b].vg;
+  return v;
+}
+
+std::vector<double> BtePhysics::sx() const {
+  std::vector<double> v(static_cast<size_t>(directions.size()));
+  for (int d = 0; d < directions.size(); ++d) v[static_cast<size_t>(d)] = directions.s[static_cast<size_t>(d)].x;
+  return v;
+}
+
+std::vector<double> BtePhysics::sy() const {
+  std::vector<double> v(static_cast<size_t>(directions.size()));
+  for (int d = 0; d < directions.size(); ++d) v[static_cast<size_t>(d)] = directions.s[static_cast<size_t>(d)].y;
+  return v;
+}
+
+std::vector<double> BtePhysics::sz() const {
+  std::vector<double> v(static_cast<size_t>(directions.size()));
+  for (int d = 0; d < directions.size(); ++d) v[static_cast<size_t>(d)] = directions.s[static_cast<size_t>(d)].z;
+  return v;
+}
+
+BteProblem::BteProblem(const BteScenario& scenario, std::shared_ptr<const BtePhysics> physics)
+    : scenario_(scenario), physics_(std::move(physics)) {
+  build();
+}
+
+double BteProblem::wall_temperature(double x) const {
+  const double xc = scenario_.hot_center_frac * scenario_.lx;
+  const double r = x - xc;
+  // Gaussian with 1/e^2 radius hot_w: dT * exp(-2 r^2 / w^2).
+  return scenario_.T_cold +
+         (scenario_.T_hot - scenario_.T_cold) * std::exp(-2.0 * r * r / (scenario_.hot_w * scenario_.hot_w));
+}
+
+void BteProblem::build() {
+  const BtePhysics& ph = *physics_;
+  const int nb = ph.num_bands();
+  const int nd = ph.num_dirs();
+
+  problem_ = std::make_unique<dsl::Problem>("bte2d");
+  dsl::Problem& p = *problem_;
+  p.domain(2).solver_type(dsl::SolverType::FV).time_stepper(dsl::TimeScheme::ForwardEuler);
+  p.set_steps(scenario_.dt, scenario_.nsteps);
+  p.set_mesh(mesh::Mesh::structured_quad(scenario_.nx, scenario_.ny, scenario_.lx, scenario_.ly));
+
+  p.index("d", 1, nd);
+  p.index("b", 1, nb);
+  p.variable("I", {"d", "b"});
+  p.variable("Io", {"b"});
+  p.variable("beta", {"b"});
+  p.variable("T");
+  p.coefficient("Sx", ph.sx(), {"d"});
+  p.coefficient("Sy", ph.sy(), {"d"});
+  p.coefficient("vg", ph.vg(), {"b"});
+
+  p.conservation_form(
+      "I", "(Io[b] - I[d,b]) * beta[b] - surface(vg[b] * upwind([Sx[d];Sy[d]], I[d,b]))");
+
+  // ---- initial equilibrium at T_init ---------------------------------------
+  const double T0 = scenario_.T_init;
+  std::vector<double> I0_init(static_cast<size_t>(nb)), beta_init(static_cast<size_t>(nb));
+  for (int b = 0; b < nb; ++b) {
+    I0_init[static_cast<size_t>(b)] = ph.table.I0(b, T0);
+    beta_init[static_cast<size_t>(b)] = ph.table.beta(b, T0);
+  }
+  p.initial("I", [I0_init](int32_t, std::span<const int32_t> idx) {
+    return I0_init[static_cast<size_t>(idx[1])];  // idx = (d, b)
+  });
+  p.initial("Io", [I0_init](int32_t, std::span<const int32_t> idx) {
+    return I0_init[static_cast<size_t>(idx[0])];
+  });
+  p.initial("beta", [beta_init](int32_t, std::span<const int32_t> idx) {
+    return beta_init[static_cast<size_t>(idx[0])];
+  });
+  p.initial("T", [T0](int32_t, std::span<const int32_t>) { return T0; });
+
+  // ---- boundary callbacks (CPU, as in the paper) ----------------------------
+  const BtePhysics* phys = physics_.get();
+  const BteScenario scen = scenario_;
+  auto self = this;
+
+  // Physical outward flux integrand f = vg (s.n) I_face with the face value
+  // upwinded: outgoing directions take the cell value, incoming take the
+  // ghost (wall-equilibrium or reflected) value — Eq. (6).
+  auto isothermal = [phys](const fvm::BoundaryContext& ctx, double T_wall) {
+    const mesh::Vec3& s = phys->directions.s[static_cast<size_t>(ctx.dir)];
+    const double sdotn = s.dot(ctx.normal);
+    const double vg = phys->bands[ctx.band].vg;
+    if (sdotn > 0) return vg * sdotn * ctx.fields->get("I").at(ctx.cell, ctx.dof);
+    return vg * sdotn * phys->table.I0(ctx.band, T_wall);
+  };
+  auto symmetric = [phys](const fvm::BoundaryContext& ctx) {
+    const mesh::Vec3& s = phys->directions.s[static_cast<size_t>(ctx.dir)];
+    const double sdotn = s.dot(ctx.normal);
+    const double vg = phys->bands[ctx.band].vg;
+    const auto& I = ctx.fields->get("I");
+    if (sdotn > 0) return vg * sdotn * I.at(ctx.cell, ctx.dof);
+    const int r = phys->directions.reflect(ctx.dir, ctx.normal);
+    const int32_t rdof = r + phys->num_dirs() * ctx.band;
+    return vg * sdotn * I.at(ctx.cell, rdof);
+  };
+
+  // Region 1 (y-min): cold isothermal wall at T_cold.
+  p.boundary("I", 1, dsl::BcType::Flux, "isothermal_cold",
+             [isothermal, scen](const fvm::BoundaryContext& ctx) {
+               return isothermal(ctx, scen.T_cold);
+             });
+  // Region 2 (y-max): isothermal with the centered Gaussian hot spot.
+  p.boundary("I", 2, dsl::BcType::Flux, "isothermal_hot",
+             [isothermal, self](const fvm::BoundaryContext& ctx) {
+               const double x = ctx.mesh->face(ctx.face).centroid.x;
+               return isothermal(ctx, self->wall_temperature(x));
+             });
+  // Regions 3/4 (x-min/x-max): symmetry (specular reflection).
+  p.boundary("I", 3, dsl::BcType::Flux, "symmetry", symmetric);
+  p.boundary("I", 4, dsl::BcType::Flux, "symmetry", symmetric);
+
+  // ---- temperature update (post-step, CPU) ----------------------------------
+  p.post_step([phys, nb, nd](dsl::Problem& prob, double) {
+    auto& I = prob.fields().get("I");
+    auto& Io = prob.fields().get("Io");
+    auto& beta = prob.fields().get("beta");
+    auto& T = prob.fields().get("T");
+    std::vector<double> G(static_cast<size_t>(nb));
+    for (int32_t c = 0; c < I.num_cells(); ++c) {
+      for (int b = 0; b < nb; ++b) {
+        double g = 0.0;
+        for (int d = 0; d < nd; ++d)
+          g += phys->directions.weight[static_cast<size_t>(d)] * I.at(c, d + nd * b);
+        G[static_cast<size_t>(b)] = g;
+      }
+      const double Tc = phys->table.solve_temperature(G, T.at(c, 0));
+      T.at(c, 0) = Tc;
+      for (int b = 0; b < nb; ++b) {
+        Io.at(c, b) = phys->table.I0(b, Tc);
+        beta.at(c, b) = phys->table.beta(b, Tc);
+      }
+    }
+  });
+  // Movement annotations for the GPU target: the CPU post-step reads I and
+  // produces Io/beta (T remains host-only, the kernel never touches it).
+  p.post_step_touches({"I"}, {"Io", "beta"});
+}
+
+std::vector<double> BteProblem::temperature() const {
+  const auto& T = problem_->fields().get("T");
+  std::vector<double> out(static_cast<size_t>(T.num_cells()));
+  for (int32_t c = 0; c < T.num_cells(); ++c) out[static_cast<size_t>(c)] = T.at(c, 0);
+  return out;
+}
+
+void BteProblem::write_temperature_csv(const std::string& path) const {
+  std::ofstream os(path);
+  os << "x,y,T\n";
+  const auto& mesh = problem_->mesh();
+  const auto& T = problem_->fields().get("T");
+  for (int32_t c = 0; c < mesh.num_cells(); ++c) {
+    const auto& p = mesh.cell_centroid(c);
+    os << p.x << "," << p.y << "," << T.at(c, 0) << "\n";
+  }
+}
+
+
+// ---- spectral 3-D problem -----------------------------------------------------
+
+BteProblem3d::BteProblem3d(const Bte3dScenario& scenario, std::shared_ptr<const BtePhysics> physics)
+    : scenario_(scenario), physics_(std::move(physics)) {
+  build();
+}
+
+double BteProblem3d::wall_temperature(double x, double y) const {
+  const double dx = x - 0.5 * scenario_.lx, dy = y - 0.5 * scenario_.ly;
+  const double r2 = dx * dx + dy * dy;
+  return scenario_.T_cold + (scenario_.T_hot - scenario_.T_cold) *
+                                std::exp(-2.0 * r2 / (scenario_.hot_w * scenario_.hot_w));
+}
+
+void BteProblem3d::build() {
+  const BtePhysics& ph = *physics_;
+  const int nb = ph.num_bands();
+  const int nd = ph.num_dirs();
+
+  problem_ = std::make_unique<dsl::Problem>("bte3d");
+  dsl::Problem& p = *problem_;
+  p.domain(3).solver_type(dsl::SolverType::FV).time_stepper(dsl::TimeScheme::ForwardEuler);
+  p.set_steps(scenario_.dt, scenario_.nsteps);
+  p.set_mesh(mesh::Mesh::structured_hex(scenario_.nx, scenario_.ny, scenario_.nz, scenario_.lx,
+                                        scenario_.ly, scenario_.lz));
+  p.index("d", 1, nd);
+  p.index("b", 1, nb);
+  p.variable("I", {"d", "b"});
+  p.variable("Io", {"b"});
+  p.variable("beta", {"b"});
+  p.variable("T");
+  p.coefficient("Sx", ph.sx(), {"d"});
+  p.coefficient("Sy", ph.sy(), {"d"});
+  p.coefficient("Sz", ph.sz(), {"d"});
+  p.coefficient("vg", ph.vg(), {"b"});
+
+  p.conservation_form(
+      "I", "(Io[b] - I[d,b]) * beta[b] - surface(vg[b] * upwind([Sx[d];Sy[d];Sz[d]], I[d,b]))");
+
+  const double T0 = scenario_.T_init;
+  std::vector<double> I0_init(static_cast<size_t>(nb)), beta_init(static_cast<size_t>(nb));
+  for (int b = 0; b < nb; ++b) {
+    I0_init[static_cast<size_t>(b)] = ph.table.I0(b, T0);
+    beta_init[static_cast<size_t>(b)] = ph.table.beta(b, T0);
+  }
+  p.initial("I", [I0_init](int32_t, std::span<const int32_t> idx) {
+    return I0_init[static_cast<size_t>(idx[1])];
+  });
+  p.initial("Io", [I0_init](int32_t, std::span<const int32_t> idx) {
+    return I0_init[static_cast<size_t>(idx[0])];
+  });
+  p.initial("beta", [beta_init](int32_t, std::span<const int32_t> idx) {
+    return beta_init[static_cast<size_t>(idx[0])];
+  });
+  p.initial("T", [T0](int32_t, std::span<const int32_t>) { return T0; });
+
+  const BtePhysics* phys = physics_.get();
+  const Bte3dScenario scen = scenario_;
+  auto self = this;
+
+  auto isothermal = [phys](const fvm::BoundaryContext& ctx, double T_wall) {
+    const mesh::Vec3& s = phys->directions.s[static_cast<size_t>(ctx.dir)];
+    const double sdotn = s.dot(ctx.normal);
+    const double vg = phys->bands[ctx.band].vg;
+    if (sdotn > 0) return vg * sdotn * ctx.fields->get("I").at(ctx.cell, ctx.dof);
+    return vg * sdotn * phys->table.I0(ctx.band, T_wall);
+  };
+  auto symmetric = [phys](const fvm::BoundaryContext& ctx) {
+    const mesh::Vec3& s = phys->directions.s[static_cast<size_t>(ctx.dir)];
+    const double sdotn = s.dot(ctx.normal);
+    const double vg = phys->bands[ctx.band].vg;
+    const auto& I = ctx.fields->get("I");
+    if (sdotn > 0) return vg * sdotn * I.at(ctx.cell, ctx.dof);
+    const int r = phys->directions.reflect(ctx.dir, ctx.normal);
+    return vg * sdotn * I.at(ctx.cell, r + phys->num_dirs() * ctx.band);
+  };
+
+  // z-min cold, z-max hot spot (regions 5/6), sides symmetric (1-4).
+  p.boundary("I", 5, dsl::BcType::Flux, "isothermal_cold",
+             [isothermal, scen](const fvm::BoundaryContext& ctx) {
+               return isothermal(ctx, scen.T_cold);
+             });
+  p.boundary("I", 6, dsl::BcType::Flux, "isothermal_hot",
+             [isothermal, self](const fvm::BoundaryContext& ctx) {
+               const auto& f = ctx.mesh->face(ctx.face).centroid;
+               return isothermal(ctx, self->wall_temperature(f.x, f.y));
+             });
+  for (int region : {1, 2, 3, 4})
+    p.boundary("I", region, dsl::BcType::Flux, "symmetry", symmetric);
+
+  p.post_step([phys, nb, nd](dsl::Problem& prob, double) {
+    auto& I = prob.fields().get("I");
+    auto& Io = prob.fields().get("Io");
+    auto& beta = prob.fields().get("beta");
+    auto& T = prob.fields().get("T");
+    std::vector<double> G(static_cast<size_t>(nb));
+    for (int32_t c = 0; c < I.num_cells(); ++c) {
+      for (int b = 0; b < nb; ++b) {
+        double g = 0.0;
+        for (int d = 0; d < nd; ++d)
+          g += phys->directions.weight[static_cast<size_t>(d)] * I.at(c, d + nd * b);
+        G[static_cast<size_t>(b)] = g;
+      }
+      const double Tc = phys->table.solve_temperature(G, T.at(c, 0));
+      T.at(c, 0) = Tc;
+      for (int b = 0; b < nb; ++b) {
+        Io.at(c, b) = phys->table.I0(b, Tc);
+        beta.at(c, b) = phys->table.beta(b, Tc);
+      }
+    }
+  });
+  p.post_step_touches({"I"}, {"Io", "beta"});
+}
+
+std::vector<double> BteProblem3d::temperature() const {
+  const auto& T = problem_->fields().get("T");
+  std::vector<double> out(static_cast<size_t>(T.num_cells()));
+  for (int32_t c = 0; c < T.num_cells(); ++c) out[static_cast<size_t>(c)] = T.at(c, 0);
+  return out;
+}
+
+}  // namespace finch::bte

@@ -1,0 +1,13 @@
+#include "dispersion.hpp"
+
+namespace finch::bte {
+
+Dispersion Dispersion::silicon() {
+  Dispersion d;
+  const double k_max = 2.0 * M_PI / 5.43e-10;  // zone edge of the fits, 1.157e10 1/m
+  d.la = BranchDispersion{9.01e3, -2.0e-7, k_max};
+  d.ta = BranchDispersion{5.23e3, -2.26e-7, k_max};
+  return d;
+}
+
+}  // namespace finch::bte

@@ -1,0 +1,51 @@
+#pragma once
+// Phonon dispersion for silicon: quadratic branch fits along [100]
+//   omega(k) = vs*k + c*k^2,   k in [0, k_max]
+// with the LA/TA parameters used by the BTE literature the paper builds on
+// (Ali, Kollu, Mazumder, Sadayappan & Mittal, IJTS 2014; Pop et al.).
+// With 40 spectral bands spanning [0, omega_max(LA)], the TA branch covers
+// the lowest 15 bands, giving the paper's 40 longitudinal + 15 transverse
+// = 55 polarization-resolved bands.
+
+#include <cmath>
+#include <stdexcept>
+
+namespace finch::bte {
+
+inline constexpr double kHbar = 1.054571817e-34;  // J s
+inline constexpr double kBoltzmann = 1.380649e-23; // J/K
+
+enum class Branch { LA, TA };
+
+struct BranchDispersion {
+  double vs = 0;     // sound speed (m/s), slope at k=0
+  double c = 0;      // quadratic coefficient (m^2/s), negative
+  double k_max = 0;  // first-Brillouin-zone edge (1/m)
+
+  double omega(double k) const { return vs * k + c * k * k; }
+  double group_velocity(double k) const { return vs + 2.0 * c * k; }
+  double omega_max() const { return omega(k_max); }
+
+  // Inverse dispersion: the k in [0, k_max] with omega(k) = w.
+  double k_of_omega(double w) const {
+    if (w < 0 || w > omega_max() * (1 + 1e-12))
+      throw std::domain_error("k_of_omega: frequency outside branch range");
+    // k = (-vs + sqrt(vs^2 + 4 c w)) / (2 c), the root on [0, k_max] (c < 0).
+    const double disc = vs * vs + 4.0 * c * w;
+    const double root = (-vs + std::sqrt(std::max(disc, 0.0))) / (2.0 * c);
+    return std::min(std::max(root, 0.0), k_max);
+  }
+};
+
+struct Dispersion {
+  BranchDispersion la;
+  BranchDispersion ta;
+
+  const BranchDispersion& branch(Branch b) const { return b == Branch::LA ? la : ta; }
+
+  // Quadratic silicon fits: LA vs=9.01e3 m/s, c=-2.0e-7 m^2/s;
+  // TA vs=5.23e3 m/s, c=-2.26e-7 m^2/s; k_max = 2*pi/a, a = 5.43 A.
+  static Dispersion silicon();
+};
+
+}  // namespace finch::bte

@@ -1,0 +1,65 @@
+#pragma once
+// Equilibrium phonon intensity and the per-cell nonlinear temperature update.
+//
+// Band-integrated equilibrium intensity (isotropic):
+//   I0_b(T) = g_b/(8 pi^3) * Integral_band  hbar w k(w)^2 f_BE(w,T) dw
+// with g_b the branch degeneracy and D(w) = k^2 / (2 pi^2 vg) the density of
+// states (the vg cancels against the intensity's vg factor).
+//
+// The temperature update ("indirect and nonlinear, computed every time step")
+// enforces energy conservation of the relaxation operator in each cell:
+//   F(T) = sum_b [4 pi I0_b(T) - G_b] / (vg_b tau_b(T)) = 0,
+//   G_b  = sum_d w_d I_{d,b}
+// solved per cell with a safeguarded Newton iteration. Both I0_b(T) and
+// beta_b(T) = 1/tau_b(T) are precomputed on a fine temperature grid so the
+// per-cell solve is table lookups only.
+
+#include <vector>
+
+#include "bands.hpp"
+#include "relaxation.hpp"
+
+namespace finch::bte {
+
+// Bose-Einstein occupancy and its temperature derivative.
+double bose_einstein(double omega, double T);
+double d_bose_einstein_dT(double omega, double T);
+
+// Direct (quadrature) evaluation of I0_b(T); nquad midpoint panels.
+double equilibrium_intensity(const Band& band, double T, int nquad = 8);
+
+// Tabulated physics for fast per-cell solves.
+class EquilibriumTable {
+ public:
+  EquilibriumTable(const BandSet& bands, const RelaxationModel& relax, double T_min = 100.0,
+                   double T_max = 1000.0, double dT = 0.5);
+
+  double I0(int band, double T) const;        // equilibrium intensity
+  double beta(int band, double T) const;      // 1/tau
+  double dI0_dT(int band, double T) const;    // finite-difference on the table
+  double T_min() const { return T_min_; }
+  double T_max() const { return T_max_; }
+  int num_bands() const { return nbands_; }
+
+  // Solves F(T) = 0 given per-band directional sums G_b = sum_d w_d I_db.
+  // Safeguarded Newton with bisection fallback; returns the temperature.
+  double solve_temperature(const std::vector<double>& G, double T_guess) const;
+
+  // "Energy temperature" used for reporting: sum_b 4 pi I0_b(T) = sum_b G_b
+  // (no 1/(vg tau) weights).
+  double solve_energy_temperature(const std::vector<double>& G, double T_guess) const;
+
+ private:
+  double lookup(const std::vector<double>& table, int band, double T) const;
+  template <typename WeightFn>
+  double solve(const std::vector<double>& G, double T_guess, WeightFn weight) const;
+
+  int nbands_ = 0;
+  double T_min_, T_max_, dT_;
+  int nT_ = 0;
+  std::vector<double> i0_;        // [band][Ti]
+  std::vector<double> beta_;      // [band][Ti]
+  std::vector<double> inv_vg_;    // per band
+};
+
+}  // namespace finch::bte

@@ -1,0 +1,92 @@
+#include "gray.hpp"
+
+#include <cmath>
+
+namespace finch::bte {
+
+GrayBteProblem::GrayBteProblem(const GrayScenario& scenario)
+    : scen_(scenario), dirs_(make_directions_2d(scenario.ndirs)) {
+  problem_ = std::make_unique<dsl::Problem>("bte-gray");
+  dsl::Problem& p = *problem_;
+  p.domain(2).time_stepper(dsl::TimeScheme::ForwardEuler);
+  p.set_steps(scen_.dt, scen_.nsteps);
+  p.set_mesh(mesh::Mesh::structured_quad(scen_.nx, scen_.ny, scen_.lx, scen_.ly));
+
+  const int nd = dirs_.size();
+  p.index("d", 1, nd);
+  p.variable("I", {"d"});
+  p.variable("Io");
+  p.variable("T");
+  std::vector<double> sx(static_cast<size_t>(nd)), sy(static_cast<size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    sx[static_cast<size_t>(d)] = dirs_.s[static_cast<size_t>(d)].x;
+    sy[static_cast<size_t>(d)] = dirs_.s[static_cast<size_t>(d)].y;
+  }
+  p.coefficient("Sx", sx, {"d"});
+  p.coefficient("Sy", sy, {"d"});
+  p.coefficient("vg", scen_.vg);
+  p.coefficient("invtau", 1.0 / scen_.tau);
+
+  p.conservation_form("I", "(Io - I[d]) * invtau - surface(vg * upwind([Sx[d];Sy[d]], I[d]))");
+
+  const double I_init = equilibrium_intensity(scen_.T_init);
+  p.initial("I", [I_init](int32_t, std::span<const int32_t>) { return I_init; });
+  p.initial("Io", [I_init](int32_t, std::span<const int32_t>) { return I_init; });
+  p.initial("T", [this](int32_t, std::span<const int32_t>) { return scen_.T_init; });
+
+  const GrayScenario scen = scen_;
+  const DirectionSet* dirs = &dirs_;
+  const double c_over = scen.cv * scen.vg / (4.0 * M_PI);
+
+  auto isothermal = [dirs, scen, c_over](const fvm::BoundaryContext& ctx, double T_wall) {
+    const mesh::Vec3& s = dirs->s[static_cast<size_t>(ctx.dir)];
+    const double sdotn = s.dot(ctx.normal);
+    if (sdotn > 0) return scen.vg * sdotn * ctx.fields->get("I").at(ctx.cell, ctx.dof);
+    return scen.vg * sdotn * (c_over * T_wall);
+  };
+  auto symmetric = [dirs, scen](const fvm::BoundaryContext& ctx) {
+    const mesh::Vec3& s = dirs->s[static_cast<size_t>(ctx.dir)];
+    const double sdotn = s.dot(ctx.normal);
+    const auto& I = ctx.fields->get("I");
+    if (sdotn > 0) return scen.vg * sdotn * I.at(ctx.cell, ctx.dof);
+    return scen.vg * sdotn * I.at(ctx.cell, dirs->reflect(ctx.dir, ctx.normal));
+  };
+
+  p.boundary("I", 1, dsl::BcType::Flux, "gray_isothermal_cold",
+             [isothermal, scen](const fvm::BoundaryContext& ctx) { return isothermal(ctx, scen.T_cold); });
+  p.boundary("I", 2, dsl::BcType::Flux, "gray_isothermal_hot",
+             [isothermal, scen](const fvm::BoundaryContext& ctx) {
+               const double x = ctx.mesh->face(ctx.face).centroid.x;
+               const double xc = 0.5 * scen.lx;
+               const double dTw = (scen.T_hot - scen.T_cold) *
+                                  std::exp(-2.0 * (x - xc) * (x - xc) / (scen.hot_w * scen.hot_w));
+               return isothermal(ctx, scen.T_cold + dTw);
+             });
+  p.boundary("I", 3, dsl::BcType::Flux, "gray_symmetry", symmetric);
+  p.boundary("I", 4, dsl::BcType::Flux, "gray_symmetry", symmetric);
+
+  // Gray temperature update: T = sum_d w_d I_d / (cv vg), Io = cv vg T / 4pi.
+  p.post_step([dirs, c_over, scen](dsl::Problem& prob, double) {
+    auto& I = prob.fields().get("I");
+    auto& Io = prob.fields().get("Io");
+    auto& T = prob.fields().get("T");
+    const int nd = dirs->size();
+    for (int32_t c = 0; c < I.num_cells(); ++c) {
+      double e = 0.0;
+      for (int d = 0; d < nd; ++d) e += dirs->weight[static_cast<size_t>(d)] * I.at(c, d);
+      const double Tc = e / (scen.cv * scen.vg);
+      T.at(c, 0) = Tc;
+      Io.at(c, 0) = c_over * Tc;
+    }
+  });
+  p.post_step_touches({"I"}, {"Io"});
+}
+
+std::vector<double> GrayBteProblem::temperature() const {
+  const auto& T = problem_->fields().get("T");
+  std::vector<double> out(static_cast<size_t>(T.num_cells()));
+  for (int32_t c = 0; c < T.num_cells(); ++c) out[static_cast<size_t>(c)] = T.at(c, 0);
+  return out;
+}
+
+}  // namespace finch::bte

@@ -1,0 +1,50 @@
+#pragma once
+// Gray (single-band) BTE variant.
+//
+// The gray approximation collapses the spectrum to one effective band with a
+// constant group velocity and relaxation time — the classic entry point of
+// the deterministic-BTE literature the paper cites and a useful smoke-test
+// model (one equation per direction instead of 55). Exposes the same DSL
+// wiring as the non-gray problem.
+
+#include <memory>
+
+#include "core/dsl/problem.hpp"
+#include "directions.hpp"
+
+namespace finch::bte {
+
+struct GrayScenario {
+  int nx = 32, ny = 32;
+  double lx = 525e-6, ly = 525e-6;
+  int ndirs = 12;
+  double vg = 6400.0;       // effective silicon group velocity (m/s)
+  double tau = 40e-12;      // effective relaxation time (s)
+  double cv = 1.66e6;       // volumetric heat capacity (J/m^3/K)
+  double T_init = 300.0, T_cold = 300.0, T_hot = 350.0;
+  double hot_w = 10e-6;
+  double dt = 2e-12;
+  int nsteps = 100;
+};
+
+class GrayBteProblem {
+ public:
+  explicit GrayBteProblem(const GrayScenario& scenario);
+
+  dsl::Problem& problem() { return *problem_; }
+  std::unique_ptr<dsl::Solver> compile() { return problem_->compile(); }
+  std::unique_ptr<dsl::Solver> compile(dsl::Target t) { return problem_->compile(t); }
+  std::vector<double> temperature() const;
+
+  // Gray equilibrium intensity: I0 = cv vg T / 4 pi (linearized about 0).
+  double equilibrium_intensity(double T) const {
+    return scen_.cv * scen_.vg * T / (4.0 * M_PI);
+  }
+
+ private:
+  GrayScenario scen_;
+  DirectionSet dirs_;
+  std::unique_ptr<dsl::Problem> problem_;
+};
+
+}  // namespace finch::bte

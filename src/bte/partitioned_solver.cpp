@@ -1,0 +1,366 @@
+#include "partitioned_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace finch::bte {
+
+namespace {
+
+// Shared update arithmetic — kept textually identical to DirectSolver's sweep
+// so that every execution strategy produces bit-identical values.
+struct UpdateParams {
+  int nx, ny, nd, nb;
+  double ax, ay;  // dt / hx, dt / hy
+};
+
+}  // namespace
+
+// ---- CellPartitionedSolver ---------------------------------------------------
+
+CellPartitionedSolver::CellPartitionedSolver(const BteScenario& scenario,
+                                             std::shared_ptr<const BtePhysics> physics, int nparts,
+                                             mesh::PartitionMethod method)
+    : scen_(scenario),
+      phys_(std::move(physics)),
+      mesh_(mesh::Mesh::structured_quad(scenario.nx, scenario.ny, scenario.lx, scenario.ly)),
+      nparts_(nparts) {
+  if (nparts < 1) throw std::invalid_argument("CellPartitionedSolver: nparts >= 1");
+  nd_ = phys_->num_dirs();
+  nb_ = phys_->num_bands();
+  dofs_ = nd_ * nb_;
+  dt_ = scen_.dt;
+  part_ = mesh::partition(mesh_, nparts, method);
+  g_scratch_.resize(static_cast<size_t>(nb_));
+
+  ranks_.resize(static_cast<size_t>(nparts));
+  for (int32_t p = 0; p < nparts; ++p) {
+    Rank& r = ranks_[static_cast<size_t>(p)];
+    r.global_to_local.assign(static_cast<size_t>(mesh_.num_cells()), -1);
+    for (int32_t c = 0; c < mesh_.num_cells(); ++c)
+      if (part_[static_cast<size_t>(c)] == p) {
+        r.global_to_local[static_cast<size_t>(c)] = static_cast<int32_t>(r.owned.size());
+        r.owned.push_back(c);
+      }
+    r.halo = mesh::build_halo(mesh_, part_, p);
+    for (const auto& recv : r.halo.recvs)
+      for (int32_t c : recv.cells) {
+        r.global_to_local[static_cast<size_t>(c)] =
+            static_cast<int32_t>(r.owned.size() + r.ghosts.size());
+        r.ghosts.push_back(c);
+      }
+    const size_t nloc = r.owned.size() + r.ghosts.size();
+    r.I.resize(nloc * static_cast<size_t>(dofs_));
+    r.I_new.resize(r.owned.size() * static_cast<size_t>(dofs_));
+    r.Io.resize(r.owned.size() * static_cast<size_t>(nb_));
+    r.beta.resize(r.owned.size() * static_cast<size_t>(nb_));
+    r.T.assign(r.owned.size(), scen_.T_init);
+
+    for (int b = 0; b < nb_; ++b) {
+      const double i0 = phys_->table.I0(b, scen_.T_init);
+      const double be = phys_->table.beta(b, scen_.T_init);
+      for (size_t lc = 0; lc < nloc; ++lc)
+        for (int d = 0; d < nd_; ++d) r.I[lc * static_cast<size_t>(dofs_) + static_cast<size_t>(d + nd_ * b)] = i0;
+      for (size_t lc = 0; lc < r.owned.size(); ++lc) {
+        r.Io[lc * static_cast<size_t>(nb_) + static_cast<size_t>(b)] = i0;
+        r.beta[lc * static_cast<size_t>(nb_) + static_cast<size_t>(b)] = be;
+      }
+    }
+  }
+  // Per-step communication volume: every halo cell's full DOF vector.
+  for (const Rank& r : ranks_) {
+    comm_.bytes_per_step += static_cast<int64_t>(r.ghosts.size()) * dofs_ * 8;
+    comm_.messages_per_step += static_cast<int64_t>(r.halo.recvs.size());
+  }
+}
+
+double CellPartitionedSolver::wall_temperature(double x) const {
+  const double xc = scen_.hot_center_frac * scen_.lx;
+  const double rr = x - xc;
+  return scen_.T_cold +
+         (scen_.T_hot - scen_.T_cold) * std::exp(-2.0 * rr * rr / (scen_.hot_w * scen_.hot_w));
+}
+
+void CellPartitionedSolver::exchange_halos() {
+  // Pull model: each rank copies the owned values it needs from the peer
+  // ranks (in a real MPI code this is the send/recv pair of the halo plan).
+  for (Rank& r : ranks_) {
+    for (const auto& recv : r.halo.recvs) {
+      const Rank& peer = ranks_[static_cast<size_t>(recv.peer)];
+      for (int32_t gc : recv.cells) {
+        const int32_t src = peer.global_to_local[static_cast<size_t>(gc)];
+        const int32_t dst = r.global_to_local[static_cast<size_t>(gc)];
+        for (int k = 0; k < dofs_; ++k)
+          r.I[static_cast<size_t>(dst) * dofs_ + static_cast<size_t>(k)] =
+              peer.I[static_cast<size_t>(src) * dofs_ + static_cast<size_t>(k)];
+      }
+    }
+  }
+  comm_.total_bytes += comm_.bytes_per_step;
+}
+
+void CellPartitionedSolver::sweep_rank(Rank& r) {
+  const int nx = scen_.nx, ny = scen_.ny;
+  const double hx = scen_.lx / nx, hy = scen_.ly / ny;
+  const double ax = dt_ / hx, ay = dt_ / hy;
+
+  auto lidx = [&](int32_t gc) { return r.global_to_local[static_cast<size_t>(gc)]; };
+
+  for (int b = 0; b < nb_; ++b) {
+    const double vg = phys_->bands[b].vg;
+    for (int d = 0; d < nd_; ++d) {
+      const double vx = vg * phys_->directions.s[static_cast<size_t>(d)].x;
+      const double vy = vg * phys_->directions.s[static_cast<size_t>(d)].y;
+      const int rx = phys_->directions.reflect_x[static_cast<size_t>(d)];
+      const int dof = d + nd_ * b;
+      for (size_t lo = 0; lo < r.owned.size(); ++lo) {
+        const int32_t c = r.owned[lo];
+        const int i = static_cast<int>(c % nx), j = static_cast<int>(c / nx);
+        const size_t ci = lo * static_cast<size_t>(dofs_) + static_cast<size_t>(dof);
+        const double Ic = r.I[ci];
+        const size_t cb = lo * static_cast<size_t>(nb_) + static_cast<size_t>(b);
+        double val = Ic + dt_ * (r.Io[cb] - Ic) * r.beta[cb];
+
+        auto I_at = [&](int32_t gc, int dd) {
+          return r.I[static_cast<size_t>(lidx(gc)) * dofs_ + static_cast<size_t>(dd + nd_ * b)];
+        };
+        double Iw;
+        if (i > 0)
+          Iw = -vx > 0 ? Ic : I_at(c - 1, d);
+        else
+          Iw = -vx > 0 ? Ic : I_at(c, rx);
+        val -= ax * (-vx) * Iw;
+        double Ie;
+        if (i < nx - 1)
+          Ie = vx > 0 ? Ic : I_at(c + 1, d);
+        else
+          Ie = vx > 0 ? Ic : I_at(c, rx);
+        val -= ax * vx * Ie;
+        double Is;
+        if (j > 0)
+          Is = -vy > 0 ? Ic : I_at(c - nx, d);
+        else
+          Is = -vy > 0 ? Ic : phys_->table.I0(b, scen_.T_cold);
+        val -= ay * (-vy) * Is;
+        double In;
+        if (j < ny - 1)
+          In = vy > 0 ? Ic : I_at(c + nx, d);
+        else
+          In = vy > 0 ? Ic : phys_->table.I0(b, wall_temperature((i + 0.5) * hx));
+        val -= ay * vy * In;
+
+        r.I_new[ci] = val;
+      }
+    }
+  }
+}
+
+void CellPartitionedSolver::temperature_rank(Rank& r) {
+  for (size_t lo = 0; lo < r.owned.size(); ++lo) {
+    for (int b = 0; b < nb_; ++b) {
+      double g = 0.0;
+      const size_t base = lo * static_cast<size_t>(dofs_) + static_cast<size_t>(nd_) * b;
+      for (int d = 0; d < nd_; ++d)
+        g += phys_->directions.weight[static_cast<size_t>(d)] * r.I[base + static_cast<size_t>(d)];
+      g_scratch_[static_cast<size_t>(b)] = g;
+    }
+    const double Tc = phys_->table.solve_temperature(g_scratch_, r.T[lo]);
+    r.T[lo] = Tc;
+    for (int b = 0; b < nb_; ++b) {
+      r.Io[lo * static_cast<size_t>(nb_) + static_cast<size_t>(b)] = phys_->table.I0(b, Tc);
+      r.beta[lo * static_cast<size_t>(nb_) + static_cast<size_t>(b)] = phys_->table.beta(b, Tc);
+    }
+  }
+}
+
+void CellPartitionedSolver::step() {
+  exchange_halos();
+  for (Rank& r : ranks_) sweep_rank(r);
+  for (Rank& r : ranks_) {
+    // Commit owned values; ghosts refresh at the next exchange.
+    for (size_t lo = 0; lo < r.owned.size(); ++lo)
+      for (int k = 0; k < dofs_; ++k)
+        r.I[lo * static_cast<size_t>(dofs_) + static_cast<size_t>(k)] =
+            r.I_new[lo * static_cast<size_t>(dofs_) + static_cast<size_t>(k)];
+  }
+  for (Rank& r : ranks_) temperature_rank(r);
+}
+
+std::vector<double> CellPartitionedSolver::gather_intensity() const {
+  std::vector<double> out(static_cast<size_t>(mesh_.num_cells()) * dofs_);
+  for (const Rank& r : ranks_)
+    for (size_t lo = 0; lo < r.owned.size(); ++lo)
+      for (int k = 0; k < dofs_; ++k)
+        out[static_cast<size_t>(r.owned[lo]) * dofs_ + static_cast<size_t>(k)] =
+            r.I[lo * static_cast<size_t>(dofs_) + static_cast<size_t>(k)];
+  return out;
+}
+
+std::vector<double> CellPartitionedSolver::gather_temperature() const {
+  std::vector<double> out(static_cast<size_t>(mesh_.num_cells()));
+  for (const Rank& r : ranks_)
+    for (size_t lo = 0; lo < r.owned.size(); ++lo) out[static_cast<size_t>(r.owned[lo])] = r.T[lo];
+  return out;
+}
+
+// ---- BandPartitionedSolver -----------------------------------------------------
+
+BandPartitionedSolver::BandPartitionedSolver(const BteScenario& scenario,
+                                             std::shared_ptr<const BtePhysics> physics, int nparts)
+    : scen_(scenario), phys_(std::move(physics)), nparts_(nparts) {
+  if (nparts < 1) throw std::invalid_argument("BandPartitionedSolver: nparts >= 1");
+  nx_ = scen_.nx;
+  ny_ = scen_.ny;
+  nd_ = phys_->num_dirs();
+  nb_ = phys_->num_bands();
+  if (nparts > nb_) throw std::invalid_argument("BandPartitionedSolver: more parts than bands");
+  hx_ = scen_.lx / nx_;
+  hy_ = scen_.ly / ny_;
+  dt_ = scen_.dt;
+  const int ncell = nx_ * ny_;
+  T_.assign(static_cast<size_t>(ncell), scen_.T_init);
+  G_global_.resize(static_cast<size_t>(ncell) * nb_);
+
+  ranks_.resize(static_cast<size_t>(nparts));
+  for (int p = 0; p < nparts; ++p) {
+    Rank& r = ranks_[static_cast<size_t>(p)];
+    r.b_lo = p * nb_ / nparts;
+    r.b_hi = (p + 1) * nb_ / nparts;
+    const int bl = r.b_hi - r.b_lo;
+    r.I.resize(static_cast<size_t>(ncell) * nd_ * bl);
+    r.I_new.resize(r.I.size());
+    r.Io.resize(static_cast<size_t>(ncell) * bl);
+    r.beta.resize(r.Io.size());
+    for (int b = r.b_lo; b < r.b_hi; ++b) {
+      const double i0 = phys_->table.I0(b, scen_.T_init);
+      const double be = phys_->table.beta(b, scen_.T_init);
+      const int lb = b - r.b_lo;
+      for (int c = 0; c < ncell; ++c) {
+        r.Io[static_cast<size_t>(c) * bl + lb] = i0;
+        r.beta[static_cast<size_t>(c) * bl + lb] = be;
+        for (int d = 0; d < nd_; ++d)
+          r.I[(static_cast<size_t>(c) * bl + lb) * nd_ + d] = i0;
+      }
+    }
+  }
+  // Per step: each rank contributes its slice of the per-cell, per-band sums
+  // (allgather over ranks) before the temperature solve.
+  comm_.bytes_per_step = static_cast<int64_t>(ncell) * nb_ * 8;
+  comm_.messages_per_step = nparts;
+}
+
+double BandPartitionedSolver::wall_temperature(double x) const {
+  const double xc = scen_.hot_center_frac * scen_.lx;
+  const double rr = x - xc;
+  return scen_.T_cold +
+         (scen_.T_hot - scen_.T_cold) * std::exp(-2.0 * rr * rr / (scen_.hot_w * scen_.hot_w));
+}
+
+void BandPartitionedSolver::sweep_rank(Rank& r) {
+  const int bl = r.b_hi - r.b_lo;
+  const double ax = dt_ / hx_, ay = dt_ / hy_;
+  for (int b = r.b_lo; b < r.b_hi; ++b) {
+    const int lb = b - r.b_lo;
+    const double vg = phys_->bands[b].vg;
+    for (int d = 0; d < nd_; ++d) {
+      const double vx = vg * phys_->directions.s[static_cast<size_t>(d)].x;
+      const double vy = vg * phys_->directions.s[static_cast<size_t>(d)].y;
+      const int rx = phys_->directions.reflect_x[static_cast<size_t>(d)];
+      for (int j = 0; j < ny_; ++j) {
+        for (int i = 0; i < nx_; ++i) {
+          const int c = j * nx_ + i;
+          auto idx = [&](int cc, int dd) {
+            return (static_cast<size_t>(cc) * bl + lb) * nd_ + static_cast<size_t>(dd);
+          };
+          const double Ic = r.I[idx(c, d)];
+          const size_t cb = static_cast<size_t>(c) * bl + lb;
+          double val = Ic + dt_ * (r.Io[cb] - Ic) * r.beta[cb];
+
+          double Iw;
+          if (i > 0)
+            Iw = -vx > 0 ? Ic : r.I[idx(c - 1, d)];
+          else
+            Iw = -vx > 0 ? Ic : r.I[idx(c, rx)];
+          val -= ax * (-vx) * Iw;
+          double Ie;
+          if (i < nx_ - 1)
+            Ie = vx > 0 ? Ic : r.I[idx(c + 1, d)];
+          else
+            Ie = vx > 0 ? Ic : r.I[idx(c, rx)];
+          val -= ax * vx * Ie;
+          double Is;
+          if (j > 0)
+            Is = -vy > 0 ? Ic : r.I[idx(c - nx_, d)];
+          else
+            Is = -vy > 0 ? Ic : phys_->table.I0(b, scen_.T_cold);
+          val -= ay * (-vy) * Is;
+          double In;
+          if (j < ny_ - 1)
+            In = vy > 0 ? Ic : r.I[idx(c + nx_, d)];
+          else
+            In = vy > 0 ? Ic : phys_->table.I0(b, wall_temperature((i + 0.5) * hx_));
+          val -= ay * vy * In;
+
+          r.I_new[idx(c, d)] = val;
+        }
+      }
+    }
+  }
+  r.I.swap(r.I_new);
+}
+
+void BandPartitionedSolver::step() {
+  for (Rank& r : ranks_) sweep_rank(r);
+
+  // Allgather of per-cell band sums (the only cross-rank coupling).
+  const int ncell = nx_ * ny_;
+  for (Rank& r : ranks_) {
+    const int bl = r.b_hi - r.b_lo;
+    for (int b = r.b_lo; b < r.b_hi; ++b) {
+      const int lb = b - r.b_lo;
+      for (int c = 0; c < ncell; ++c) {
+        double g = 0.0;
+        for (int d = 0; d < nd_; ++d)
+          g += phys_->directions.weight[static_cast<size_t>(d)] *
+               r.I[(static_cast<size_t>(c) * bl + lb) * nd_ + static_cast<size_t>(d)];
+        G_global_[static_cast<size_t>(c) * nb_ + static_cast<size_t>(b)] = g;
+      }
+    }
+  }
+  comm_.total_bytes += comm_.bytes_per_step;
+
+  // Every rank solves the (replicated) temperature and refreshes its own
+  // bands' Io/beta — executed once here since the result is identical.
+  std::vector<double> G(static_cast<size_t>(nb_));
+  for (int c = 0; c < ncell; ++c) {
+    for (int b = 0; b < nb_; ++b) G[static_cast<size_t>(b)] = G_global_[static_cast<size_t>(c) * nb_ + static_cast<size_t>(b)];
+    const double Tc = phys_->table.solve_temperature(G, T_[static_cast<size_t>(c)]);
+    T_[static_cast<size_t>(c)] = Tc;
+    for (Rank& r : ranks_) {
+      const int bl = r.b_hi - r.b_lo;
+      for (int b = r.b_lo; b < r.b_hi; ++b) {
+        const int lb = b - r.b_lo;
+        r.Io[static_cast<size_t>(c) * bl + lb] = phys_->table.I0(b, Tc);
+        r.beta[static_cast<size_t>(c) * bl + lb] = phys_->table.beta(b, Tc);
+      }
+    }
+  }
+}
+
+std::vector<double> BandPartitionedSolver::gather_intensity() const {
+  const int ncell = nx_ * ny_;
+  std::vector<double> out(static_cast<size_t>(ncell) * nd_ * nb_);
+  for (const Rank& r : ranks_) {
+    const int bl = r.b_hi - r.b_lo;
+    for (int b = r.b_lo; b < r.b_hi; ++b) {
+      const int lb = b - r.b_lo;
+      for (int c = 0; c < ncell; ++c)
+        for (int d = 0; d < nd_; ++d)
+          out[static_cast<size_t>(c) * nd_ * nb_ + static_cast<size_t>(d + nd_ * b)] =
+              r.I[(static_cast<size_t>(c) * bl + lb) * nd_ + static_cast<size_t>(d)];
+    }
+  }
+  return out;
+}
+
+}  // namespace finch::bte

@@ -1,0 +1,29 @@
+#include "relaxation.hpp"
+
+#include <cmath>
+
+namespace finch::bte {
+
+RelaxationModel RelaxationModel::silicon(const Dispersion& disp) {
+  RelaxationModel m;
+  m.omega_half_ta = disp.ta.omega(disp.ta.k_max / 2.0);
+  return m;
+}
+
+double RelaxationModel::inverse_tau(const Band& band, double T) const {
+  const double w = band.omega_c;
+  double rate = A_I * w * w * w * w;  // impurity, both branches
+  if (band.branch == Branch::LA) {
+    rate += B_L * w * w * T * T * T;
+  } else {
+    if (w < omega_half_ta) {
+      rate += B_TN * w * T * T * T * T;
+    } else {
+      const double x = kHbar * w / (kBoltzmann * T);
+      rate += B_TU * w * w / std::sinh(x);
+    }
+  }
+  return rate;
+}
+
+}  // namespace finch::bte

@@ -1,0 +1,30 @@
+#pragma once
+// Holland-type relaxation time model for silicon (as used by the BTE codes
+// the paper reproduces; Holland 1963 parameters via Ali et al. 2014):
+//
+//   impurity scattering       1/tau_I  = A_I * omega^4
+//   LA normal+umklapp         1/tau_LA = B_L * omega^2 * T^3
+//   TA normal (w < w_half)    1/tau_TN = B_TN * omega * T^4
+//   TA umklapp (w >= w_half)  1/tau_TU = B_TU * omega^2 / sinh(hbar w / kB T)
+//
+// combined by Matthiessen's rule. w_half = omega_TA(k_max / 2).
+
+#include "bands.hpp"
+
+namespace finch::bte {
+
+struct RelaxationModel {
+  double A_I = 1.32e-45;   // s^3
+  double B_L = 2.0e-24;    // s K^-3
+  double B_TN = 9.3e-13;   // K^-4
+  double B_TU = 5.5e-18;   // s
+  double omega_half_ta = 0;  // set from the dispersion
+
+  static RelaxationModel silicon(const Dispersion& disp);
+
+  // Total scattering rate 1/tau for a band at temperature T (1/s).
+  double inverse_tau(const Band& band, double T) const;
+  double tau(const Band& band, double T) const { return 1.0 / inverse_tau(band, T); }
+};
+
+}  // namespace finch::bte

@@ -1,0 +1,395 @@
+#include "bytecode.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "core/symbolic/operators.hpp"
+#include "core/symbolic/printer.hpp"
+
+namespace finch::codegen {
+
+namespace sym = finch::sym;
+
+int CompileEnv::loop_slot_of(const std::string& index_name) const {
+  for (size_t i = 0; i < index_order.size(); ++i)
+    if (index_order[i] == index_name) return static_cast<int>(i);
+  throw CompileError("undeclared index in expression: " + index_name);
+}
+
+namespace {
+
+class Compiler {
+ public:
+  explicit Compiler(const CompileEnv& env) : env_(env) {}
+
+  Program run(const sym::Expr& e) {
+    uint8_t r = emit(e);
+    prog_.code.push_back({Op::Ret, 0, r, 0, 0, 0, 0.0});
+    prog_.num_regs = next_reg_;
+    return std::move(prog_);
+  }
+
+ private:
+  // Registers are recycled once consumed (every emitted value is used exactly
+  // once since expressions are trees), so live registers track tree depth.
+  uint8_t alloc() {
+    if (!free_.empty()) {
+      const uint8_t r = free_.back();
+      free_.pop_back();
+      return r;
+    }
+    if (next_reg_ >= 250) throw CompileError("expression too large (register overflow)");
+    return static_cast<uint8_t>(next_reg_++);
+  }
+
+  void release(uint8_t r) { free_.push_back(r); }
+
+  uint8_t emit_binary(Op op, const sym::Expr& a, const sym::Expr& b) {
+    uint8_t ra = emit(a), rb = emit(b);
+    release(ra);
+    release(rb);
+    uint8_t rd = alloc();
+    prog_.code.push_back({op, rd, ra, rb, 0, 0, 0.0});
+    return rd;
+  }
+
+  uint8_t emit(const sym::Expr& e) {
+    switch (e->kind()) {
+      case sym::Kind::Number: {
+        uint8_t rd = alloc();
+        prog_.code.push_back({Op::Const, rd, 0, 0, 0, 0, sym::as<sym::NumberNode>(e)->value});
+        return rd;
+      }
+      case sym::Kind::Symbol:
+        return emit_symbol(*sym::as<sym::SymbolNode>(e));
+      case sym::Kind::EntityRef:
+        return emit_entity(*sym::as<sym::EntityRefNode>(e));
+      case sym::Kind::Add: {
+        const auto& terms = sym::as<sym::AddNode>(e)->terms;
+        uint8_t acc = emit(terms[0]);
+        for (size_t i = 1; i < terms.size(); ++i) {
+          uint8_t rt = emit(terms[i]);
+          release(acc);
+          release(rt);
+          uint8_t rd = alloc();
+          prog_.code.push_back({Op::Add, rd, acc, rt, 0, 0, 0.0});
+          acc = rd;
+        }
+        return acc;
+      }
+      case sym::Kind::Mul: {
+        const auto& fs = sym::as<sym::MulNode>(e)->factors;
+        uint8_t acc = emit(fs[0]);
+        for (size_t i = 1; i < fs.size(); ++i) {
+          // x * y^-1 lowers to a divide.
+          if (const auto* p = sym::as<sym::PowNode>(fs[i]);
+              p != nullptr && sym::is_number(p->expo, -1.0)) {
+            uint8_t rb = emit(p->base);
+            release(acc);
+            release(rb);
+            uint8_t rd = alloc();
+            prog_.code.push_back({Op::Div, rd, acc, rb, 0, 0, 0.0});
+            acc = rd;
+            continue;
+          }
+          uint8_t rf = emit(fs[i]);
+          release(acc);
+          release(rf);
+          uint8_t rd = alloc();
+          prog_.code.push_back({Op::Mul, rd, acc, rf, 0, 0, 0.0});
+          acc = rd;
+        }
+        return acc;
+      }
+      case sym::Kind::Pow: {
+        const auto* p = sym::as<sym::PowNode>(e);
+        if (sym::is_number(p->expo, 2.0)) {
+          uint8_t ra = emit(p->base);
+          release(ra);
+          uint8_t rd = alloc();
+          prog_.code.push_back({Op::Mul, rd, ra, ra, 0, 0, 0.0});
+          return rd;
+        }
+        if (sym::is_number(p->expo, -1.0)) {
+          uint8_t rone = alloc();
+          prog_.code.push_back({Op::Const, rone, 0, 0, 0, 0, 1.0});
+          uint8_t ra = emit(p->base);
+          release(rone);
+          release(ra);
+          uint8_t rd = alloc();
+          prog_.code.push_back({Op::Div, rd, rone, ra, 0, 0, 0.0});
+          return rd;
+        }
+        return emit_binary(Op::Pow, p->base, p->expo);
+      }
+      case sym::Kind::Compare: {
+        const auto* c = sym::as<sym::CompareNode>(e);
+        Op op;
+        switch (c->op) {
+          case sym::CmpOp::GT: op = Op::CmpGT; break;
+          case sym::CmpOp::GE: op = Op::CmpGE; break;
+          case sym::CmpOp::LT: op = Op::CmpLT; break;
+          case sym::CmpOp::LE: op = Op::CmpLE; break;
+          case sym::CmpOp::EQ: op = Op::CmpEQ; break;
+          case sym::CmpOp::NE: op = Op::CmpNE; break;
+          default: throw CompileError("unsupported comparison");
+        }
+        return emit_binary(op, c->lhs, c->rhs);
+      }
+      case sym::Kind::Call:
+        return emit_call(*sym::as<sym::CallNode>(e));
+      case sym::Kind::Vector:
+        throw CompileError("vector literal survived operator expansion");
+    }
+    throw CompileError("unknown node kind");
+  }
+
+  uint8_t emit_symbol(const sym::SymbolNode& s) {
+    if (s.name == "dt") {
+      uint8_t rd = alloc();
+      prog_.code.push_back({Op::LoadDt, rd, 0, 0, 0, 0, 0.0});
+      return rd;
+    }
+    if (s.name.rfind("NORMAL_", 0) == 0) {
+      int comp = std::stoi(s.name.substr(7)) - 1;
+      if (comp < 0 || comp > 2) throw CompileError("bad normal component: " + s.name);
+      uint8_t rd = alloc();
+      prog_.code.push_back({Op::LoadNormal, rd, 0, 0, 0, comp, 0.0});
+      return rd;
+    }
+    if (s.name == sym::kSurfaceMarker || s.name == sym::kTimeDerivativeMarker)
+      throw CompileError("marker symbol '" + s.name + "' reached the executable target; "
+                         "classification must strip it first");
+    throw CompileError("unbound symbol in integrand: " + s.name);
+  }
+
+  uint8_t emit_entity(const sym::EntityRefNode& r) {
+    Binding b;
+    b.debug_name = r.name;
+    // DOF addressing from the entity's declared index list.
+    const sym::EntityInfo* info = env_.table == nullptr ? nullptr : env_.table->find(r.name);
+    auto fill_indices = [&](const std::vector<sym::Expr>& idx) {
+      b.n_idx = 0;
+      int32_t stride = 1;
+      for (size_t k = 0; k < idx.size(); ++k) {
+        const auto* is = sym::as<sym::SymbolNode>(idx[k]);
+        if (is == nullptr) throw CompileError("only plain index symbols supported in [..] for executable target");
+        if (b.n_idx >= 3) throw CompileError("too many indices on entity " + r.name);
+        b.loop_slot[static_cast<size_t>(b.n_idx)] = env_.loop_slot_of(is->name);
+        b.stride[static_cast<size_t>(b.n_idx)] = stride;
+        stride *= env_.index_extent[static_cast<size_t>(env_.loop_slot_of(is->name))];
+        ++b.n_idx;
+      }
+    };
+
+    if (r.entity_kind == sym::EntityKind::Variable) {
+      if (env_.fields == nullptr || !env_.fields->has(r.name))
+        throw CompileError("no field storage bound for variable " + r.name);
+      b.field = &env_.fields->get(r.name);
+      b.source = r.side == sym::CellSide::Cell2 ? Binding::Source::FieldNeighbor : Binding::Source::FieldSelf;
+      fill_indices(r.indices);
+    } else {
+      // Coefficient: indexed array, per-cell field, or scalar.
+      if (env_.coefficients != nullptr && env_.coefficients->count(r.name) != 0) {
+        const auto& arr = env_.coefficients->at(r.name);
+        b.source = Binding::Source::CoefIndexed;
+        b.coef = arr.data();
+        b.coef_len = static_cast<int32_t>(arr.size());
+        fill_indices(r.indices);
+      } else if (env_.fields != nullptr && env_.fields->has(r.name)) {
+        b.field = &env_.fields->get(r.name);
+        b.source = r.side == sym::CellSide::Cell2 ? Binding::Source::FieldNeighbor : Binding::Source::FieldSelf;
+        fill_indices(r.indices);
+      } else if (env_.scalar_coefficients != nullptr && env_.scalar_coefficients->count(r.name) != 0) {
+        b.source = Binding::Source::Scalar;
+        b.scalar = env_.scalar_coefficients->at(r.name);
+      } else {
+        throw CompileError("no storage bound for coefficient " + r.name);
+      }
+    }
+    (void)info;
+    int32_t slot = static_cast<int32_t>(prog_.bindings.size());
+    prog_.bindings.push_back(std::move(b));
+    uint8_t rd = alloc();
+    prog_.code.push_back({Op::Load, rd, 0, 0, 0, slot, 0.0});
+    return rd;
+  }
+
+  uint8_t emit_call(const sym::CallNode& c) {
+    if (c.func == "conditional") {
+      if (c.args.size() != 3) throw CompileError("conditional takes 3 arguments");
+      uint8_t rc = emit(c.args[0]);
+      uint8_t rt = emit(c.args[1]);
+      uint8_t rf = emit(c.args[2]);
+      release(rc);
+      release(rt);
+      release(rf);
+      uint8_t rd = alloc();
+      prog_.code.push_back({Op::Select, rd, rc, rt, rf, 0, 0.0});
+      return rd;
+    }
+    static const std::map<std::string, Op> kMath = {
+        {"exp", Op::MathExp}, {"sqrt", Op::MathSqrt}, {"abs", Op::MathAbs},
+        {"sin", Op::MathSin}, {"cos", Op::MathCos},   {"log", Op::MathLog},
+    };
+    auto it = kMath.find(c.func);
+    if (it != kMath.end()) {
+      if (c.args.size() != 1) throw CompileError(c.func + " takes 1 argument");
+      uint8_t ra = emit(c.args[0]);
+      release(ra);
+      uint8_t rd = alloc();
+      prog_.code.push_back({it->second, rd, ra, 0, 0, 0, 0.0});
+      return rd;
+    }
+    throw CompileError("call to '" + c.func + "' cannot be lowered; register it as a symbolic "
+                       "operator or route it through a boundary/post-step callback");
+  }
+
+  const CompileEnv& env_;
+  Program prog_;
+  int next_reg_ = 0;
+  std::vector<uint8_t> free_;
+};
+
+}  // namespace
+
+Program compile(const sym::Expr& integrand, const CompileEnv& env) { return Compiler(env).run(integrand); }
+
+double eval(const Program& p, const EvalContext& ctx) {
+  double regs[256];
+  for (const Instr& in : p.code) {
+    switch (in.op) {
+      case Op::Const: regs[in.dst] = in.imm; break;
+      case Op::Load: {
+        const Binding& b = p.bindings[static_cast<size_t>(in.slot)];
+        switch (b.source) {
+          case Binding::Source::FieldSelf:
+            regs[in.dst] = b.field->at(ctx.cell, static_cast<int32_t>(b.dof(ctx.loop_values)));
+            break;
+          case Binding::Source::FieldNeighbor: {
+            const int32_t dof = static_cast<int32_t>(b.dof(ctx.loop_values));
+            if (ctx.neighbor >= 0) {
+              regs[in.dst] = b.field->at(ctx.neighbor, dof);
+            } else if (ctx.ghost_field == b.field) {
+              regs[in.dst] = ctx.ghost_value;
+            } else {
+              regs[in.dst] = b.field->at(ctx.cell, dof);  // zero-gradient fallback
+            }
+            break;
+          }
+          case Binding::Source::CoefIndexed:
+            regs[in.dst] = b.coef[b.dof(ctx.loop_values)];
+            break;
+          case Binding::Source::Scalar:
+            regs[in.dst] = b.scalar;
+            break;
+        }
+        break;
+      }
+      case Op::LoadNormal: regs[in.dst] = ctx.normal[static_cast<size_t>(in.slot)]; break;
+      case Op::LoadDt: regs[in.dst] = ctx.dt; break;
+      case Op::Add: regs[in.dst] = regs[in.a] + regs[in.b]; break;
+      case Op::Sub: regs[in.dst] = regs[in.a] - regs[in.b]; break;
+      case Op::Mul: regs[in.dst] = regs[in.a] * regs[in.b]; break;
+      case Op::Div: regs[in.dst] = regs[in.a] / regs[in.b]; break;
+      case Op::Neg: regs[in.dst] = -regs[in.a]; break;
+      case Op::Pow: regs[in.dst] = std::pow(regs[in.a], regs[in.b]); break;
+      case Op::CmpGT: regs[in.dst] = regs[in.a] > regs[in.b] ? 1.0 : 0.0; break;
+      case Op::CmpGE: regs[in.dst] = regs[in.a] >= regs[in.b] ? 1.0 : 0.0; break;
+      case Op::CmpLT: regs[in.dst] = regs[in.a] < regs[in.b] ? 1.0 : 0.0; break;
+      case Op::CmpLE: regs[in.dst] = regs[in.a] <= regs[in.b] ? 1.0 : 0.0; break;
+      case Op::CmpEQ: regs[in.dst] = regs[in.a] == regs[in.b] ? 1.0 : 0.0; break;
+      case Op::CmpNE: regs[in.dst] = regs[in.a] != regs[in.b] ? 1.0 : 0.0; break;
+      case Op::Select: regs[in.dst] = regs[in.a] != 0.0 ? regs[in.b] : regs[in.c]; break;
+      case Op::MathExp: regs[in.dst] = std::exp(regs[in.a]); break;
+      case Op::MathSqrt: regs[in.dst] = std::sqrt(regs[in.a]); break;
+      case Op::MathAbs: regs[in.dst] = std::abs(regs[in.a]); break;
+      case Op::MathSin: regs[in.dst] = std::sin(regs[in.a]); break;
+      case Op::MathCos: regs[in.dst] = std::cos(regs[in.a]); break;
+      case Op::MathLog: regs[in.dst] = std::log(regs[in.a]); break;
+      case Op::Ret: return regs[in.a];
+    }
+  }
+  throw std::logic_error("bytecode program missing Ret");
+}
+
+Program::Stats Program::analyze() const {
+  Stats s;
+  // FMA detection: a Mul whose destination feeds exactly the next Add.
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Instr& in = code[i];
+    switch (in.op) {
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div: case Op::Neg:
+        ++s.flops;
+        break;
+      case Op::Pow: case Op::MathExp: case Op::MathSqrt: case Op::MathSin:
+      case Op::MathCos: case Op::MathLog:
+        s.flops += 8;  // multi-cycle special-function estimate
+        break;
+      case Op::CmpGT: case Op::CmpGE: case Op::CmpLT: case Op::CmpLE:
+      case Op::CmpEQ: case Op::CmpNE:
+        ++s.flops;
+        break;
+      case Op::MathAbs:
+        ++s.flops;
+        break;
+      case Op::Select:
+        ++s.branches;
+        break;
+      case Op::Load:
+        ++s.loads;
+        break;
+      default:
+        break;
+    }
+    if (in.op == Op::Mul && i + 1 < code.size()) {
+      const Instr& nx = code[i + 1];
+      if ((nx.op == Op::Add || nx.op == Op::Sub) && (nx.a == in.dst || nx.b == in.dst)) ++s.fma_pairs;
+    }
+  }
+  return s;
+}
+
+std::string disassemble(const Program& p) {
+  std::ostringstream os;
+  auto name = [](Op op) {
+    switch (op) {
+      case Op::Const: return "const";
+      case Op::Load: return "load";
+      case Op::LoadNormal: return "normal";
+      case Op::LoadDt: return "dt";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::Neg: return "neg";
+      case Op::Pow: return "pow";
+      case Op::CmpGT: return "cmpgt";
+      case Op::CmpGE: return "cmpge";
+      case Op::CmpLT: return "cmplt";
+      case Op::CmpLE: return "cmple";
+      case Op::CmpEQ: return "cmpeq";
+      case Op::CmpNE: return "cmpne";
+      case Op::Select: return "select";
+      case Op::MathExp: return "exp";
+      case Op::MathSqrt: return "sqrt";
+      case Op::MathAbs: return "abs";
+      case Op::MathSin: return "sin";
+      case Op::MathCos: return "cos";
+      case Op::MathLog: return "log";
+      case Op::Ret: return "ret";
+    }
+    return "?";
+  };
+  for (const Instr& in : p.code) {
+    os << name(in.op) << " r" << static_cast<int>(in.dst) << " r" << static_cast<int>(in.a) << " r"
+       << static_cast<int>(in.b);
+    if (in.op == Op::Load) os << "  ; " << p.bindings[static_cast<size_t>(in.slot)].debug_name;
+    if (in.op == Op::Const) os << "  ; " << in.imm;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace finch::codegen

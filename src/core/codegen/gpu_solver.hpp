@@ -1,0 +1,28 @@
+#pragma once
+// GPU code-generation target (hybrid CPU+GPU configuration of Fig. 6):
+// the interior-bulk update runs as a flattened one-thread-per-DOF kernel on
+// the (simulated) device while boundary contributions — user callbacks — run
+// asynchronously on the CPU; results are combined, the CPU post-step
+// (temperature update) executes, and the movement plan's per-step transfers
+// are charged to the communication phase.
+
+#include <memory>
+
+#include "movement.hpp"
+#include "runtime/simgpu.hpp"
+
+namespace finch::dsl {
+class Problem;
+class Solver;
+}  // namespace finch::dsl
+
+namespace finch::codegen {
+
+std::unique_ptr<dsl::Solver> make_gpu_solver(dsl::Problem& problem, rt::SimGpu* gpu);
+
+// The movement plan the GPU target would use for `problem` (exposed for
+// inspection, tests and the ablation bench). `naive` selects the
+// no-analysis everything-both-ways baseline.
+MovementPlan gpu_movement_plan(dsl::Problem& problem, bool naive = false);
+
+}  // namespace finch::codegen

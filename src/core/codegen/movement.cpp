@@ -1,0 +1,42 @@
+#include "movement.hpp"
+
+namespace finch::codegen {
+
+namespace {
+int64_t sum(const std::vector<MovementPlan::Transfer>& ts) {
+  int64_t t = 0;
+  for (const auto& x : ts) t += x.bytes;
+  return t;
+}
+}  // namespace
+
+int64_t MovementPlan::once_bytes() const { return sum(upload_once); }
+int64_t MovementPlan::step_h2d_bytes() const { return sum(per_step_h2d); }
+int64_t MovementPlan::step_d2h_bytes() const { return sum(per_step_d2h); }
+
+MovementPlan plan_movement(const std::vector<ArrayUse>& arrays) {
+  MovementPlan plan;
+  for (const ArrayUse& a : arrays) {
+    const bool gpu_touches = a.gpu_reads || a.gpu_writes;
+    if (!gpu_touches) continue;  // stays on the host, never moves
+    if (a.gpu_reads) plan.upload_once.push_back({a.name, a.bytes});
+    // GPU-produced data the CPU consumes each step comes back each step.
+    if (a.gpu_writes && a.cpu_reads) plan.per_step_d2h.push_back({a.name, a.bytes});
+    // CPU-produced data the GPU consumes each step goes up each step.
+    if (a.cpu_writes && a.gpu_reads) plan.per_step_h2d.push_back({a.name, a.bytes});
+  }
+  return plan;
+}
+
+MovementPlan plan_movement_naive(const std::vector<ArrayUse>& arrays) {
+  MovementPlan plan;
+  for (const ArrayUse& a : arrays) {
+    if (!(a.gpu_reads || a.gpu_writes)) continue;
+    plan.upload_once.push_back({a.name, a.bytes});
+    plan.per_step_h2d.push_back({a.name, a.bytes});
+    plan.per_step_d2h.push_back({a.name, a.bytes});
+  }
+  return plan;
+}
+
+}  // namespace finch::codegen

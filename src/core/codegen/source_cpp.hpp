@@ -1,0 +1,16 @@
+#pragma once
+// C++ source-text target: renders the IR as a readable nested-loop kernel in
+// the configured assembly order, with the IR's comment nodes inlined —
+// "comment nodes to facilitate generation of easily readable code" (§II.A).
+// The emitted text is an inspectable artifact (golden-tested); the executable
+// path is the bytecode target.
+
+#include <string>
+
+#include "core/ir/step_program.hpp"
+
+namespace finch::codegen {
+
+std::string emit_cpp_source(const ir::StepProgram& program, const sym::EntityTable& table);
+
+}  // namespace finch::codegen

@@ -1,0 +1,17 @@
+#pragma once
+// CUDA source-text target: renders the IR as a flattened one-thread-per-DOF
+// __global__ kernel plus the host driver loop of §II.B — async kernel launch,
+// CPU boundary computation via the registered callbacks, synchronize/combine,
+// CPU post-step, and the per-step transfers the movement planner selected.
+
+#include <string>
+
+#include "core/ir/step_program.hpp"
+#include "fvm/boundary.hpp"
+
+namespace finch::codegen {
+
+std::string emit_cuda_source(const ir::StepProgram& program, const sym::EntityTable& table,
+                             const fvm::BoundaryTable& boundaries);
+
+}  // namespace finch::codegen

@@ -1,0 +1,55 @@
+#pragma once
+// Declared-entity table shared between the DSL front-end and the symbolic
+// parser. Mirrors the paper's entity model: indices with ranges, cell
+// variables (possibly VAR_ARRAY indexed by [d,b]), and coefficients that are
+// precomputed arrays or space-time functions, possibly vector-valued.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr.hpp"
+
+namespace finch::sym {
+
+struct IndexInfo {
+  std::string name;
+  int lo = 1;  // inclusive, 1-based like the paper's index("d", range=[1,ndirs])
+  int hi = 1;  // inclusive
+  int extent() const { return hi - lo + 1; }
+};
+
+struct EntityInfo {
+  std::string name;
+  EntityKind kind = EntityKind::Coefficient;
+  int components = 1;                 // >1 for vector coefficients like b = [bx, by]
+  std::vector<std::string> indices;   // declared index names for VAR_ARRAY entities
+  bool is_array() const { return !indices.empty(); }
+};
+
+class EntityTable {
+ public:
+  void declare_index(const std::string& name, int lo, int hi) { indices_[name] = IndexInfo{name, lo, hi}; }
+
+  void declare(EntityInfo info) { entities_[info.name] = std::move(info); }
+
+  const EntityInfo* find(const std::string& name) const {
+    auto it = entities_.find(name);
+    return it == entities_.end() ? nullptr : &it->second;
+  }
+
+  const IndexInfo* find_index(const std::string& name) const {
+    auto it = indices_.find(name);
+    return it == indices_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::string, EntityInfo>& entities() const { return entities_; }
+  const std::map<std::string, IndexInfo>& indices() const { return indices_; }
+
+ private:
+  std::map<std::string, EntityInfo> entities_;
+  std::map<std::string, IndexInfo> indices_;
+};
+
+}  // namespace finch::sym

@@ -1,0 +1,283 @@
+#include "expr.hpp"
+
+#include <stdexcept>
+
+namespace finch::sym {
+
+Expr num(double v) { return std::make_shared<NumberNode>(v); }
+Expr sym(std::string name) { return std::make_shared<SymbolNode>(std::move(name)); }
+
+Expr entity(std::string name, EntityKind kind, int component, std::vector<Expr> indices, CellSide side,
+            bool known) {
+  auto n = std::make_shared<EntityRefNode>(std::move(name), kind);
+  n->component = component;
+  n->indices = std::move(indices);
+  n->side = side;
+  n->known = known;
+  return n;
+}
+
+Expr add(std::vector<Expr> terms) {
+  if (terms.empty()) return num(0.0);
+  if (terms.size() == 1) return terms.front();
+  return std::make_shared<AddNode>(std::move(terms));
+}
+
+Expr mul(std::vector<Expr> factors) {
+  if (factors.empty()) return num(1.0);
+  if (factors.size() == 1) return factors.front();
+  return std::make_shared<MulNode>(std::move(factors));
+}
+
+Expr pow(Expr base, Expr expo) { return std::make_shared<PowNode>(std::move(base), std::move(expo)); }
+
+Expr call(std::string func, std::vector<Expr> args) {
+  return std::make_shared<CallNode>(std::move(func), std::move(args));
+}
+
+Expr compare(CmpOp op, Expr lhs, Expr rhs) {
+  return std::make_shared<CompareNode>(op, std::move(lhs), std::move(rhs));
+}
+
+Expr vec(std::vector<Expr> elems) { return std::make_shared<VectorNode>(std::move(elems)); }
+
+Expr neg(const Expr& e) { return mul({num(-1.0), e}); }
+Expr sub(const Expr& a, const Expr& b) { return add({a, neg(b)}); }
+Expr div(const Expr& a, const Expr& b) { return mul({a, pow(b, num(-1.0))}); }
+
+Expr conditional(Expr cond, Expr then_e, Expr else_e) {
+  return call("conditional", {std::move(cond), std::move(then_e), std::move(else_e)});
+}
+
+bool equal(const Expr& a, const Expr& b) {
+  if (a.get() == b.get()) return true;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case Kind::Number:
+      return as<NumberNode>(a)->value == as<NumberNode>(b)->value;
+    case Kind::Symbol:
+      return as<SymbolNode>(a)->name == as<SymbolNode>(b)->name;
+    case Kind::EntityRef: {
+      const auto *ea = as<EntityRefNode>(a), *eb = as<EntityRefNode>(b);
+      if (ea->name != eb->name || ea->entity_kind != eb->entity_kind || ea->component != eb->component ||
+          ea->side != eb->side || ea->known != eb->known || ea->indices.size() != eb->indices.size())
+        return false;
+      for (size_t i = 0; i < ea->indices.size(); ++i)
+        if (!equal(ea->indices[i], eb->indices[i])) return false;
+      return true;
+    }
+    case Kind::Add: {
+      const auto *na = as<AddNode>(a), *nb = as<AddNode>(b);
+      if (na->terms.size() != nb->terms.size()) return false;
+      for (size_t i = 0; i < na->terms.size(); ++i)
+        if (!equal(na->terms[i], nb->terms[i])) return false;
+      return true;
+    }
+    case Kind::Mul: {
+      const auto *na = as<MulNode>(a), *nb = as<MulNode>(b);
+      if (na->factors.size() != nb->factors.size()) return false;
+      for (size_t i = 0; i < na->factors.size(); ++i)
+        if (!equal(na->factors[i], nb->factors[i])) return false;
+      return true;
+    }
+    case Kind::Pow: {
+      const auto *na = as<PowNode>(a), *nb = as<PowNode>(b);
+      return equal(na->base, nb->base) && equal(na->expo, nb->expo);
+    }
+    case Kind::Call: {
+      const auto *na = as<CallNode>(a), *nb = as<CallNode>(b);
+      if (na->func != nb->func || na->args.size() != nb->args.size()) return false;
+      for (size_t i = 0; i < na->args.size(); ++i)
+        if (!equal(na->args[i], nb->args[i])) return false;
+      return true;
+    }
+    case Kind::Compare: {
+      const auto *na = as<CompareNode>(a), *nb = as<CompareNode>(b);
+      return na->op == nb->op && equal(na->lhs, nb->lhs) && equal(na->rhs, nb->rhs);
+    }
+    case Kind::Vector: {
+      const auto *na = as<VectorNode>(a), *nb = as<VectorNode>(b);
+      if (na->elems.size() != nb->elems.size()) return false;
+      for (size_t i = 0; i < na->elems.size(); ++i)
+        if (!equal(na->elems[i], nb->elems[i])) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+size_t combine(size_t seed, size_t v) { return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)); }
+}  // namespace
+
+size_t hash(const Expr& e) {
+  size_t h = static_cast<size_t>(e->kind()) * 1315423911ULL;
+  switch (e->kind()) {
+    case Kind::Number:
+      return combine(h, std::hash<double>{}(as<NumberNode>(e)->value));
+    case Kind::Symbol:
+      return combine(h, std::hash<std::string>{}(as<SymbolNode>(e)->name));
+    case Kind::EntityRef: {
+      const auto* n = as<EntityRefNode>(e);
+      h = combine(h, std::hash<std::string>{}(n->name));
+      h = combine(h, static_cast<size_t>(n->component));
+      h = combine(h, static_cast<size_t>(n->side));
+      h = combine(h, static_cast<size_t>(n->known));
+      for (const auto& i : n->indices) h = combine(h, hash(i));
+      return h;
+    }
+    case Kind::Add:
+      for (const auto& t : as<AddNode>(e)->terms) h = combine(h, hash(t));
+      return h;
+    case Kind::Mul:
+      for (const auto& f : as<MulNode>(e)->factors) h = combine(h, hash(f));
+      return h;
+    case Kind::Pow:
+      return combine(combine(h, hash(as<PowNode>(e)->base)), hash(as<PowNode>(e)->expo));
+    case Kind::Call: {
+      const auto* n = as<CallNode>(e);
+      h = combine(h, std::hash<std::string>{}(n->func));
+      for (const auto& a : n->args) h = combine(h, hash(a));
+      return h;
+    }
+    case Kind::Compare: {
+      const auto* n = as<CompareNode>(e);
+      h = combine(h, static_cast<size_t>(n->op));
+      return combine(combine(h, hash(n->lhs)), hash(n->rhs));
+    }
+    case Kind::Vector:
+      for (const auto& x : as<VectorNode>(e)->elems) h = combine(h, hash(x));
+      return h;
+  }
+  return h;
+}
+
+namespace {
+void children(const Expr& e, std::vector<Expr>& out) {
+  switch (e->kind()) {
+    case Kind::Number:
+    case Kind::Symbol:
+      break;
+    case Kind::EntityRef:
+      for (const auto& i : as<EntityRefNode>(e)->indices) out.push_back(i);
+      break;
+    case Kind::Add:
+      for (const auto& t : as<AddNode>(e)->terms) out.push_back(t);
+      break;
+    case Kind::Mul:
+      for (const auto& f : as<MulNode>(e)->factors) out.push_back(f);
+      break;
+    case Kind::Pow:
+      out.push_back(as<PowNode>(e)->base);
+      out.push_back(as<PowNode>(e)->expo);
+      break;
+    case Kind::Call:
+      for (const auto& a : as<CallNode>(e)->args) out.push_back(a);
+      break;
+    case Kind::Compare:
+      out.push_back(as<CompareNode>(e)->lhs);
+      out.push_back(as<CompareNode>(e)->rhs);
+      break;
+    case Kind::Vector:
+      for (const auto& x : as<VectorNode>(e)->elems) out.push_back(x);
+      break;
+  }
+}
+}  // namespace
+
+bool contains(const Expr& e, const std::function<bool(const Expr&)>& pred) {
+  if (pred(e)) return true;
+  std::vector<Expr> ch;
+  children(e, ch);
+  for (const auto& c : ch)
+    if (contains(c, pred)) return true;
+  return false;
+}
+
+Expr transform(const Expr& e, const std::function<Expr(const Expr&)>& fn) {
+  switch (e->kind()) {
+    case Kind::Number:
+    case Kind::Symbol:
+      return fn(e);
+    case Kind::EntityRef: {
+      const auto* n = as<EntityRefNode>(e);
+      std::vector<Expr> idx;
+      idx.reserve(n->indices.size());
+      bool changed = false;
+      for (const auto& i : n->indices) {
+        idx.push_back(transform(i, fn));
+        changed |= idx.back().get() != i.get();
+      }
+      if (!changed) return fn(e);
+      return fn(entity(n->name, n->entity_kind, n->component, std::move(idx), n->side, n->known));
+    }
+    case Kind::Add: {
+      const auto* n = as<AddNode>(e);
+      std::vector<Expr> t;
+      t.reserve(n->terms.size());
+      bool changed = false;
+      for (const auto& x : n->terms) {
+        t.push_back(transform(x, fn));
+        changed |= t.back().get() != x.get();
+      }
+      return fn(changed ? add(std::move(t)) : e);
+    }
+    case Kind::Mul: {
+      const auto* n = as<MulNode>(e);
+      std::vector<Expr> f;
+      f.reserve(n->factors.size());
+      bool changed = false;
+      for (const auto& x : n->factors) {
+        f.push_back(transform(x, fn));
+        changed |= f.back().get() != x.get();
+      }
+      return fn(changed ? mul(std::move(f)) : e);
+    }
+    case Kind::Pow: {
+      const auto* n = as<PowNode>(e);
+      Expr b = transform(n->base, fn), x = transform(n->expo, fn);
+      if (b.get() == n->base.get() && x.get() == n->expo.get()) return fn(e);
+      return fn(pow(std::move(b), std::move(x)));
+    }
+    case Kind::Call: {
+      const auto* n = as<CallNode>(e);
+      std::vector<Expr> a;
+      a.reserve(n->args.size());
+      bool changed = false;
+      for (const auto& x : n->args) {
+        a.push_back(transform(x, fn));
+        changed |= a.back().get() != x.get();
+      }
+      return fn(changed ? call(n->func, std::move(a)) : e);
+    }
+    case Kind::Compare: {
+      const auto* n = as<CompareNode>(e);
+      Expr l = transform(n->lhs, fn), r = transform(n->rhs, fn);
+      if (l.get() == n->lhs.get() && r.get() == n->rhs.get()) return fn(e);
+      return fn(compare(n->op, std::move(l), std::move(r)));
+    }
+    case Kind::Vector: {
+      const auto* n = as<VectorNode>(e);
+      std::vector<Expr> x;
+      x.reserve(n->elems.size());
+      bool changed = false;
+      for (const auto& el : n->elems) {
+        x.push_back(transform(el, fn));
+        changed |= x.back().get() != el.get();
+      }
+      return fn(changed ? vec(std::move(x)) : e);
+    }
+  }
+  throw std::logic_error("transform: unknown node kind");
+}
+
+std::vector<Expr> collect_entity_refs(const Expr& e) {
+  std::vector<Expr> out;
+  contains(e, [&](const Expr& n) {
+    if (n->kind() == Kind::EntityRef) out.push_back(n);
+    return false;  // keep scanning the whole tree
+  });
+  return out;
+}
+
+}  // namespace finch::sym

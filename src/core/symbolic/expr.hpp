@@ -1,0 +1,174 @@
+#pragma once
+// Symbolic expression AST for the Finch-style DSL.
+//
+// This is a from-scratch replacement for the subset of SymEngine that the
+// paper's DSL relies on: n-ary arithmetic, comparisons, conditionals,
+// indexed entity references (variables / coefficients with [d,b]-style
+// indices), vector literals ([Sx;Sy]) and opaque calls for user-defined
+// symbolic operators such as `upwind`.
+//
+// Expressions are immutable and shared (Expr = shared_ptr<const Node>), so
+// rewriting passes build new trees and structural sharing is free.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace finch::sym {
+
+class Node;
+using Expr = std::shared_ptr<const Node>;
+
+enum class Kind : uint8_t {
+  Number,       // numeric literal
+  Symbol,       // free symbol: dt, TIMEDERIVATIVE, SURFACE, NORMAL_1, index names
+  EntityRef,    // reference to a DSL entity (variable or coefficient)
+  Add,          // n-ary sum
+  Mul,          // n-ary product
+  Pow,          // base ^ exponent
+  Call,         // named operator call: upwind(...), conditional(...), user ops
+  Compare,      // binary comparison
+  Vector,       // column vector literal [a; b; c]
+};
+
+enum class CmpOp : uint8_t { GT, LT, GE, LE, EQ, NE };
+
+// Which cell a surface-integrand entity value is taken from.
+//  Self  - volume context, the cell being updated
+//  Cell1 - the face's owner-side cell (this cell)
+//  Cell2 - the face's neighbor-side cell
+enum class CellSide : uint8_t { Self, Cell1, Cell2 };
+
+// What kind of DSL entity an EntityRef points at. Mirrors the paper's
+// distinction: variables have mutable per-cell values (I, Io, beta), while
+// coefficients are precomputed arrays or space-time functions (Sx, Sy, vg).
+enum class EntityKind : uint8_t { Variable, Coefficient, Parameter, Index };
+
+class Node {
+ public:
+  explicit Node(Kind k) : kind_(k) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+class NumberNode final : public Node {
+ public:
+  explicit NumberNode(double v) : Node(Kind::Number), value(v) {}
+  double value;
+};
+
+class SymbolNode final : public Node {
+ public:
+  explicit SymbolNode(std::string n) : Node(Kind::Symbol), name(std::move(n)) {}
+  std::string name;
+};
+
+// Reference to a declared entity, possibly indexed (I[d,b]) and possibly a
+// specific component of a vector-valued coefficient (component is 1-based;
+// 0 means "whole entity / scalar").
+class EntityRefNode final : public Node {
+ public:
+  EntityRefNode(std::string n, EntityKind k) : Node(Kind::EntityRef), name(std::move(n)), entity_kind(k) {}
+  std::string name;
+  EntityKind entity_kind;
+  int component = 0;                 // 1-based component for vector coefficients
+  std::vector<Expr> indices;         // index expressions, usually Symbols ("d","b")
+  CellSide side = CellSide::Self;
+  bool known = false;                // true once time discretization marks it as old-time data
+};
+
+class AddNode final : public Node {
+ public:
+  explicit AddNode(std::vector<Expr> t) : Node(Kind::Add), terms(std::move(t)) {}
+  std::vector<Expr> terms;
+};
+
+class MulNode final : public Node {
+ public:
+  explicit MulNode(std::vector<Expr> f) : Node(Kind::Mul), factors(std::move(f)) {}
+  std::vector<Expr> factors;
+};
+
+class PowNode final : public Node {
+ public:
+  PowNode(Expr b, Expr e) : Node(Kind::Pow), base(std::move(b)), expo(std::move(e)) {}
+  Expr base, expo;
+};
+
+class CallNode final : public Node {
+ public:
+  CallNode(std::string f, std::vector<Expr> a) : Node(Kind::Call), func(std::move(f)), args(std::move(a)) {}
+  std::string func;
+  std::vector<Expr> args;
+};
+
+class CompareNode final : public Node {
+ public:
+  CompareNode(CmpOp o, Expr l, Expr r) : Node(Kind::Compare), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+  CmpOp op;
+  Expr lhs, rhs;
+};
+
+class VectorNode final : public Node {
+ public:
+  explicit VectorNode(std::vector<Expr> e) : Node(Kind::Vector), elems(std::move(e)) {}
+  std::vector<Expr> elems;
+};
+
+// ---- constructors ---------------------------------------------------------
+
+Expr num(double v);
+Expr sym(std::string name);
+Expr entity(std::string name, EntityKind kind, int component = 0, std::vector<Expr> indices = {},
+            CellSide side = CellSide::Self, bool known = false);
+Expr add(std::vector<Expr> terms);
+Expr mul(std::vector<Expr> factors);
+Expr pow(Expr base, Expr expo);
+Expr call(std::string func, std::vector<Expr> args);
+Expr compare(CmpOp op, Expr lhs, Expr rhs);
+Expr vec(std::vector<Expr> elems);
+
+Expr neg(const Expr& e);
+Expr sub(const Expr& a, const Expr& b);
+Expr div(const Expr& a, const Expr& b);
+// conditional(cond, then, otherwise) is represented as a Call named "conditional".
+Expr conditional(Expr cond, Expr then_e, Expr else_e);
+
+// ---- casts ----------------------------------------------------------------
+
+template <typename T>
+const T* as(const Expr& e) {
+  return dynamic_cast<const T*>(e.get());
+}
+
+inline bool is_number(const Expr& e, double v) {
+  const auto* n = as<NumberNode>(e);
+  return n != nullptr && n->value == v;
+}
+
+// Deep structural equality.
+bool equal(const Expr& a, const Expr& b);
+
+// Structural hash, consistent with equal().
+size_t hash(const Expr& e);
+
+// True if any node in the tree satisfies `pred`.
+bool contains(const Expr& e, const std::function<bool(const Expr&)>& pred);
+
+// Rewrites bottom-up: applies `fn` to each node after visiting children.
+// `fn` receives a node whose children are already rewritten and returns a
+// replacement (or the node unchanged).
+Expr transform(const Expr& e, const std::function<Expr(const Expr&)>& fn);
+
+// Collect every EntityRef in the tree (in left-to-right order).
+std::vector<Expr> collect_entity_refs(const Expr& e);
+
+}  // namespace finch::sym

@@ -1,0 +1,122 @@
+#include "operators.hpp"
+
+#include <stdexcept>
+
+namespace finch::sym {
+
+std::vector<Expr> normal_vector(int dimension) {
+  std::vector<Expr> n;
+  n.reserve(static_cast<size_t>(dimension));
+  for (int i = 1; i <= dimension; ++i) n.push_back(sym("NORMAL_" + std::to_string(i)));
+  return n;
+}
+
+std::vector<Expr> vector_components(const Expr& e, const EntityTable& table) {
+  if (const auto* v = as<VectorNode>(e)) return v->elems;
+  if (const auto* r = as<EntityRefNode>(e)) {
+    const EntityInfo* info = table.find(r->name);
+    if (info != nullptr && info->components > 1 && r->component == 0) {
+      std::vector<Expr> out;
+      out.reserve(static_cast<size_t>(info->components));
+      for (int c = 1; c <= info->components; ++c)
+        out.push_back(entity(r->name, r->entity_kind, c, r->indices, r->side, r->known));
+      return out;
+    }
+  }
+  return {e};
+}
+
+Expr with_cell_side(const Expr& e, CellSide side) {
+  return transform(e, [side](const Expr& n) -> Expr {
+    if (const auto* r = as<EntityRefNode>(n); r != nullptr && r->entity_kind == EntityKind::Variable)
+      return entity(r->name, r->entity_kind, r->component, r->indices, side, r->known);
+    return n;
+  });
+}
+
+Expr mark_known(const Expr& e) {
+  return transform(e, [](const Expr& n) -> Expr {
+    if (const auto* r = as<EntityRefNode>(n); r != nullptr && r->entity_kind == EntityKind::Variable && !r->known)
+      return entity(r->name, r->entity_kind, r->component, r->indices, r->side, /*known=*/true);
+    return n;
+  });
+}
+
+namespace {
+
+Expr dot_product(const std::vector<Expr>& a, const std::vector<Expr>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: dimension mismatch");
+  std::vector<Expr> terms;
+  terms.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) terms.push_back(mul({a[i], b[i]}));
+  return add(std::move(terms));
+}
+
+Expr expand_upwind(std::span<const Expr> args, const ExpandContext& ctx) {
+  if (args.size() != 2) throw std::invalid_argument("upwind(velocity, quantity) takes 2 arguments");
+  std::vector<Expr> v = vector_components(args[0], *ctx.table);
+  if (static_cast<int>(v.size()) != ctx.dimension)
+    throw std::invalid_argument("upwind: velocity has " + std::to_string(v.size()) +
+                                " components for dimension " + std::to_string(ctx.dimension));
+  Expr vdotn = dot_product(v, normal_vector(ctx.dimension));
+  // First-order upwind: the face value is taken from the cell the flow leaves.
+  Expr upstream = mul({vdotn, with_cell_side(args[1], CellSide::Cell1)});
+  Expr downstream = mul({vdotn, with_cell_side(args[1], CellSide::Cell2)});
+  return conditional(compare(CmpOp::GT, vdotn, num(0.0)), std::move(upstream), std::move(downstream));
+}
+
+Expr expand_dot(std::span<const Expr> args, const ExpandContext& ctx) {
+  if (args.size() != 2) throw std::invalid_argument("dot(a, b) takes 2 arguments");
+  return dot_product(vector_components(args[0], *ctx.table), vector_components(args[1], *ctx.table));
+}
+
+Expr expand_normal(std::span<const Expr> args, const ExpandContext& ctx) {
+  if (!args.empty()) throw std::invalid_argument("normal() takes no arguments");
+  return vec(normal_vector(ctx.dimension));
+}
+
+// central(v, u): a second-order central flux reconstruction, included to show
+// that alternative reconstructions slot in exactly like `upwind` does.
+Expr expand_central(std::span<const Expr> args, const ExpandContext& ctx) {
+  if (args.size() != 2) throw std::invalid_argument("central(velocity, quantity) takes 2 arguments");
+  std::vector<Expr> v = vector_components(args[0], *ctx.table);
+  Expr vdotn = dot_product(v, normal_vector(ctx.dimension));
+  Expr avg = mul({num(0.5), add({with_cell_side(args[1], CellSide::Cell1),
+                                 with_cell_side(args[1], CellSide::Cell2)})});
+  return mul({vdotn, std::move(avg)});
+}
+
+}  // namespace
+
+OperatorRegistry::OperatorRegistry() {
+  register_op("upwind", expand_upwind);
+  register_op("dot", expand_dot);
+  register_op("normal", expand_normal);
+  register_op("central", expand_central);
+}
+
+void OperatorRegistry::register_op(const std::string& name, CustomOperator fn) {
+  ops_[name] = std::move(fn);
+}
+
+const CustomOperator& OperatorRegistry::get(const std::string& name) const {
+  auto it = ops_.find(name);
+  if (it == ops_.end()) throw std::out_of_range("no such operator: " + name);
+  return it->second;
+}
+
+Expr expand_operators(const Expr& e, const OperatorRegistry& registry, const ExpandContext& ctx) {
+  return transform(e, [&](const Expr& n) -> Expr {
+    const auto* c = as<CallNode>(n);
+    if (c == nullptr) return n;
+    if (c->func == "surface") {
+      if (c->args.size() != 1) throw std::invalid_argument("surface(x) takes 1 argument");
+      return mul({sym(kSurfaceMarker), c->args[0]});
+    }
+    if (c->func == "conditional") return n;  // structural, not expandable
+    if (registry.has(c->func)) return registry.get(c->func)(c->args, ctx);
+    return n;  // unknown calls become runtime callbacks / math builtins
+  });
+}
+
+}  // namespace finch::sym

@@ -1,0 +1,69 @@
+#pragma once
+// Symbolic-operator expansion.
+//
+// The DSL ships differential/vector operators (`surface`, `upwind`, `dot`,
+// `normal`) and, as in the paper, lets users register custom symbolic
+// operators ("a more sophisticated flux reconstruction could be created and
+// used in the input expression similar to upwind").
+//
+// `expand_operators` rewrites the parsed tree:
+//   surface(x)    -> SURFACE * x                 (marker factor)
+//   upwind(v, u)  -> conditional(dot(v,n) > 0, dot(v,n)*CELL1(u), dot(v,n)*CELL2(u))
+//   dot(a, b)     -> a_1*NORMAL_1 + ... (component-wise product sum)
+// where dot(v, n) is spelled out against the face normal symbols NORMAL_i.
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+
+#include "entities.hpp"
+#include "expr.hpp"
+
+namespace finch::sym {
+
+struct ExpandContext {
+  const EntityTable* table = nullptr;
+  int dimension = 2;  // spatial dimension; controls NORMAL_1..NORMAL_dim
+};
+
+using CustomOperator = std::function<Expr(std::span<const Expr>, const ExpandContext&)>;
+
+class OperatorRegistry {
+ public:
+  // Registry pre-populated with the built-in operators (upwind, dot, burgerGodunov-style
+  // extensions can be added by users).
+  OperatorRegistry();
+
+  void register_op(const std::string& name, CustomOperator fn);
+  bool has(const std::string& name) const { return ops_.count(name) != 0; }
+  const CustomOperator& get(const std::string& name) const;
+
+ private:
+  std::map<std::string, CustomOperator> ops_;
+};
+
+// Vector of NORMAL_i symbols for the given dimension.
+std::vector<Expr> normal_vector(int dimension);
+
+// Flattens a "vector-like" expression into components: a VectorNode yields its
+// elements; an EntityRef with component==0 to a vector coefficient yields one
+// ref per component; a scalar yields itself.
+std::vector<Expr> vector_components(const Expr& e, const EntityTable& table);
+
+// Marks every Variable EntityRef in `e` with the given cell side.
+Expr with_cell_side(const Expr& e, CellSide side);
+
+// Marks every Variable EntityRef as known (old-time data) — used when an
+// explicit time discretization replaces unknowns by previous-step values.
+Expr mark_known(const Expr& e);
+
+// Rewrites all operator Calls in the tree using the registry. Unknown call
+// names are left intact (they become runtime callback invocations).
+Expr expand_operators(const Expr& e, const OperatorRegistry& registry, const ExpandContext& ctx);
+
+// Name of the marker symbol that tags surface-integral factors.
+inline const char* kSurfaceMarker = "SURFACE";
+inline const char* kTimeDerivativeMarker = "TIMEDERIVATIVE";
+
+}  // namespace finch::sym

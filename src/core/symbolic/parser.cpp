@@ -1,0 +1,257 @@
+#include "parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace finch::sym {
+
+namespace {
+
+enum class Tok : uint8_t {
+  End, Number, Ident, Plus, Minus, Star, Slash, Caret, LParen, RParen,
+  LBracket, RBracket, Comma, Semicolon, Gt, Lt, Ge, Le, EqEq, Ne,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  double number = 0.0;
+  std::string text;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& s) : s_(s) { advance(); }
+
+  const Token& peek() const { return cur_; }
+
+  Token next() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
+    cur_ = Token{};
+    cur_.pos = i_;
+    if (i_ >= s_.size()) {
+      cur_.kind = Tok::End;
+      return;
+    }
+    char c = s_[i_];
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i_ + 1 < s_.size() && std::isdigit(static_cast<unsigned char>(s_[i_ + 1])))) {
+      char* end = nullptr;
+      cur_.number = std::strtod(s_.c_str() + i_, &end);
+      cur_.kind = Tok::Number;
+      i_ = static_cast<size_t>(end - s_.c_str());
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i_;
+      while (i_ < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[i_])) || s_[i_] == '_'))
+        ++i_;
+      cur_.kind = Tok::Ident;
+      cur_.text = s_.substr(start, i_ - start);
+      return;
+    }
+    auto two = [&](char a, char b) { return c == a && i_ + 1 < s_.size() && s_[i_ + 1] == b; };
+    if (two('>', '=')) { cur_.kind = Tok::Ge; i_ += 2; return; }
+    if (two('<', '=')) { cur_.kind = Tok::Le; i_ += 2; return; }
+    if (two('=', '=')) { cur_.kind = Tok::EqEq; i_ += 2; return; }
+    if (two('!', '=')) { cur_.kind = Tok::Ne; i_ += 2; return; }
+    ++i_;
+    switch (c) {
+      case '+': cur_.kind = Tok::Plus; return;
+      case '-': cur_.kind = Tok::Minus; return;
+      case '*': cur_.kind = Tok::Star; return;
+      case '/': cur_.kind = Tok::Slash; return;
+      case '^': cur_.kind = Tok::Caret; return;
+      case '(': cur_.kind = Tok::LParen; return;
+      case ')': cur_.kind = Tok::RParen; return;
+      case '[': cur_.kind = Tok::LBracket; return;
+      case ']': cur_.kind = Tok::RBracket; return;
+      case ',': cur_.kind = Tok::Comma; return;
+      case ';': cur_.kind = Tok::Semicolon; return;
+      case '>': cur_.kind = Tok::Gt; return;
+      case '<': cur_.kind = Tok::Lt; return;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", i_ - 1);
+    }
+  }
+
+  const std::string& s_;
+  size_t i_ = 0;
+  Token cur_;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& s, const EntityTable& t) : lex_(s), table_(t) {}
+
+  Expr parse() {
+    Expr e = comparison();
+    if (lex_.peek().kind != Tok::End)
+      throw ParseError("trailing input", lex_.peek().pos);
+    return e;
+  }
+
+ private:
+  Expr comparison() {
+    Expr lhs = sum();
+    switch (lex_.peek().kind) {
+      case Tok::Gt: lex_.next(); return compare(CmpOp::GT, lhs, sum());
+      case Tok::Lt: lex_.next(); return compare(CmpOp::LT, lhs, sum());
+      case Tok::Ge: lex_.next(); return compare(CmpOp::GE, lhs, sum());
+      case Tok::Le: lex_.next(); return compare(CmpOp::LE, lhs, sum());
+      case Tok::EqEq: lex_.next(); return compare(CmpOp::EQ, lhs, sum());
+      case Tok::Ne: lex_.next(); return compare(CmpOp::NE, lhs, sum());
+      default: return lhs;
+    }
+  }
+
+  Expr sum() {
+    std::vector<Expr> terms{product()};
+    while (true) {
+      if (lex_.peek().kind == Tok::Plus) {
+        lex_.next();
+        terms.push_back(product());
+      } else if (lex_.peek().kind == Tok::Minus) {
+        lex_.next();
+        terms.push_back(neg(product()));
+      } else {
+        break;
+      }
+    }
+    return add(std::move(terms));
+  }
+
+  Expr product() {
+    std::vector<Expr> factors{unary()};
+    while (true) {
+      if (lex_.peek().kind == Tok::Star) {
+        lex_.next();
+        factors.push_back(unary());
+      } else if (lex_.peek().kind == Tok::Slash) {
+        lex_.next();
+        factors.push_back(pow(unary(), num(-1.0)));
+      } else {
+        break;
+      }
+    }
+    return mul(std::move(factors));
+  }
+
+  Expr unary() {
+    if (lex_.peek().kind == Tok::Minus) {
+      lex_.next();
+      return neg(unary());
+    }
+    if (lex_.peek().kind == Tok::Plus) {
+      lex_.next();
+      return unary();
+    }
+    return power();
+  }
+
+  Expr power() {
+    Expr base = primary();
+    if (lex_.peek().kind == Tok::Caret) {
+      lex_.next();
+      return pow(std::move(base), unary());
+    }
+    return base;
+  }
+
+  Expr primary() {
+    const Token& t = lex_.peek();
+    switch (t.kind) {
+      case Tok::Number: {
+        double v = lex_.next().number;
+        return num(v);
+      }
+      case Tok::LParen: {
+        lex_.next();
+        Expr e = comparison();
+        expect(Tok::RParen, ")");
+        return e;
+      }
+      case Tok::LBracket: {
+        lex_.next();
+        std::vector<Expr> elems{comparison()};
+        while (lex_.peek().kind == Tok::Semicolon) {
+          lex_.next();
+          elems.push_back(comparison());
+        }
+        expect(Tok::RBracket, "]");
+        return vec(std::move(elems));
+      }
+      case Tok::Ident:
+        return identifier();
+      default:
+        throw ParseError("expected expression", t.pos);
+    }
+  }
+
+  Expr identifier() {
+    Token id = lex_.next();
+    if (lex_.peek().kind == Tok::LParen) {
+      // function call
+      lex_.next();
+      std::vector<Expr> args;
+      if (lex_.peek().kind != Tok::RParen) {
+        args.push_back(comparison());
+        while (lex_.peek().kind == Tok::Comma) {
+          lex_.next();
+          args.push_back(comparison());
+        }
+      }
+      expect(Tok::RParen, ")");
+      return call(id.text, std::move(args));
+    }
+    std::vector<Expr> idx;
+    if (lex_.peek().kind == Tok::LBracket) {
+      lex_.next();
+      idx.push_back(comparison());
+      while (lex_.peek().kind == Tok::Comma) {
+        lex_.next();
+        idx.push_back(comparison());
+      }
+      expect(Tok::RBracket, "]");
+    }
+    if (const EntityInfo* info = table_.find(id.text)) {
+      if (info->is_array() && idx.empty())
+        throw ParseError("indexed entity '" + id.text + "' used without [..] indices", id.pos);
+      if (!info->is_array() && !idx.empty() && info->kind != EntityKind::Coefficient)
+        throw ParseError("entity '" + id.text + "' is not indexed", id.pos);
+      return entity(id.text, info->kind, info->components == 1 ? 1 : 0, std::move(idx));
+    }
+    if (table_.find_index(id.text) != nullptr) {
+      if (!idx.empty()) throw ParseError("index '" + id.text + "' cannot itself be indexed", id.pos);
+      return sym(id.text);
+    }
+    if (!idx.empty())
+      throw ParseError("unknown indexed identifier '" + id.text + "'", id.pos);
+    return sym(id.text);  // free symbol such as dt, normal, time
+  }
+
+  void expect(Tok k, const char* what) {
+    if (lex_.peek().kind != k)
+      throw ParseError(std::string("expected '") + what + "'", lex_.peek().pos);
+    lex_.next();
+  }
+
+  Lexer lex_;
+  const EntityTable& table_;
+};
+
+}  // namespace
+
+Expr parse_expression(const std::string& input, const EntityTable& table) {
+  return Parser(input, table).parse();
+}
+
+}  // namespace finch::sym

@@ -1,0 +1,28 @@
+#pragma once
+// Recursive-descent parser for the DSL's equation-input strings, e.g.
+//   "(Io[b] - I[d,b]) / beta[b] + surface(vg[b]*upwind([Sx[d];Sy[d]], I[d,b]))"
+//
+// Identifiers are resolved against an EntityTable: declared entities become
+// EntityRef nodes, declared indices become index Symbols, anything else is a
+// free Symbol (dt, normal, ...). `name(args)` is a Call; `[a; b]` is a
+// column-vector literal; comparisons (>, <, >=, <=, ==) are allowed anywhere
+// an expression is (needed for conditional(...) arguments).
+
+#include <stdexcept>
+#include <string>
+
+#include "entities.hpp"
+#include "expr.hpp"
+
+namespace finch::sym {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, size_t pos)
+      : std::runtime_error(msg + " (at offset " + std::to_string(pos) + ")"), position(pos) {}
+  size_t position;
+};
+
+Expr parse_expression(const std::string& input, const EntityTable& table);
+
+}  // namespace finch::sym

@@ -1,0 +1,168 @@
+#include "printer.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace finch::sym {
+
+namespace {
+
+// Precedence levels for parenthesization.
+enum Prec { PREC_ADD = 1, PREC_MUL = 2, PREC_UNARY = 3, PREC_POW = 4, PREC_ATOM = 5 };
+
+std::string print(const Expr& e, int parent_prec);
+
+std::string print_number(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string print_entity(const EntityRefNode& n) {
+  std::string s;
+  switch (n.side) {
+    case CellSide::Self: break;
+    case CellSide::Cell1: s += "CELL1"; break;
+    case CellSide::Cell2: s += "CELL2"; break;
+  }
+  s += "_" + n.name + "_" + std::to_string(n.component == 0 ? 1 : n.component);
+  if (!n.indices.empty()) {
+    s += "[";
+    for (size_t i = 0; i < n.indices.size(); ++i) {
+      if (i) s += ",";
+      s += print(n.indices[i], PREC_ADD);
+    }
+    s += "]";
+  }
+  return s;
+}
+
+const char* cmp_str(CmpOp op) {
+  switch (op) {
+    case CmpOp::GT: return ">";
+    case CmpOp::LT: return "<";
+    case CmpOp::GE: return ">=";
+    case CmpOp::LE: return "<=";
+    case CmpOp::EQ: return "==";
+    case CmpOp::NE: return "!=";
+  }
+  return "?";
+}
+
+// Splits a Mul's factors into (sign, numerator string, denominator string).
+std::string print_mul(const MulNode& n) {
+  double coeff = 1.0;
+  std::vector<std::string> numer, denom;
+  for (const auto& f : n.factors) {
+    if (const auto* c = as<NumberNode>(f)) {
+      coeff *= c->value;
+      continue;
+    }
+    if (const auto* p = as<PowNode>(f)) {
+      if (const auto* pe = as<NumberNode>(p->expo); pe != nullptr && pe->value < 0) {
+        if (pe->value == -1.0)
+          denom.push_back(print(p->base, PREC_POW));
+        else
+          denom.push_back(print(p->base, PREC_POW) + "^" + print_number(-pe->value));
+        continue;
+      }
+    }
+    numer.push_back(print(f, PREC_MUL));
+  }
+  std::string s;
+  bool negative = coeff < 0;
+  double mag = std::abs(coeff);
+  if (negative) s += "-";
+  bool printed_any = false;
+  if (mag != 1.0 || numer.empty()) {
+    s += print_number(mag);
+    printed_any = true;
+  }
+  for (const auto& f : numer) {
+    if (printed_any) s += "*";
+    s += f;
+    printed_any = true;
+  }
+  for (const auto& d : denom) s += "/" + d;
+  return s;
+}
+
+std::string print(const Expr& e, int parent_prec) {
+  switch (e->kind()) {
+    case Kind::Number: {
+      double v = as<NumberNode>(e)->value;
+      std::string s = print_number(v);
+      if (v < 0 && parent_prec > PREC_ADD) return "(" + s + ")";
+      return s;
+    }
+    case Kind::Symbol:
+      return as<SymbolNode>(e)->name;
+    case Kind::EntityRef:
+      return print_entity(*as<EntityRefNode>(e));
+    case Kind::Add: {
+      const auto* n = as<AddNode>(e);
+      std::string s;
+      for (size_t i = 0; i < n->terms.size(); ++i) {
+        std::string t = print(n->terms[i], PREC_ADD);
+        if (i == 0) {
+          s = t;
+        } else if (!t.empty() && t[0] == '-') {
+          s += " - " + t.substr(1);
+        } else {
+          s += " + " + t;
+        }
+      }
+      if (parent_prec > PREC_ADD) return "(" + s + ")";
+      return s;
+    }
+    case Kind::Mul: {
+      std::string s = print_mul(*as<MulNode>(e));
+      // A leading minus binds like unary negation; parenthesize under Pow.
+      if (parent_prec > PREC_MUL || (parent_prec > PREC_ADD && !s.empty() && s[0] == '-' &&
+                                     parent_prec >= PREC_POW))
+        return "(" + s + ")";
+      if (parent_prec > PREC_MUL) return "(" + s + ")";
+      return s;
+    }
+    case Kind::Pow: {
+      const auto* n = as<PowNode>(e);
+      std::string s = print(n->base, PREC_POW) + "^" + print(n->expo, PREC_POW);
+      if (parent_prec > PREC_POW) return "(" + s + ")";
+      return s;
+    }
+    case Kind::Call: {
+      const auto* n = as<CallNode>(e);
+      std::string s = n->func + "(";
+      for (size_t i = 0; i < n->args.size(); ++i) {
+        if (i) s += ", ";
+        s += print(n->args[i], PREC_ADD);
+      }
+      return s + ")";
+    }
+    case Kind::Compare: {
+      const auto* n = as<CompareNode>(e);
+      return print(n->lhs, PREC_ADD) + " " + cmp_str(n->op) + " " + print(n->rhs, PREC_ADD);
+    }
+    case Kind::Vector: {
+      const auto* n = as<VectorNode>(e);
+      std::string s = "[";
+      for (size_t i = 0; i < n->elems.size(); ++i) {
+        if (i) s += "; ";
+        s += print(n->elems[i], PREC_ADD);
+      }
+      return s + "]";
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_string(const Expr& e) { return print(e, PREC_ADD); }
+
+}  // namespace finch::sym

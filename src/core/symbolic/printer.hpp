@@ -1,0 +1,18 @@
+#pragma once
+// Canonical string form of expressions.
+//
+// The format deliberately mirrors the intermediate strings printed in §II.A
+// of the paper: entity references render as `_u_1` (name + 1-based
+// component), neighbor-side values as `CELL1_u_1` / `CELL2_u_1`, indexed
+// entities as `_I_1[d,b]`, and markers as bare symbols (TIMEDERIVATIVE,
+// SURFACE, NORMAL_1). Golden tests compare against these strings.
+
+#include <string>
+
+#include "expr.hpp"
+
+namespace finch::sym {
+
+std::string to_string(const Expr& e);
+
+}  // namespace finch::sym

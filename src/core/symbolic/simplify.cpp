@@ -1,0 +1,154 @@
+#include "simplify.hpp"
+
+#include <cmath>
+
+namespace finch::sym {
+
+namespace {
+
+Expr simplify_node(const Expr& e) {
+  switch (e->kind()) {
+    case Kind::Add: {
+      std::vector<Expr> flat;
+      double constant = 0.0;
+      for (const auto& t : as<AddNode>(e)->terms) {
+        if (const auto* n = as<NumberNode>(t)) {
+          constant += n->value;
+        } else if (t->kind() == Kind::Add) {
+          for (const auto& inner : as<AddNode>(t)->terms) {
+            if (const auto* in = as<NumberNode>(inner))
+              constant += in->value;
+            else
+              flat.push_back(inner);
+          }
+        } else {
+          flat.push_back(t);
+        }
+      }
+      if (constant != 0.0 || flat.empty()) flat.push_back(num(constant));
+      return add(std::move(flat));
+    }
+    case Kind::Mul: {
+      std::vector<Expr> flat;
+      double coeff = 1.0;
+      for (const auto& f : as<MulNode>(e)->factors) {
+        if (const auto* n = as<NumberNode>(f)) {
+          coeff *= n->value;
+        } else if (f->kind() == Kind::Mul) {
+          for (const auto& inner : as<MulNode>(f)->factors) {
+            if (const auto* in = as<NumberNode>(inner))
+              coeff *= in->value;
+            else
+              flat.push_back(inner);
+          }
+        } else {
+          flat.push_back(f);
+        }
+      }
+      if (coeff == 0.0) return num(0.0);
+      if (coeff != 1.0 || flat.empty()) flat.insert(flat.begin(), num(coeff));
+      return mul(std::move(flat));
+    }
+    case Kind::Pow: {
+      const auto* n = as<PowNode>(e);
+      if (is_number(n->expo, 1.0)) return n->base;
+      if (is_number(n->expo, 0.0)) return num(1.0);
+      const auto *b = as<NumberNode>(n->base), *x = as<NumberNode>(n->expo);
+      if (b != nullptr && x != nullptr) return num(std::pow(b->value, x->value));
+      return e;
+    }
+    default:
+      return e;
+  }
+}
+
+}  // namespace
+
+Expr simplify(const Expr& e) {
+  return transform(e, simplify_node);
+}
+
+namespace {
+
+// Distributes Mul over Add at this node, assuming children are already
+// expanded and simplified. Returns an Add of Muls (or a simpler node).
+Expr distribute(const Expr& e) {
+  if (e->kind() != Kind::Mul) return e;
+  const auto* m = as<MulNode>(e);
+  // Find the first Add factor.
+  size_t ai = m->factors.size();
+  for (size_t i = 0; i < m->factors.size(); ++i) {
+    if (m->factors[i]->kind() == Kind::Add) {
+      ai = i;
+      break;
+    }
+  }
+  if (ai == m->factors.size()) return e;
+  const auto* a = as<AddNode>(m->factors[ai]);
+  std::vector<Expr> out_terms;
+  out_terms.reserve(a->terms.size());
+  for (const auto& t : a->terms) {
+    std::vector<Expr> fs = m->factors;
+    fs[ai] = t;
+    out_terms.push_back(distribute(simplify(mul(std::move(fs)))));
+  }
+  return simplify(add(std::move(out_terms)));
+}
+
+// Recursive expansion that treats Call arguments as opaque: the paper's
+// printed forms keep products inside conditional(...) branches undistributed,
+// e.g. `(_b_1*NORMAL_1 + _b_2*NORMAL_2)*CELL1_u_1`.
+Expr expand_rec(const Expr& e) {
+  switch (e->kind()) {
+    case Kind::Call: {
+      const auto* c = as<CallNode>(e);
+      std::vector<Expr> args;
+      args.reserve(c->args.size());
+      for (const auto& a : c->args) args.push_back(simplify(a));
+      return call(c->func, std::move(args));
+    }
+    case Kind::Add: {
+      std::vector<Expr> t;
+      for (const auto& x : as<AddNode>(e)->terms) t.push_back(expand_rec(x));
+      return distribute(simplify_node(add(std::move(t))));
+    }
+    case Kind::Mul: {
+      std::vector<Expr> f;
+      for (const auto& x : as<MulNode>(e)->factors) f.push_back(expand_rec(x));
+      return distribute(simplify_node(mul(std::move(f))));
+    }
+    case Kind::Pow: {
+      const auto* n = as<PowNode>(e);
+      return simplify_node(pow(expand_rec(n->base), expand_rec(n->expo)));
+    }
+    case Kind::Compare: {
+      const auto* n = as<CompareNode>(e);
+      return compare(n->op, expand_rec(n->lhs), expand_rec(n->rhs));
+    }
+    case Kind::Vector: {
+      std::vector<Expr> x;
+      for (const auto& el : as<VectorNode>(e)->elems) x.push_back(expand_rec(el));
+      return vec(std::move(x));
+    }
+    default:
+      return e;
+  }
+}
+
+}  // namespace
+
+Expr expand(const Expr& e) { return simplify(expand_rec(e)); }
+
+std::vector<Expr> top_level_terms(const Expr& e) {
+  if (const auto* a = as<AddNode>(e)) {
+    std::vector<Expr> out;
+    out.reserve(a->terms.size());
+    for (const auto& t : a->terms)
+      if (!is_number(t, 0.0)) out.push_back(t);
+    if (out.empty()) out.push_back(num(0.0));
+    return out;
+  }
+  return {e};
+}
+
+}  // namespace finch::sym

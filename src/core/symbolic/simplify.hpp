@@ -1,0 +1,20 @@
+#pragma once
+// Algebraic normalization passes used by the DSL pipeline.
+//
+// `simplify` flattens nested sums/products and folds numeric constants.
+// `expand` additionally distributes products over sums (but never inside
+// opaque Call arguments such as conditional branches), producing the flat
+// top-level sum-of-terms form that term classification requires.
+
+#include "expr.hpp"
+
+namespace finch::sym {
+
+Expr simplify(const Expr& e);
+Expr expand(const Expr& e);
+
+// Returns the top-level additive terms of `e` (after expand+simplify each
+// caller is expected to have run). A non-Add expression is a single term.
+std::vector<Expr> top_level_terms(const Expr& e);
+
+}  // namespace finch::sym

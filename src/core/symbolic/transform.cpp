@@ -1,0 +1,92 @@
+#include "transform.hpp"
+
+#include <stdexcept>
+
+#include "parser.hpp"
+#include "printer.hpp"
+#include "simplify.hpp"
+
+namespace finch::sym {
+
+namespace {
+
+Expr unknown_ref(const EntityInfo& var) {
+  std::vector<Expr> idx;
+  idx.reserve(var.indices.size());
+  for (const auto& name : var.indices) idx.push_back(sym(name));
+  return entity(var.name, EntityKind::Variable, var.components == 1 ? 1 : 0, std::move(idx));
+}
+
+bool has_symbol(const Expr& e, const std::string& name) {
+  return contains(e, [&](const Expr& n) {
+    const auto* s = as<SymbolNode>(n);
+    return s != nullptr && s->name == name;
+  });
+}
+
+// Removes one factor equal to the named marker symbol from a product term.
+Expr strip_marker(const Expr& term, const std::string& marker) {
+  if (const auto* s = as<SymbolNode>(term); s != nullptr && s->name == marker) return num(1.0);
+  const auto* m = as<MulNode>(term);
+  if (m == nullptr) return term;
+  std::vector<Expr> kept;
+  kept.reserve(m->factors.size());
+  bool removed = false;
+  for (const auto& f : m->factors) {
+    const auto* s = as<SymbolNode>(f);
+    if (!removed && s != nullptr && s->name == marker) {
+      removed = true;
+      continue;
+    }
+    kept.push_back(f);
+  }
+  return simplify(mul(std::move(kept)));
+}
+
+}  // namespace
+
+Equation make_conservation_form(const EntityInfo& var, const std::string& input, const EntityTable& table,
+                                const OperatorRegistry& registry, int dimension) {
+  if (var.kind != EntityKind::Variable)
+    throw std::invalid_argument("conservationForm: '" + var.name + "' is not a variable");
+  Expr parsed = parse_expression(input, table);
+  ExpandContext ctx{&table, dimension};
+  Expr expanded = expand_operators(parsed, registry, ctx);
+  Expr u = unknown_ref(var);
+  Expr full = expand(add({mul({num(-1.0), sym(kTimeDerivativeMarker), u}), expanded}));
+  return Equation{u, full};
+}
+
+SteppedEquation apply_forward_euler(const Equation& eq) {
+  // Split off the time-derivative term; everything else is the spatial RHS.
+  std::vector<Expr> spatial;
+  for (const auto& term : top_level_terms(eq.full)) {
+    if (has_symbol(term, kTimeDerivativeMarker)) continue;
+    spatial.push_back(term);
+  }
+  Expr rhs_spatial = mark_known(add(std::move(spatial)));
+  Expr u_old = mark_known(eq.unknown);
+  Expr rhs = expand(add({u_old, mul({sym("dt"), rhs_spatial})}));
+  return SteppedEquation{eq.unknown, rhs};
+}
+
+ClassifiedTerms classify(const SteppedEquation& eq) {
+  ClassifiedTerms out;
+  // Explicit scheme: move the new-time unknown to the left with coefficient -1,
+  // matching the paper's "LHS volume: -u_1".
+  out.lhs_volume.push_back(simplify(neg(eq.unknown)));
+  for (const auto& term : top_level_terms(eq.rhs)) {
+    if (has_symbol(term, kSurfaceMarker)) {
+      out.rhs_surface.push_back(strip_marker(term, kSurfaceMarker));
+    } else {
+      out.rhs_volume.push_back(term);
+    }
+  }
+  return out;
+}
+
+std::string category_string(const std::vector<Expr>& terms) {
+  return to_string(simplify(add(terms)));
+}
+
+}  // namespace finch::sym

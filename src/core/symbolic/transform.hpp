@@ -1,0 +1,58 @@
+#pragma once
+// Equation assembly, explicit time discretization and term classification —
+// the pipeline stages whose intermediate strings §II.A of the paper prints.
+//
+//   conservationForm(u, "s(u) - surface(f(u))")
+//     -> full equation:   -TIMEDERIVATIVE*_u_1 + s - SURFACE*f     (expanded)
+//     -> forward Euler:   _u_1 = _u_1 + dt*s - dt*SURFACE*f        (rhs known)
+//     -> classification:  LHS volume   -_u_1
+//                         RHS volume   _u_1 + dt*s
+//                         RHS surface  -dt*f
+//
+// The classified integrands are what the IR/codegen layer consumes: per-cell
+// volume terms and per-face surface terms of Eq. (3) in the paper.
+
+#include <string>
+#include <vector>
+
+#include "entities.hpp"
+#include "expr.hpp"
+#include "operators.hpp"
+
+namespace finch::sym {
+
+enum class TimeScheme { ForwardEuler, RK2Midpoint, RK4 };
+
+struct Equation {
+  Expr unknown;  // EntityRef for the solved variable with its declared indices
+  Expr full;     // -TIMEDERIVATIVE*u + input, operators expanded, simplified
+};
+
+// Builds the full symbolic equation from a conservation-form input string.
+// The time-derivative term is implicit in the DSL input and added here, as in
+// the paper ("the integrals and the time derivative term on the left are
+// implicitly included").
+Equation make_conservation_form(const EntityInfo& var, const std::string& input, const EntityTable& table,
+                                const OperatorRegistry& registry, int dimension);
+
+struct SteppedEquation {
+  Expr unknown;  // new-time unknown ref
+  Expr rhs;      // u_old + dt*(volume + surface terms), old-time refs marked known
+};
+
+// Applies the explicit forward-Euler update symbolically (Eq. (2)).
+SteppedEquation apply_forward_euler(const Equation& eq);
+
+struct ClassifiedTerms {
+  std::vector<Expr> lhs_volume;   // unknown-carrying terms (just -u for explicit schemes)
+  std::vector<Expr> rhs_volume;   // known volume integrands
+  std::vector<Expr> rhs_surface;  // known surface integrands, SURFACE marker stripped
+};
+
+ClassifiedTerms classify(const SteppedEquation& eq);
+
+// Convenience: renders each category as one summed expression (for printing
+// and golden tests).
+std::string category_string(const std::vector<Expr>& terms);
+
+}  // namespace finch::sym

@@ -1,0 +1,170 @@
+#include "assembly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace finch::fem {
+
+NodeMesh::NodeMesh(int nx, int ny, double lx, double ly) : nx_(nx), ny_(ny) {
+  if (nx < 1 || ny < 1 || lx <= 0 || ly <= 0) throw std::invalid_argument("NodeMesh: bad arguments");
+  hx_ = lx / nx;
+  hy_ = ly / ny;
+  coords_.reserve(static_cast<size_t>(nx + 1) * (ny + 1));
+  for (int j = 0; j <= ny; ++j)
+    for (int i = 0; i <= nx; ++i) coords_.push_back({i * hx_, j * hy_, 0.0});
+}
+
+std::array<int32_t, 4> NodeMesh::element_nodes(int32_t e) const {
+  const int i = static_cast<int>(e % nx_), j = static_cast<int>(e / nx_);
+  const int32_t n0 = static_cast<int32_t>(j * (nx_ + 1) + i);
+  return {n0, n0 + 1, n0 + nx_ + 2, n0 + nx_ + 1};  // CCW
+}
+
+std::vector<int32_t> NodeMesh::boundary_nodes(int region) const {
+  std::vector<int32_t> out;
+  switch (region) {
+    case 1:
+      for (int i = 0; i <= nx_; ++i) out.push_back(i);
+      break;
+    case 2:
+      for (int i = 0; i <= nx_; ++i) out.push_back(ny_ * (nx_ + 1) + i);
+      break;
+    case 3:
+      for (int j = 0; j <= ny_; ++j) out.push_back(j * (nx_ + 1));
+      break;
+    case 4:
+      for (int j = 0; j <= ny_; ++j) out.push_back(j * (nx_ + 1) + nx_);
+      break;
+    default:
+      throw std::invalid_argument("boundary_nodes: region 1..4");
+  }
+  return out;
+}
+
+std::vector<int32_t> NodeMesh::all_boundary_nodes() const {
+  std::vector<int32_t> out;
+  for (int region = 1; region <= 4; ++region)
+    for (int32_t n : boundary_nodes(region)) out.push_back(n);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::array<double, 4> q1_shape(double xi, double eta) {
+  return {0.25 * (1 - xi) * (1 - eta), 0.25 * (1 + xi) * (1 - eta), 0.25 * (1 + xi) * (1 + eta),
+          0.25 * (1 - xi) * (1 + eta)};
+}
+
+std::array<std::array<double, 2>, 4> q1_shape_grad(double xi, double eta) {
+  return {{{-0.25 * (1 - eta), -0.25 * (1 - xi)},
+           {0.25 * (1 - eta), -0.25 * (1 + xi)},
+           {0.25 * (1 + eta), 0.25 * (1 + xi)},
+           {-0.25 * (1 + eta), 0.25 * (1 - xi)}}};
+}
+
+namespace {
+
+constexpr double kGauss = 0.5773502691896257;  // 1/sqrt(3)
+const std::array<std::array<double, 2>, 4> kQuadPts = {
+    {{-kGauss, -kGauss}, {kGauss, -kGauss}, {kGauss, kGauss}, {-kGauss, kGauss}}};
+
+template <typename ElementKernel>
+CsrMatrix assemble_matrix(const NodeMesh& mesh, ElementKernel kernel) {
+  std::vector<int32_t> rows, cols;
+  std::vector<double> vals;
+  rows.reserve(static_cast<size_t>(mesh.num_elements()) * 16);
+  cols.reserve(rows.capacity());
+  vals.reserve(rows.capacity());
+  for (int32_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto nodes = mesh.element_nodes(e);
+    std::array<std::array<double, 4>, 4> ke{};
+    kernel(e, nodes, ke);
+    for (int a = 0; a < 4; ++a)
+      for (int b = 0; b < 4; ++b) {
+        rows.push_back(nodes[static_cast<size_t>(a)]);
+        cols.push_back(nodes[static_cast<size_t>(b)]);
+        vals.push_back(ke[static_cast<size_t>(a)][static_cast<size_t>(b)]);
+      }
+  }
+  return CsrMatrix::from_triplets(mesh.num_nodes(), std::move(rows), std::move(cols), std::move(vals));
+}
+
+mesh::Vec3 physical_point(const NodeMesh& mesh, const std::array<int32_t, 4>& nodes, double xi,
+                          double eta) {
+  const auto N = q1_shape(xi, eta);
+  mesh::Vec3 p{};
+  for (int a = 0; a < 4; ++a) p += mesh.node(nodes[static_cast<size_t>(a)]) * N[static_cast<size_t>(a)];
+  return p;
+}
+
+}  // namespace
+
+CsrMatrix assemble_stiffness(const NodeMesh& mesh, const std::function<double(mesh::Vec3)>& coeff) {
+  // Axis-aligned rectangles: Jacobian is diagonal (hx/2, hy/2).
+  const double jx = 2.0 / mesh.hx(), jy = 2.0 / mesh.hy();
+  const double detJ = mesh.hx() * mesh.hy() / 4.0;
+  return assemble_matrix(mesh, [&](int32_t, const std::array<int32_t, 4>& nodes,
+                                   std::array<std::array<double, 4>, 4>& ke) {
+    for (const auto& q : kQuadPts) {
+      const auto dN = q1_shape_grad(q[0], q[1]);
+      const double c = coeff ? coeff(physical_point(mesh, nodes, q[0], q[1])) : 1.0;
+      for (int a = 0; a < 4; ++a)
+        for (int b = 0; b < 4; ++b) {
+          const double gx = dN[static_cast<size_t>(a)][0] * jx * dN[static_cast<size_t>(b)][0] * jx;
+          const double gy = dN[static_cast<size_t>(a)][1] * jy * dN[static_cast<size_t>(b)][1] * jy;
+          ke[static_cast<size_t>(a)][static_cast<size_t>(b)] += c * (gx + gy) * detJ;  // unit quad weights
+        }
+    }
+  });
+}
+
+CsrMatrix assemble_mass(const NodeMesh& mesh, const std::function<double(mesh::Vec3)>& coeff) {
+  const double detJ = mesh.hx() * mesh.hy() / 4.0;
+  return assemble_matrix(mesh, [&](int32_t, const std::array<int32_t, 4>& nodes,
+                                   std::array<std::array<double, 4>, 4>& ke) {
+    for (const auto& q : kQuadPts) {
+      const auto N = q1_shape(q[0], q[1]);
+      const double c = coeff ? coeff(physical_point(mesh, nodes, q[0], q[1])) : 1.0;
+      for (int a = 0; a < 4; ++a)
+        for (int b = 0; b < 4; ++b)
+          ke[static_cast<size_t>(a)][static_cast<size_t>(b)] +=
+              c * N[static_cast<size_t>(a)] * N[static_cast<size_t>(b)] * detJ;
+    }
+  });
+}
+
+std::vector<double> assemble_lumped_mass(const NodeMesh& mesh,
+                                         const std::function<double(mesh::Vec3)>& coeff) {
+  std::vector<double> lumped(static_cast<size_t>(mesh.num_nodes()), 0.0);
+  const double detJ = mesh.hx() * mesh.hy() / 4.0;
+  for (int32_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto nodes = mesh.element_nodes(e);
+    for (const auto& q : kQuadPts) {
+      const auto N = q1_shape(q[0], q[1]);
+      const double c = coeff ? coeff(physical_point(mesh, nodes, q[0], q[1])) : 1.0;
+      for (int a = 0; a < 4; ++a)
+        for (int b = 0; b < 4; ++b)
+          lumped[static_cast<size_t>(nodes[static_cast<size_t>(a)])] +=
+              c * N[static_cast<size_t>(a)] * N[static_cast<size_t>(b)] * detJ;
+    }
+  }
+  return lumped;
+}
+
+std::vector<double> assemble_load(const NodeMesh& mesh, const std::function<double(mesh::Vec3)>& f) {
+  std::vector<double> load(static_cast<size_t>(mesh.num_nodes()), 0.0);
+  const double detJ = mesh.hx() * mesh.hy() / 4.0;
+  for (int32_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto nodes = mesh.element_nodes(e);
+    for (const auto& q : kQuadPts) {
+      const auto N = q1_shape(q[0], q[1]);
+      const double fv = f(physical_point(mesh, nodes, q[0], q[1]));
+      for (int a = 0; a < 4; ++a)
+        load[static_cast<size_t>(nodes[static_cast<size_t>(a)])] += fv * N[static_cast<size_t>(a)] * detJ;
+    }
+  }
+  return load;
+}
+
+}  // namespace finch::fem

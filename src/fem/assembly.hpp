@@ -1,0 +1,54 @@
+#pragma once
+// Q1 (bilinear quadrilateral) finite-element assembly on structured grids —
+// the FEM half of the paper's "support for finite element and finite volume
+// methods". Provides the node mesh, 2x2 Gauss quadrature, and assembly of
+// stiffness, (consistent or lumped) mass, and load operators that the
+// weak-form lowering maps terms onto.
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+#include "sparse.hpp"
+
+namespace finch::fem {
+
+// Node-based view of an nx x ny structured quad grid: (nx+1)*(ny+1) nodes.
+class NodeMesh {
+ public:
+  NodeMesh(int nx, int ny, double lx, double ly);
+
+  int32_t num_nodes() const { return static_cast<int32_t>(coords_.size()); }
+  int32_t num_elements() const { return nx_ * ny_; }
+  const mesh::Vec3& node(int32_t n) const { return coords_[static_cast<size_t>(n)]; }
+  // Counter-clockwise corner nodes of element e.
+  std::array<int32_t, 4> element_nodes(int32_t e) const;
+  double hx() const { return hx_; }
+  double hy() const { return hy_; }
+
+  // Node sets of the four boundary edges (region ids as in Mesh::structured_quad:
+  // 1=ymin, 2=ymax, 3=xmin, 4=xmax). Corner nodes belong to both adjacent regions.
+  std::vector<int32_t> boundary_nodes(int region) const;
+  std::vector<int32_t> all_boundary_nodes() const;
+
+ private:
+  int nx_, ny_;
+  double hx_, hy_;
+  std::vector<mesh::Vec3> coords_;
+};
+
+// Q1 reference shape functions and gradients at (xi, eta) in [-1,1]^2.
+std::array<double, 4> q1_shape(double xi, double eta);
+std::array<std::array<double, 2>, 4> q1_shape_grad(double xi, double eta);
+
+// Assembled operators; coefficient may vary in space.
+CsrMatrix assemble_stiffness(const NodeMesh& mesh,
+                             const std::function<double(mesh::Vec3)>& coeff = nullptr);
+CsrMatrix assemble_mass(const NodeMesh& mesh, const std::function<double(mesh::Vec3)>& coeff = nullptr);
+// Row-sum (lumped) mass as a diagonal vector.
+std::vector<double> assemble_lumped_mass(const NodeMesh& mesh,
+                                         const std::function<double(mesh::Vec3)>& coeff = nullptr);
+std::vector<double> assemble_load(const NodeMesh& mesh, const std::function<double(mesh::Vec3)>& f);
+
+}  // namespace finch::fem

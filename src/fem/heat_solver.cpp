@@ -1,0 +1,112 @@
+#include "heat_solver.hpp"
+
+#include <stdexcept>
+
+namespace finch::fem {
+
+FemHeatProblem::FemHeatProblem(NodeMesh mesh) : mesh_(std::move(mesh)) {
+  table_.declare({"u", sym::EntityKind::Variable, 1, {}});
+  table_.declare({"v", sym::EntityKind::Variable, 1, {}});
+}
+
+void FemHeatProblem::coefficient(const std::string& name, std::function<double(mesh::Vec3)> fn) {
+  table_.declare({name, sym::EntityKind::Coefficient, 1, {}});
+  coefficients_[name] = std::move(fn);
+}
+
+void FemHeatProblem::weak_form(const std::string& input) {
+  terms_ = classify_weak_form(input, table_, "u", "v");
+  lowered_ = lower_weak_form(terms_, "u", "v");
+  CoefficientLookup lookup = [this](const std::string& name) -> std::function<double(mesh::Vec3)> {
+    auto it = coefficients_.find(name);
+    return it == coefficients_.end() ? nullptr : it->second;
+  };
+  system_ = assemble_weak_form(lowered_, mesh_, lookup);
+  lumped_mass_ = assemble_lumped_mass(mesh_);
+  assembled_ = true;
+}
+
+void FemHeatProblem::dirichlet(int region, std::function<double(mesh::Vec3)> value) {
+  dirichlet_[region] = std::move(value);
+}
+
+void FemHeatProblem::neumann(int region, std::function<double(mesh::Vec3)> flux) {
+  if (!assembled_) throw std::logic_error("FemHeatProblem: call weak_form() before neumann()");
+  // Edge quadrature (2-point Gauss) along the region's boundary segments:
+  // each segment contributes q * N_a integrated over its length.
+  const auto nodes = mesh_.boundary_nodes(region);
+  const double g = 0.5773502691896257;
+  for (size_t k = 0; k + 1 < nodes.size(); ++k) {
+    const int32_t a = nodes[k], b = nodes[k + 1];
+    const mesh::Vec3 pa = mesh_.node(a), pb = mesh_.node(b);
+    const double len = (pb - pa).norm();
+    for (double xi : {-g, g}) {
+      const double Na = 0.5 * (1 - xi), Nb = 0.5 * (1 + xi);
+      const mesh::Vec3 p = pa * Na + pb * Nb;
+      const double q = flux(p);
+      system_.load[static_cast<size_t>(a)] += q * Na * len / 2.0;
+      system_.load[static_cast<size_t>(b)] += q * Nb * len / 2.0;
+    }
+  }
+}
+
+void FemHeatProblem::collect_dirichlet(std::vector<int32_t>& dofs, std::vector<double>& values) const {
+  for (const auto& [region, fn] : dirichlet_) {
+    for (int32_t node : mesh_.boundary_nodes(region)) {
+      dofs.push_back(node);
+      values.push_back(fn(mesh_.node(node)));
+    }
+  }
+}
+
+std::vector<double> FemHeatProblem::solve_steady(double tol) const {
+  if (!assembled_) throw std::logic_error("FemHeatProblem: call weak_form() first");
+  // Steady state of M du/dt = -A u + F  is  A u = F with A = stiffness_like
+  // sign-flipped (the lowering returns the operator of the right-hand side).
+  std::vector<int32_t> rows;  // rebuild a working copy of the matrix
+  std::vector<int32_t> cols;
+  std::vector<double> vals;
+  system_.stiffness_like.to_triplets(rows, cols, vals);
+  for (double& v : vals) v = -v;  // A = -rhs_operator
+  CsrMatrix A = CsrMatrix::from_triplets(mesh_.num_nodes(), std::move(rows), std::move(cols),
+                                         std::move(vals));
+  std::vector<double> rhs = system_.load;
+
+  std::vector<int32_t> bc_dofs;
+  std::vector<double> bc_vals;
+  collect_dirichlet(bc_dofs, bc_vals);
+  A.apply_dirichlet(bc_dofs, bc_vals, rhs);
+
+  std::vector<double> u(static_cast<size_t>(mesh_.num_nodes()), 0.0);
+  for (size_t i = 0; i < bc_dofs.size(); ++i) u[static_cast<size_t>(bc_dofs[i])] = bc_vals[i];
+  CgResult res = conjugate_gradient(A, rhs, u, tol);
+  if (!res.converged)
+    throw std::runtime_error("solve_steady: CG did not converge (residual " +
+                             std::to_string(res.residual) + ")");
+  return u;
+}
+
+void FemHeatProblem::advance(std::vector<double>& u, double dt, int nsteps) const {
+  if (!assembled_) throw std::logic_error("FemHeatProblem: call weak_form() first");
+  if (u.size() != static_cast<size_t>(mesh_.num_nodes()))
+    throw std::invalid_argument("advance: state size mismatch");
+  std::vector<int32_t> bc_dofs;
+  std::vector<double> bc_vals;
+  collect_dirichlet(bc_dofs, bc_vals);
+
+  std::vector<double> rhs(u.size());
+  for (int step = 0; step < nsteps; ++step) {
+    system_.stiffness_like.multiply(u, rhs);  // rhs = (rhs-operator) u
+    for (size_t i = 0; i < u.size(); ++i)
+      u[i] += dt * (rhs[i] + system_.load[i]) / lumped_mass_[i];
+    for (size_t i = 0; i < bc_dofs.size(); ++i) u[static_cast<size_t>(bc_dofs[i])] = bc_vals[i];
+  }
+}
+
+std::vector<double> FemHeatProblem::interpolate(const std::function<double(mesh::Vec3)>& fn) const {
+  std::vector<double> u(static_cast<size_t>(mesh_.num_nodes()));
+  for (int32_t n = 0; n < mesh_.num_nodes(); ++n) u[static_cast<size_t>(n)] = fn(mesh_.node(n));
+  return u;
+}
+
+}  // namespace finch::fem

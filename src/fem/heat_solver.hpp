@@ -1,0 +1,65 @@
+#pragma once
+// FEM heat-equation solvers driven by the weak-form front-end — the "other
+// mathematical techniques, such as FEM" path the paper defers to prior Finch
+// work, rebuilt here so the DSL is genuinely multi-discretization.
+//
+//   FemHeatProblem p(mesh);
+//   p.coefficient("alpha", [](Vec3){ return 1.0; });
+//   p.coefficient("f", forcing);
+//   p.weak_form("-alpha * dot(grad(u), grad(v)) + f * v");
+//   p.dirichlet(region, value_fn);
+//   auto u = p.solve_steady();          // CG on the assembled system
+//   p.advance(u, dt, nsteps);           // lumped-mass explicit transient
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "weak_form.hpp"
+
+namespace finch::fem {
+
+class FemHeatProblem {
+ public:
+  explicit FemHeatProblem(NodeMesh mesh);
+
+  void coefficient(const std::string& name, std::function<double(mesh::Vec3)> fn);
+  // Installs the weak form (classify + lower + assemble). Unknown is "u",
+  // test function is "v"; both are implicit.
+  void weak_form(const std::string& input);
+  void dirichlet(int region, std::function<double(mesh::Vec3)> value);
+  // Neumann (prescribed-flux) boundary: assembles the boundary-integral load
+  // contribution integral_region q v ds — the "boundary integration" group of
+  // SII.A's weak-form classification.
+  void neumann(int region, std::function<double(mesh::Vec3)> flux);
+
+  const NodeMesh& mesh() const { return mesh_; }
+  const WeakFormTerms& terms() const { return terms_; }
+  const LoweredWeakForm& lowered() const { return lowered_; }
+
+  // Steady state: A u = F with Dirichlet elimination, solved by CG.
+  std::vector<double> solve_steady(double tol = 1e-10) const;
+
+  // Explicit transient with lumped mass: u += dt M_L^{-1} (F - A u),
+  // Dirichlet values reimposed after each step. `u` is state in/out.
+  void advance(std::vector<double>& u, double dt, int nsteps) const;
+
+  // Initial condition helper.
+  std::vector<double> interpolate(const std::function<double(mesh::Vec3)>& fn) const;
+
+ private:
+  void collect_dirichlet(std::vector<int32_t>& dofs, std::vector<double>& values) const;
+
+  NodeMesh mesh_;
+  std::map<std::string, std::function<double(mesh::Vec3)>> coefficients_;
+  std::map<int, std::function<double(mesh::Vec3)>> dirichlet_;
+  sym::EntityTable table_;
+  WeakFormTerms terms_;
+  LoweredWeakForm lowered_;
+  AssembledSystem system_;
+  std::vector<double> lumped_mass_;
+  bool assembled_ = false;
+};
+
+}  // namespace finch::fem

@@ -1,0 +1,156 @@
+#include "sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace finch::fem {
+
+CsrMatrix CsrMatrix::from_triplets(int32_t n, std::vector<int32_t> rows, std::vector<int32_t> cols,
+                                   std::vector<double> values) {
+  if (rows.size() != cols.size() || rows.size() != values.size())
+    throw std::invalid_argument("from_triplets: size mismatch");
+  CsrMatrix m;
+  m.n_ = n;
+  std::vector<size_t> order(rows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return rows[a] != rows[b] ? rows[a] < rows[b] : cols[a] < cols[b];
+  });
+  m.row_ptr_.assign(static_cast<size_t>(n) + 1, 0);
+  int32_t cur_row = -1, cur_col = -1;
+  for (size_t k = 0; k < order.size(); ++k) {
+    const size_t i = order[k];
+    if (rows[i] < 0 || rows[i] >= n || cols[i] < 0 || cols[i] >= n)
+      throw std::invalid_argument("from_triplets: index out of range");
+    if (rows[i] == cur_row && cols[i] == cur_col) {
+      m.val_.back() += values[i];  // duplicate entry: accumulate
+      continue;
+    }
+    cur_row = rows[i];
+    cur_col = cols[i];
+    m.col_.push_back(cols[i]);
+    m.val_.push_back(values[i]);
+    ++m.row_ptr_[static_cast<size_t>(rows[i]) + 1];
+  }
+  for (int32_t r = 0; r < n; ++r) m.row_ptr_[static_cast<size_t>(r) + 1] += m.row_ptr_[static_cast<size_t>(r)];
+  return m;
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  if (static_cast<int32_t>(x.size()) != n_ || static_cast<int32_t>(y.size()) != n_)
+    throw std::invalid_argument("multiply: dimension mismatch");
+  for (int32_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)]; k < row_ptr_[static_cast<size_t>(r) + 1]; ++k)
+      acc += val_[static_cast<size_t>(k)] * x[static_cast<size_t>(col_[static_cast<size_t>(k)])];
+    y[static_cast<size_t>(r)] = acc;
+  }
+}
+
+double CsrMatrix::at(int32_t r, int32_t c) const {
+  const auto begin = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[static_cast<size_t>(r)]);
+  const auto end = col_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[static_cast<size_t>(r) + 1]);
+  auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return val_[static_cast<size_t>(it - col_.begin())];
+}
+
+double CsrMatrix::row_sum(int32_t r) const {
+  double s = 0;
+  for (int64_t k = row_ptr_[static_cast<size_t>(r)]; k < row_ptr_[static_cast<size_t>(r) + 1]; ++k)
+    s += val_[static_cast<size_t>(k)];
+  return s;
+}
+
+void CsrMatrix::apply_dirichlet(std::span<const int32_t> dofs, std::span<const double> values,
+                                std::span<double> rhs) {
+  if (dofs.size() != values.size()) throw std::invalid_argument("apply_dirichlet: size mismatch");
+  std::vector<char> is_bc(static_cast<size_t>(n_), 0);
+  std::vector<double> bc_val(static_cast<size_t>(n_), 0.0);
+  for (size_t i = 0; i < dofs.size(); ++i) {
+    is_bc[static_cast<size_t>(dofs[i])] = 1;
+    bc_val[static_cast<size_t>(dofs[i])] = values[i];
+  }
+  // Move known columns to the rhs, zero rows/cols, unit diagonal.
+  for (int32_t r = 0; r < n_; ++r) {
+    if (is_bc[static_cast<size_t>(r)]) {
+      for (int64_t k = row_ptr_[static_cast<size_t>(r)]; k < row_ptr_[static_cast<size_t>(r) + 1]; ++k)
+        val_[static_cast<size_t>(k)] = col_[static_cast<size_t>(k)] == r ? 1.0 : 0.0;
+      rhs[static_cast<size_t>(r)] = bc_val[static_cast<size_t>(r)];
+      continue;
+    }
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)]; k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      const int32_t c = col_[static_cast<size_t>(k)];
+      if (is_bc[static_cast<size_t>(c)]) {
+        rhs[static_cast<size_t>(r)] -= val_[static_cast<size_t>(k)] * bc_val[static_cast<size_t>(c)];
+        val_[static_cast<size_t>(k)] = 0.0;
+      }
+    }
+  }
+}
+
+void CsrMatrix::to_triplets(std::vector<int32_t>& rows, std::vector<int32_t>& cols,
+                            std::vector<double>& values) const {
+  for (int32_t r = 0; r < n_; ++r)
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)]; k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      rows.push_back(r);
+      cols.push_back(col_[static_cast<size_t>(k)]);
+      values.push_back(val_[static_cast<size_t>(k)]);
+    }
+}
+
+CsrMatrix CsrMatrix::sum(const CsrMatrix& a, const CsrMatrix& b, double scale_b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("CsrMatrix::sum: dimension mismatch");
+  std::vector<int32_t> rows, cols;
+  std::vector<double> vals;
+  a.to_triplets(rows, cols, vals);
+  const size_t na = vals.size();
+  b.to_triplets(rows, cols, vals);
+  for (size_t k = na; k < vals.size(); ++k) vals[k] *= scale_b;
+  return from_triplets(a.rows(), std::move(rows), std::move(cols), std::move(vals));
+}
+
+CgResult conjugate_gradient(const CsrMatrix& A, std::span<const double> b, std::span<double> x,
+                            double tol, int max_iter) {
+  const size_t n = b.size();
+  std::vector<double> r(n), p(n), Ap(n);
+  A.multiply(x, Ap);
+  double rr = 0;
+  for (size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - Ap[i];
+    p[i] = r[i];
+    rr += r[i] * r[i];
+  }
+  double b2 = 0;
+  for (size_t i = 0; i < n; ++i) b2 += b[i] * b[i];
+  const double stop = tol * tol * std::max(b2, 1e-300);
+  CgResult res;
+  for (int it = 0; it < max_iter; ++it) {
+    if (rr <= stop) {
+      res.converged = true;
+      break;
+    }
+    A.multiply(p, Ap);
+    double pAp = 0;
+    for (size_t i = 0; i < n; ++i) pAp += p[i] * Ap[i];
+    if (pAp == 0.0) break;
+    const double alpha = rr / pAp;
+    double rr_new = 0;
+    for (size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * Ap[i];
+      rr_new += r[i] * r[i];
+    }
+    const double beta = rr_new / rr;
+    for (size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_new;
+    res.iterations = it + 1;
+  }
+  res.residual = std::sqrt(rr);
+  res.converged = res.converged || rr <= stop;
+  return res;
+}
+
+}  // namespace finch::fem

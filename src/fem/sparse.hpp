@@ -1,0 +1,60 @@
+#pragma once
+// Minimal sparse linear algebra for the FEM path: COO assembly -> CSR,
+// matrix-vector product, and an (unpreconditioned) conjugate-gradient solver.
+// The paper's FEM examples ultimately need a linear solve; this keeps the
+// substrate self-contained.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace finch::fem {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  // Builds from triplets, summing duplicates. n x n square.
+  static CsrMatrix from_triplets(int32_t n, std::vector<int32_t> rows, std::vector<int32_t> cols,
+                                 std::vector<double> values);
+
+  int32_t rows() const { return n_; }
+  int64_t nonzeros() const { return static_cast<int64_t>(val_.size()); }
+
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  double at(int32_t r, int32_t c) const;  // 0 if absent (O(log nnz_row))
+
+  // Row sum (for stiffness-matrix null-space checks).
+  double row_sum(int32_t r) const;
+
+  // Dirichlet elimination: zero row+column of each constrained dof, put 1 on
+  // the diagonal, and adjust the rhs so constrained values are preserved.
+  void apply_dirichlet(std::span<const int32_t> dofs, std::span<const double> values,
+                       std::span<double> rhs);
+
+  // Exports all stored entries (for operator summation).
+  void to_triplets(std::vector<int32_t>& rows, std::vector<int32_t>& cols,
+                   std::vector<double>& values) const;
+
+  // this + scale * other (general sparsity union).
+  static CsrMatrix sum(const CsrMatrix& a, const CsrMatrix& b, double scale_b = 1.0);
+
+ private:
+  int32_t n_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int32_t> col_;
+  std::vector<double> val_;
+};
+
+struct CgResult {
+  int iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+// Solves A x = b with plain CG; x holds the initial guess on entry.
+CgResult conjugate_gradient(const CsrMatrix& A, std::span<const double> b, std::span<double> x,
+                            double tol = 1e-10, int max_iter = 5000);
+
+}  // namespace finch::fem

@@ -1,0 +1,190 @@
+#include "weak_form.hpp"
+
+#include <stdexcept>
+
+#include "core/symbolic/operators.hpp"
+#include "core/symbolic/parser.hpp"
+#include "core/symbolic/printer.hpp"
+#include "core/symbolic/simplify.hpp"
+
+namespace finch::fem {
+
+namespace sym = finch::sym;
+
+namespace {
+
+bool mentions_entity(const sym::Expr& e, const std::string& name) {
+  return sym::contains(e, [&](const sym::Expr& n) {
+    const auto* r = sym::as<sym::EntityRefNode>(n);
+    return r != nullptr && r->name == name;
+  });
+}
+
+// Is this node grad(<entity name>)?
+bool is_grad_of(const sym::Expr& e, const std::string& name) {
+  const auto* c = sym::as<sym::CallNode>(e);
+  if (c == nullptr || c->func != "grad" || c->args.size() != 1) return false;
+  const auto* r = sym::as<sym::EntityRefNode>(c->args[0]);
+  return r != nullptr && r->name == name;
+}
+
+bool is_entity(const sym::Expr& e, const std::string& name) {
+  const auto* r = sym::as<sym::EntityRefNode>(e);
+  return r != nullptr && r->name == name;
+}
+
+}  // namespace
+
+WeakFormTerms classify_weak_form(const std::string& input, const sym::EntityTable& table,
+                                 const std::string& unknown, const std::string& test) {
+  sym::Expr parsed = sym::parse_expression(input, table);
+  // Expand custom/dot operators but keep grad() opaque: the registry's dot
+  // treats grad(x) as a single "component", so dot(grad(u), grad(v)) becomes
+  // the product grad(u)*grad(v), which the lowering recognizes.
+  sym::OperatorRegistry registry;
+  sym::ExpandContext ctx{&table, 2};
+  sym::Expr expanded = sym::expand(sym::expand_operators(parsed, registry, ctx));
+
+  WeakFormTerms out;
+  for (const sym::Expr& term : sym::top_level_terms(expanded)) {
+    const bool has_u = mentions_entity(term, unknown);
+    const bool has_v = mentions_entity(term, test);
+    if (!has_v)
+      throw std::invalid_argument("weak form term lacks the test function: " + sym::to_string(term));
+    if (has_u)
+      out.bilinear.push_back(term);
+    else
+      out.linear.push_back(term);
+  }
+  return out;
+}
+
+LoweredWeakForm lower_weak_form(const WeakFormTerms& terms, const std::string& unknown,
+                                const std::string& test) {
+  LoweredWeakForm out;
+  auto analyze_factors = [&](const sym::Expr& term) {
+    std::vector<sym::Expr> factors;
+    if (const auto* m = sym::as<sym::MulNode>(term))
+      factors = m->factors;
+    else
+      factors = {term};
+    return factors;
+  };
+
+  for (const sym::Expr& term : terms.bilinear) {
+    BilinearOp op;
+    bool saw_grad_u = false, saw_grad_v = false, saw_u = false, saw_v = false;
+    for (const sym::Expr& f : analyze_factors(term)) {
+      if (const auto* num = sym::as<sym::NumberNode>(f)) {
+        op.constant *= num->value;
+      } else if (is_grad_of(f, unknown)) {
+        saw_grad_u = true;
+      } else if (is_grad_of(f, test)) {
+        saw_grad_v = true;
+      } else if (is_entity(f, unknown)) {
+        saw_u = true;
+      } else if (is_entity(f, test)) {
+        saw_v = true;
+      } else if (const auto* r = sym::as<sym::EntityRefNode>(f)) {
+        if (!op.coefficient.empty())
+          throw std::invalid_argument("FEM lowering: multiple coefficients in one term: " +
+                                      sym::to_string(term));
+        op.coefficient = r->name;
+      } else {
+        throw std::invalid_argument("FEM lowering: unsupported factor in bilinear term: " +
+                                    sym::to_string(f));
+      }
+    }
+    if (saw_grad_u && saw_grad_v && !saw_u && !saw_v) {
+      // -c*grad(u).grad(v): the weak Laplacian. The assembled stiffness K is
+      // positive (integral grad.grad); the sign lives in `constant`.
+      op.kind = BilinearOp::Kind::Stiffness;
+    } else if (saw_u && saw_v && !saw_grad_u && !saw_grad_v) {
+      op.kind = BilinearOp::Kind::Mass;
+    } else {
+      throw std::invalid_argument("FEM lowering: unrecognized bilinear pattern: " +
+                                  sym::to_string(term));
+    }
+    out.matrices.push_back(op);
+  }
+
+  for (const sym::Expr& term : terms.linear) {
+    LinearOp op;
+    bool saw_v = false;
+    for (const sym::Expr& f : analyze_factors(term)) {
+      if (const auto* num = sym::as<sym::NumberNode>(f)) {
+        op.constant *= num->value;
+      } else if (is_entity(f, test)) {
+        saw_v = true;
+      } else if (const auto* r = sym::as<sym::EntityRefNode>(f)) {
+        if (!op.coefficient.empty())
+          throw std::invalid_argument("FEM lowering: multiple load coefficients: " +
+                                      sym::to_string(term));
+        op.coefficient = r->name;
+      } else {
+        throw std::invalid_argument("FEM lowering: unsupported factor in linear term: " +
+                                    sym::to_string(f));
+      }
+    }
+    if (!saw_v)
+      throw std::invalid_argument("FEM lowering: linear term without test function: " +
+                                  sym::to_string(term));
+    out.loads.push_back(op);
+  }
+  return out;
+}
+
+AssembledSystem assemble_weak_form(const LoweredWeakForm& form, const NodeMesh& mesh,
+                                   const CoefficientLookup& coefficient_fn) {
+  AssembledSystem sys;
+  const int32_t n = mesh.num_nodes();
+  sys.load.assign(static_cast<size_t>(n), 0.0);
+
+  bool first_matrix = true;
+  CsrMatrix total;
+  for (const BilinearOp& op : form.matrices) {
+    std::function<double(mesh::Vec3)> coeff;
+    // The weak form is written as the right-hand side of M du/dt = B u + F:
+    // the term's folded constant carries the sign, so -alpha*grad(u).grad(v)
+    // contributes -K(alpha) to B. solve_steady() then solves (-B) u = F.
+    const double scale = op.constant;
+    if (op.coefficient.empty()) {
+      const double s = scale;
+      coeff = [s](mesh::Vec3) { return s; };
+    } else {
+      auto base = coefficient_fn ? coefficient_fn(op.coefficient) : nullptr;
+      if (!base)
+        throw std::invalid_argument("assemble_weak_form: no coefficient named " + op.coefficient);
+      const double s = scale;
+      coeff = [base, s](mesh::Vec3 p) { return s * base(p); };
+    }
+    CsrMatrix m = op.kind == BilinearOp::Kind::Stiffness ? assemble_stiffness(mesh, coeff)
+                                                         : assemble_mass(mesh, coeff);
+    if (op.kind == BilinearOp::Kind::Mass) sys.has_mass = true;
+    if (first_matrix) {
+      total = std::move(m);
+      first_matrix = false;
+    } else {
+      total = CsrMatrix::sum(total, m);
+    }
+  }
+  sys.stiffness_like = std::move(total);
+
+  for (const LinearOp& op : form.loads) {
+    std::function<double(mesh::Vec3)> density;
+    if (op.coefficient.empty()) {
+      const double s = op.constant;
+      density = [s](mesh::Vec3) { return s; };
+    } else {
+      auto base = coefficient_fn ? coefficient_fn(op.coefficient) : nullptr;
+      if (!base) throw std::invalid_argument("assemble_weak_form: no coefficient named " + op.coefficient);
+      const double s = op.constant;
+      density = [base, s](mesh::Vec3 p) { return s * base(p); };
+    }
+    std::vector<double> l = assemble_load(mesh, density);
+    for (int32_t i = 0; i < n; ++i) sys.load[static_cast<size_t>(i)] += l[static_cast<size_t>(i)];
+  }
+  return sys;
+}
+
+}  // namespace finch::fem

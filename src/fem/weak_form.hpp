@@ -1,0 +1,76 @@
+#pragma once
+// Weak-form front-end for the FEM discretization.
+//
+// §II.A: "Another example is weak form equations that are used with the
+// finite element discretization. In that case the terms would be organized
+// into linear and bilinear groups, and for volume, boundary, or surface
+// integration."
+//
+// The input mirrors Finch's weakForm string, e.g. for the heat equation
+// du/dt = div(alpha grad(u)) + f tested against v:
+//
+//   "-alpha * dot(grad(u), grad(v)) + f * v"
+//
+// Terms containing both the unknown u and the test function v are bilinear
+// (they assemble matrices); terms containing only v are linear (they assemble
+// load vectors). The lowering pattern-matches each bilinear term onto an
+// assembly kernel: grad(u).grad(v) -> stiffness, u*v -> mass; linear terms
+// ending in *v become load integrands.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "assembly.hpp"
+#include "core/symbolic/entities.hpp"
+#include "core/symbolic/expr.hpp"
+
+namespace finch::fem {
+
+struct WeakFormTerms {
+  std::vector<sym::Expr> bilinear;  // contain unknown and test function
+  std::vector<sym::Expr> linear;    // contain the test function only
+};
+
+// Parses and classifies; `unknown` and `test` are the entity names of u and v
+// (both must be declared as variables in the table; grad() stays opaque).
+WeakFormTerms classify_weak_form(const std::string& input, const sym::EntityTable& table,
+                                 const std::string& unknown, const std::string& test);
+
+// One recognized bilinear contribution.
+struct BilinearOp {
+  enum class Kind { Stiffness, Mass } kind = Kind::Stiffness;
+  double constant = 1.0;                         // folded numeric coefficient
+  std::string coefficient;                       // optional spatial coefficient entity ("" if none)
+};
+
+struct LinearOp {
+  double constant = 1.0;
+  std::string coefficient;  // load density entity ("" means constant load)
+};
+
+struct LoweredWeakForm {
+  std::vector<BilinearOp> matrices;
+  std::vector<LinearOp> loads;
+};
+
+// Pattern-matching lowering. Throws std::invalid_argument on terms the FEM
+// target cannot assemble (e.g. grad(u)*v convection — not implemented).
+LoweredWeakForm lower_weak_form(const WeakFormTerms& terms, const std::string& unknown,
+                                const std::string& test);
+
+// Assembles the lowered form on a mesh. Spatial coefficients are resolved by
+// name through `coefficient_fn` (may return nullptr for constants-only forms).
+struct AssembledSystem {
+  CsrMatrix stiffness_like;       // sum of all matrix contributions (signed)
+  std::vector<double> load;       // sum of all load contributions (signed)
+  bool has_mass = false;          // true if a mass-type term was present
+  CsrMatrix mass;                 // consistent mass (only if has_mass)
+};
+
+using CoefficientLookup = std::function<std::function<double(mesh::Vec3)>(const std::string&)>;
+
+AssembledSystem assemble_weak_form(const LoweredWeakForm& form, const NodeMesh& mesh,
+                                   const CoefficientLookup& coefficient_fn);
+
+}  // namespace finch::fem

@@ -1,0 +1,21 @@
+#include "field.hpp"
+
+namespace finch::fvm {
+
+void CellField::convert_layout(Layout to) {
+  if (to == layout_) return;
+  std::vector<double> out(data_.size());
+  for (int32_t c = 0; c < num_cells_; ++c) {
+    for (int32_t d = 0; d < dof_per_cell_; ++d) {
+      const size_t src = flat_index(c, d);
+      const size_t dst = to == Layout::CellMajor
+                             ? static_cast<size_t>(c) * static_cast<size_t>(dof_per_cell_) + static_cast<size_t>(d)
+                             : static_cast<size_t>(d) * static_cast<size_t>(num_cells_) + static_cast<size_t>(c);
+      out[dst] = data_[src];
+    }
+  }
+  data_ = std::move(out);
+  layout_ = to;
+}
+
+}  // namespace finch::fvm

@@ -1,0 +1,36 @@
+#pragma once
+// Explicit time-stepping drivers.
+//
+// The paper integrates with forward Euler ("a simple explicit scheme such as
+// forward Euler is reasonable"); RK2 (midpoint) is provided as the extension
+// hook for "more sophisticated time stepping routines" referenced from prior
+// Finch work. Both drive a user-supplied RHS evaluation
+//   rhs(state, out)  with  du/dt = rhs
+// over flat DOF vectors.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace finch::fvm {
+
+using RhsFn = std::function<void(std::span<const double> state, std::span<double> rhs)>;
+
+inline void step_forward_euler(std::span<double> u, double dt, const RhsFn& rhs,
+                               std::vector<double>& scratch) {
+  scratch.resize(u.size());
+  rhs(u, scratch);
+  for (size_t i = 0; i < u.size(); ++i) u[i] += dt * scratch[i];
+}
+
+inline void step_rk2_midpoint(std::span<double> u, double dt, const RhsFn& rhs,
+                              std::vector<double>& k1, std::vector<double>& mid) {
+  k1.resize(u.size());
+  mid.resize(u.size());
+  rhs(u, k1);
+  for (size_t i = 0; i < u.size(); ++i) mid[i] = u[i] + 0.5 * dt * k1[i];
+  rhs(mid, k1);
+  for (size_t i = 0; i < u.size(); ++i) u[i] += dt * k1[i];
+}
+
+}  // namespace finch::fvm

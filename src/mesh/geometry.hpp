@@ -1,0 +1,35 @@
+#pragma once
+// Minimal geometric vector type used by the mesh and FVM layers.
+
+#include <array>
+#include <cmath>
+
+namespace finch::mesh {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vec3() = default;
+  Vec3(double x_, double y_, double z_ = 0.0) : x(x_), y(y_), z(z_) {}
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const { return std::sqrt(dot(*this)); }
+  Vec3 normalized() const {
+    double n = norm();
+    return n > 0 ? *this / n : Vec3{};
+  }
+  double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+};
+
+inline Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+}  // namespace finch::mesh

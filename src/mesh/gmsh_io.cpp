@@ -1,0 +1,141 @@
+#include "gmsh_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace finch::mesh {
+
+namespace {
+
+struct GmshNode {
+  double x, y;
+};
+
+}  // namespace
+
+void write_gmsh_quad(const Mesh& mesh, std::ostream& os, int nx, int ny, double lx, double ly) {
+  (void)mesh;
+  const double hx = lx / nx, hy = ly / ny;
+  os << "$MeshFormat\n2.2 0 8\n$EndMeshFormat\n";
+  os << "$Nodes\n" << (nx + 1) * (ny + 1) << "\n";
+  int id = 1;
+  for (int j = 0; j <= ny; ++j)
+    for (int i = 0; i <= nx; ++i) os << id++ << " " << i * hx << " " << j * hy << " 0\n";
+  os << "$EndNodes\n";
+
+  auto nid = [nx](int i, int j) { return j * (nx + 1) + i + 1; };
+  // boundary lines (physical tags 1..4 matching structured_quad regions) + quads
+  const int nelem = 2 * nx + 2 * ny + nx * ny;
+  os << "$Elements\n" << nelem << "\n";
+  int eid = 1;
+  for (int i = 0; i < nx; ++i) os << eid++ << " 1 2 1 1 " << nid(i, 0) << " " << nid(i + 1, 0) << "\n";
+  for (int i = 0; i < nx; ++i) os << eid++ << " 1 2 2 2 " << nid(i, ny) << " " << nid(i + 1, ny) << "\n";
+  for (int j = 0; j < ny; ++j) os << eid++ << " 1 2 3 3 " << nid(0, j) << " " << nid(0, j + 1) << "\n";
+  for (int j = 0; j < ny; ++j) os << eid++ << " 1 2 4 4 " << nid(nx, j) << " " << nid(nx, j + 1) << "\n";
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      os << eid++ << " 3 2 0 0 " << nid(i, j) << " " << nid(i + 1, j) << " " << nid(i + 1, j + 1) << " "
+         << nid(i, j + 1) << "\n";
+  os << "$EndElements\n";
+}
+
+void write_gmsh_quad_file(const Mesh& mesh, const std::string& path, int nx, int ny, double lx, double ly) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_gmsh_quad(mesh, os, nx, ny, lx, ly);
+}
+
+Mesh read_gmsh_quad(std::istream& is) {
+  std::string line;
+  std::map<int, GmshNode> nodes;
+  struct Quad {
+    int n[4];
+  };
+  std::vector<Quad> quads;
+  struct BLine {
+    int a, b, region;
+  };
+  std::vector<BLine> blines;
+
+  while (std::getline(is, line)) {
+    if (line.rfind("$Nodes", 0) == 0) {
+      std::getline(is, line);
+      int count = std::stoi(line);
+      for (int i = 0; i < count; ++i) {
+        std::getline(is, line);
+        std::istringstream ss(line);
+        int id;
+        double x, y, z;
+        ss >> id >> x >> y >> z;
+        if (!ss) throw std::runtime_error("gmsh: malformed node line: " + line);
+        nodes[id] = {x, y};
+      }
+    } else if (line.rfind("$Elements", 0) == 0) {
+      std::getline(is, line);
+      int count = std::stoi(line);
+      for (int i = 0; i < count; ++i) {
+        std::getline(is, line);
+        std::istringstream ss(line);
+        int id, type, ntags;
+        ss >> id >> type >> ntags;
+        int phys = 0, tag;
+        for (int t = 0; t < ntags; ++t) {
+          ss >> tag;
+          if (t == 0) phys = tag;
+        }
+        if (type == 1) {
+          BLine bl;
+          ss >> bl.a >> bl.b;
+          bl.region = phys;
+          if (!ss) throw std::runtime_error("gmsh: malformed line element: " + line);
+          blines.push_back(bl);
+        } else if (type == 3) {
+          Quad q;
+          ss >> q.n[0] >> q.n[1] >> q.n[2] >> q.n[3];
+          if (!ss) throw std::runtime_error("gmsh: malformed quad element: " + line);
+          quads.push_back(q);
+        }  // other element types ignored
+      }
+    }
+  }
+  if (quads.empty()) throw std::runtime_error("gmsh: no quadrangle elements found");
+
+  // Infer the structured grid: the node set must form a rectangular lattice.
+  double minx = 1e300, maxx = -1e300, miny = 1e300, maxy = -1e300;
+  std::vector<double> xs, ys;
+  for (const auto& [id, n] : nodes) {
+    minx = std::min(minx, n.x);
+    maxx = std::max(maxx, n.x);
+    miny = std::min(miny, n.y);
+    maxy = std::max(maxy, n.y);
+    xs.push_back(n.x);
+    ys.push_back(n.y);
+  }
+  auto uniq = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end(),
+                        [](double a, double b) { return std::abs(a - b) < 1e-12 * (1.0 + std::abs(a)); }),
+            v.end());
+  };
+  uniq(xs);
+  uniq(ys);
+  const int nx = static_cast<int>(xs.size()) - 1, ny = static_cast<int>(ys.size()) - 1;
+  if (nx < 1 || ny < 1 || static_cast<size_t>((nx + 1) * (ny + 1)) != nodes.size())
+    throw std::runtime_error("gmsh: mesh is not a structured rectangular quad grid");
+  if (quads.size() != static_cast<size_t>(nx) * static_cast<size_t>(ny))
+    throw std::runtime_error("gmsh: quad count does not match inferred grid");
+  return Mesh::structured_quad(nx, ny, maxx - minx, maxy - miny);
+}
+
+Mesh read_gmsh_quad_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open: " + path);
+  return read_gmsh_quad(is);
+}
+
+}  // namespace finch::mesh

@@ -1,0 +1,25 @@
+#pragma once
+// Gmsh 2.2 ASCII import/export for quadrilateral meshes.
+//
+// The paper: "A mesh must either be imported from a Gmsh or MEDIT formatted
+// mesh file, or generated internally by Finch's simple generation utility."
+// This covers the Gmsh path for the 2-D quad meshes the demonstrations use:
+// element type 3 (4-node quadrangle) for cells and type 1 (2-node line) for
+// tagged boundary edges (physical tag = boundary region id).
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh.hpp"
+
+namespace finch::mesh {
+
+void write_gmsh_quad(const Mesh& mesh, std::ostream& os, int nx, int ny, double lx, double ly);
+void write_gmsh_quad_file(const Mesh& mesh, const std::string& path, int nx, int ny, double lx, double ly);
+
+// Reads a quad mesh (as written by write_gmsh_quad or produced by gmsh for a
+// structured rectangle). Throws std::runtime_error on malformed input.
+Mesh read_gmsh_quad(std::istream& is);
+Mesh read_gmsh_quad_file(const std::string& path);
+
+}  // namespace finch::mesh

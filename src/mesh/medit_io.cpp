@@ -1,0 +1,98 @@
+#include "medit_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace finch::mesh {
+
+void write_medit_quad(const Mesh& mesh, std::ostream& os, int nx, int ny, double lx, double ly) {
+  (void)mesh;
+  const double hx = lx / nx, hy = ly / ny;
+  os << "MeshVersionFormatted 2\nDimension 2\n";
+  os << "Vertices\n" << (nx + 1) * (ny + 1) << "\n";
+  for (int j = 0; j <= ny; ++j)
+    for (int i = 0; i <= nx; ++i) os << i * hx << " " << j * hy << " 0\n";
+  auto nid = [nx](int i, int j) { return j * (nx + 1) + i + 1; };
+  os << "Edges\n" << 2 * nx + 2 * ny << "\n";
+  for (int i = 0; i < nx; ++i) os << nid(i, 0) << " " << nid(i + 1, 0) << " 1\n";
+  for (int i = 0; i < nx; ++i) os << nid(i, ny) << " " << nid(i + 1, ny) << " 2\n";
+  for (int j = 0; j < ny; ++j) os << nid(0, j) << " " << nid(0, j + 1) << " 3\n";
+  for (int j = 0; j < ny; ++j) os << nid(nx, j) << " " << nid(nx, j + 1) << " 4\n";
+  os << "Quadrilaterals\n" << nx * ny << "\n";
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      os << nid(i, j) << " " << nid(i + 1, j) << " " << nid(i + 1, j + 1) << " " << nid(i, j + 1)
+         << " 0\n";
+  os << "End\n";
+}
+
+void write_medit_quad_file(const Mesh& mesh, const std::string& path, int nx, int ny, double lx,
+                           double ly) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_medit_quad(mesh, os, nx, ny, lx, ly);
+}
+
+Mesh read_medit_quad(std::istream& is) {
+  std::string token;
+  std::vector<std::pair<double, double>> vertices;
+  size_t nquads = 0;
+  while (is >> token) {
+    if (token == "Vertices") {
+      size_t n;
+      is >> n;
+      vertices.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        double x, y, z;
+        is >> x >> y >> z;
+        if (!is) throw std::runtime_error("medit: malformed vertex");
+        vertices[i] = {x, y};
+      }
+    } else if (token == "Quadrilaterals") {
+      is >> nquads;
+      for (size_t i = 0; i < nquads; ++i) {
+        int a, b, c, d, ref;
+        is >> a >> b >> c >> d >> ref;
+        if (!is) throw std::runtime_error("medit: malformed quadrilateral");
+      }
+    } else if (token == "End") {
+      break;
+    }
+  }
+  if (vertices.empty() || nquads == 0) throw std::runtime_error("medit: no quad mesh found");
+
+  std::vector<double> xs, ys;
+  double maxx = -1e300, maxy = -1e300;
+  for (const auto& [x, y] : vertices) {
+    xs.push_back(x);
+    ys.push_back(y);
+    maxx = std::max(maxx, x);
+    maxy = std::max(maxy, y);
+  }
+  auto uniq = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end(),
+                        [](double a, double b) { return std::abs(a - b) < 1e-12 * (1.0 + std::abs(a)); }),
+            v.end());
+  };
+  uniq(xs);
+  uniq(ys);
+  const int nx = static_cast<int>(xs.size()) - 1, ny = static_cast<int>(ys.size()) - 1;
+  if (nx < 1 || ny < 1 || static_cast<size_t>((nx + 1) * (ny + 1)) != vertices.size() ||
+      nquads != static_cast<size_t>(nx) * static_cast<size_t>(ny))
+    throw std::runtime_error("medit: mesh is not a structured rectangular quad grid");
+  return Mesh::structured_quad(nx, ny, maxx - xs.front(), maxy - ys.front());
+}
+
+Mesh read_medit_quad_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open: " + path);
+  return read_medit_quad(is);
+}
+
+}  // namespace finch::mesh

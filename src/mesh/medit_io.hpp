@@ -1,0 +1,21 @@
+#pragma once
+// MEDIT (.mesh) ASCII import/export for quadrilateral meshes — the second
+// mesh-file format the paper's DSL accepts ("imported from a Gmsh or MEDIT
+// formatted mesh file"). Quadrilaterals carry reference 0; boundary Edges
+// carry the region id as their reference.
+
+#include <iosfwd>
+#include <string>
+
+#include "mesh.hpp"
+
+namespace finch::mesh {
+
+void write_medit_quad(const Mesh& mesh, std::ostream& os, int nx, int ny, double lx, double ly);
+void write_medit_quad_file(const Mesh& mesh, const std::string& path, int nx, int ny, double lx,
+                           double ly);
+
+Mesh read_medit_quad(std::istream& is);
+Mesh read_medit_quad_file(const std::string& path);
+
+}  // namespace finch::mesh

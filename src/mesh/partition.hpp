@@ -1,0 +1,46 @@
+#pragma once
+// Mesh partitioning — the stand-in for Metis.jl used by the paper's
+// cell-parallel strategy ("the library Metis.jl ... is used for mesh
+// partitioning"). Two algorithms:
+//
+//  * recursive coordinate bisection (RCB): splits along the longest axis of
+//    the cell-centroid bounding box; near-perfect balance on structured grids
+//  * greedy graph growing with boundary refinement: a BFS-seeded partitioner
+//    with a Kernighan–Lin-style pass that reduces edge cut
+//
+// plus the communication-plan builder (halo exchange) that the cell-parallel
+// runtime and the communication cost models consume.
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh.hpp"
+
+namespace finch::mesh {
+
+enum class PartitionMethod { RCB, GreedyGraph };
+
+// part id per cell, values in [0, nparts)
+std::vector<int32_t> partition(const Mesh& mesh, int nparts, PartitionMethod method = PartitionMethod::RCB);
+
+// Number of interior faces whose two cells land in different parts.
+int64_t edge_cut(const Mesh& mesh, const std::vector<int32_t>& part);
+
+// Max part size / ideal part size.
+double imbalance(const Mesh& mesh, const std::vector<int32_t>& part, int nparts);
+
+// Halo-exchange plan for one part: which local cells each neighboring part
+// needs (send), and which remote cells this part reads (recv).
+struct HaloPlan {
+  struct Exchange {
+    int32_t peer = 0;
+    std::vector<int32_t> cells;  // global cell ids
+  };
+  std::vector<Exchange> sends;
+  std::vector<Exchange> recvs;
+  int64_t total_send_cells() const;
+};
+
+HaloPlan build_halo(const Mesh& mesh, const std::vector<int32_t>& part, int32_t my_part);
+
+}  // namespace finch::mesh

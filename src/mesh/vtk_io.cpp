@@ -1,0 +1,42 @@
+#include "vtk_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace finch::mesh {
+
+void write_vtk_cells(std::ostream& os, const Mesh& mesh, int nx, int ny, int nz,
+                     const std::string& name, std::span<const double> cell_values) {
+  const int64_t ncell = static_cast<int64_t>(nx) * ny * std::max(nz, 1);
+  if (ncell != mesh.num_cells() || static_cast<int64_t>(cell_values.size()) != ncell)
+    throw std::invalid_argument("write_vtk_cells: extent/value mismatch");
+  const bool is3d = nz > 1;
+  // Reconstruct node coordinates from the first cell's size (uniform grids).
+  const Vec3 c0 = mesh.cell_centroid(0);
+  const double hx = 2.0 * c0.x, hy = 2.0 * c0.y;
+  double hz = 1.0;
+  if (is3d) hz = 2.0 * c0.z;
+
+  os << "# vtk DataFile Version 3.0\nfinch-bte field: " << name << "\nASCII\n";
+  os << "DATASET STRUCTURED_GRID\n";
+  os << "DIMENSIONS " << nx + 1 << " " << ny + 1 << " " << (is3d ? nz + 1 : 1) << "\n";
+  const int64_t npoints = static_cast<int64_t>(nx + 1) * (ny + 1) * (is3d ? nz + 1 : 1);
+  os << "POINTS " << npoints << " double\n";
+  const int kmax = is3d ? nz : 0;
+  for (int k = 0; k <= kmax; ++k)
+    for (int j = 0; j <= ny; ++j)
+      for (int i = 0; i <= nx; ++i)
+        os << i * hx << " " << j * hy << " " << (is3d ? k * hz : 0.0) << "\n";
+  os << "CELL_DATA " << ncell << "\n";
+  os << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+  for (int64_t c = 0; c < ncell; ++c) os << cell_values[static_cast<size_t>(c)] << "\n";
+}
+
+void write_vtk_cells_file(const std::string& path, const Mesh& mesh, int nx, int ny, int nz,
+                          const std::string& name, std::span<const double> cell_values) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_vtk_cells(os, mesh, nx, ny, nz, name, cell_values);
+}
+
+}  // namespace finch::mesh

@@ -1,0 +1,23 @@
+#pragma once
+// Legacy-VTK export of cell fields — the practical visualization path for the
+// temperature figures (Fig. 2 / Fig. 10 were rendered from exactly this kind
+// of cell data). Writes ASCII STRUCTURED_GRID files ParaView/VisIt can open.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mesh.hpp"
+
+namespace finch::mesh {
+
+// One scalar value per cell; `name` becomes the VTK array name. The mesh must
+// be a structured quad (nx*ny) or hex (nx*ny*nz) grid, with the extents given.
+void write_vtk_cells(std::ostream& os, const Mesh& mesh, int nx, int ny, int nz,
+                     const std::string& name, std::span<const double> cell_values);
+
+void write_vtk_cells_file(const std::string& path, const Mesh& mesh, int nx, int ny, int nz,
+                          const std::string& name, std::span<const double> cell_values);
+
+}  // namespace finch::mesh

@@ -1,0 +1,112 @@
+#include "simgpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace finch::rt {
+
+GpuSpec GpuSpec::a6000() {
+  GpuSpec s;
+  s.name = "NVIDIA RTX A6000 (simulated)";
+  s.peak_sp_flops = 38.7e12;
+  s.peak_dp_flops = s.peak_sp_flops / 32.0;  // GA102: FP64 = 1/32 FP32
+  s.mem_bandwidth_Bps = 768e9;
+  s.pcie_bandwidth_Bps = 25e9;  // PCIe 4.0 x16 with pinned buffers
+  s.pcie_latency_s = 10e-6;
+  s.launch_overhead_s = 5e-6;
+  s.sm_count = 84;
+  s.max_threads_per_sm = 1536;
+  return s;
+}
+
+GpuSpec GpuSpec::a100() {
+  GpuSpec s;
+  s.name = "NVIDIA A100 (simulated)";
+  s.peak_sp_flops = 19.5e12;
+  s.peak_dp_flops = 9.7e12;
+  s.mem_bandwidth_Bps = 1555e9;
+  s.pcie_bandwidth_Bps = 12e9;
+  s.pcie_latency_s = 10e-6;
+  s.launch_overhead_s = 5e-6;
+  s.sm_count = 108;
+  s.max_threads_per_sm = 2048;
+  return s;
+}
+
+int SimGpu::create_stream() {
+  stream_clocks_.push_back(0.0);
+  return static_cast<int>(stream_clocks_.size()) - 1;
+}
+
+void SimGpu::memcpy_h2d(DeviceBuffer& dst, std::span<const double> src, int stream) {
+  if (src.size() > dst.size()) throw std::invalid_argument("memcpy_h2d: source larger than buffer");
+  std::memcpy(dst.data_.data(), src.data(), src.size() * sizeof(double));
+  const int64_t bytes = static_cast<int64_t>(src.size() * sizeof(double));
+  const double t = spec_.pcie_latency_s + static_cast<double>(bytes) / spec_.pcie_bandwidth_Bps;
+  stream_clocks_.at(static_cast<size_t>(stream)) += t;
+  counters_.copy_seconds += t;
+  counters_.bytes_h2d += bytes;
+}
+
+void SimGpu::memcpy_d2h(std::span<double> dst, const DeviceBuffer& src, int stream) {
+  if (dst.size() > src.size()) throw std::invalid_argument("memcpy_d2h: destination larger than buffer");
+  std::memcpy(dst.data(), src.data_.data(), dst.size() * sizeof(double));
+  const int64_t bytes = static_cast<int64_t>(dst.size() * sizeof(double));
+  const double t = spec_.pcie_latency_s + static_cast<double>(bytes) / spec_.pcie_bandwidth_Bps;
+  stream_clocks_.at(static_cast<size_t>(stream)) += t;
+  counters_.copy_seconds += t;
+  counters_.bytes_d2h += bytes;
+}
+
+double SimGpu::model_sm_utilization(const KernelStats& s) const {
+  if (s.threads <= 0) return 0.0;
+  const double per_wave = static_cast<double>(spec_.sm_count) * spec_.max_threads_per_sm;
+  const double waves = std::ceil(static_cast<double>(s.threads) / per_wave);
+  // Tail-wave quantization: the final partial wave idles some SMs.
+  const double quantization = static_cast<double>(s.threads) / (waves * per_wave);
+  return std::clamp(quantization * (1.0 - s.divergence), 0.0, 1.0);
+}
+
+double SimGpu::model_kernel_seconds(const KernelStats& s) const {
+  const double peak = s.single_precision ? spec_.peak_sp_flops : spec_.peak_dp_flops;
+  const double sm_util = model_sm_utilization(s);
+  // Peak assumes every issue slot is an FMA (2 flops); a mix with plain
+  // add/mul/compare issues fewer flops per cycle.
+  const double issue_eff = 0.5 + 0.5 * std::clamp(s.fma_fraction, 0.0, 1.0);
+  const double total_flops = s.flops_per_thread * static_cast<double>(s.threads);
+  const double total_bytes = s.dram_bytes_per_thread * static_cast<double>(s.threads);
+  const double t_compute = total_flops / std::max(peak * sm_util * issue_eff, 1.0);
+  const double t_mem = total_bytes / spec_.mem_bandwidth_Bps;
+  return spec_.launch_overhead_s + std::max(t_compute, t_mem);
+}
+
+void SimGpu::launch(const std::string& kernel_name, const KernelStats& stats,
+                    const std::function<void()>& body, int stream) {
+  if (body) body();  // the generated kernel really executes on device buffers
+  const double t = model_kernel_seconds(stats);
+  stream_clocks_.at(static_cast<size_t>(stream)) += t;
+  counters_.kernel_seconds += t;
+  counters_.kernel_launches += 1;
+  const double flops = stats.flops_per_thread * static_cast<double>(stats.threads);
+  const double bytes = stats.dram_bytes_per_thread * static_cast<double>(stats.threads);
+  counters_.total_flops += flops;
+  counters_.total_dram_bytes += bytes;
+  kernel_times_[kernel_name] += t;
+
+  const double peak = stats.single_precision ? spec_.peak_sp_flops : spec_.peak_dp_flops;
+  weighted_sm_ += model_sm_utilization(stats) * t;
+  weighted_flopfrac_ += (flops / t) / peak * t;
+  weighted_memfrac_ += (bytes / t) / spec_.mem_bandwidth_Bps * t;
+  counters_.sm_utilization = weighted_sm_ / counters_.kernel_seconds;
+  counters_.flop_fraction = weighted_flopfrac_ / counters_.kernel_seconds;
+  counters_.mem_fraction = weighted_memfrac_ / counters_.kernel_seconds;
+}
+
+double SimGpu::synchronize() {
+  return *std::max_element(stream_clocks_.begin(), stream_clocks_.end());
+}
+
+double SimGpu::stream_clock(int stream) const { return stream_clocks_.at(static_cast<size_t>(stream)); }
+
+}  // namespace finch::rt

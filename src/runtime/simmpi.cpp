@@ -1,0 +1,66 @@
+#include "simmpi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace finch::rt {
+
+BspSimulator::BspSimulator(int32_t nranks, CommModel model) : nranks_(nranks), model_(model) {
+  if (nranks < 1) throw std::invalid_argument("BspSimulator: nranks must be >= 1");
+}
+
+void BspSimulator::compute_step(std::span<const double> seconds, Phase phase) {
+  if (static_cast<int32_t>(seconds.size()) != nranks_)
+    throw std::invalid_argument("compute_step: one entry per rank required");
+  double step = *std::max_element(seconds.begin(), seconds.end());
+  clock_ += step;
+  switch (phase) {
+    case Phase::Compute: phases_.compute += step; break;
+    case Phase::PostProcess: phases_.post_process += step; break;
+    case Phase::Communication: phases_.communication += step; break;
+  }
+}
+
+void BspSimulator::uniform_compute(double seconds, Phase phase) {
+  std::vector<double> s(static_cast<size_t>(nranks_), seconds);
+  compute_step(s, phase);
+}
+
+void BspSimulator::exchange(std::span<const Message> messages) {
+  if (nranks_ == 1 || messages.empty()) return;
+  std::vector<double> cost(static_cast<size_t>(nranks_), 0.0);
+  for (const Message& m : messages) {
+    if (m.src < 0 || m.src >= nranks_ || m.dst < 0 || m.dst >= nranks_)
+      throw std::invalid_argument("exchange: rank out of range");
+    if (m.src == m.dst) continue;  // local copies are free
+    const double t = model_.per_message(m.bytes);
+    cost[static_cast<size_t>(m.src)] += t;
+    cost[static_cast<size_t>(m.dst)] += t;
+  }
+  double step = *std::max_element(cost.begin(), cost.end());
+  clock_ += step;
+  phases_.communication += step;
+}
+
+void BspSimulator::allreduce(int64_t bytes) {
+  if (nranks_ == 1) return;
+  // Recursive doubling: ceil(log2 p) rounds, each alpha + bytes/bw.
+  const double rounds = std::ceil(std::log2(static_cast<double>(nranks_)));
+  const double step = rounds * model_.per_message(bytes);
+  clock_ += step;
+  phases_.communication += step;
+}
+
+void BspSimulator::gather(int64_t bytes_per_rank) {
+  if (nranks_ == 1) return;
+  // Binomial-tree gather: log2 p rounds, message sizes double each round;
+  // total data through the root is (p-1)*bytes.
+  const double rounds = std::ceil(std::log2(static_cast<double>(nranks_)));
+  const double volume = static_cast<double>(bytes_per_rank) * (nranks_ - 1);
+  const double step = rounds * model_.latency_s + volume / model_.bandwidth_Bps;
+  clock_ += step;
+  phases_.communication += step;
+}
+
+}  // namespace finch::rt

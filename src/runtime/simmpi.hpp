@@ -1,0 +1,78 @@
+#pragma once
+// Virtual-time message-passing simulator.
+//
+// The paper's scaling experiments (Figs 4, 5, 9) ran on a cluster with up to
+// 320 MPI processes. This machine has one core, so we reproduce the *timing*
+// with a bulk-synchronous virtual clock while the *numerics* run for real on
+// the undecomposed problem (domain decomposition does not change explicit-FV
+// results, only who computes what).
+//
+// Model: execution is a sequence of supersteps. In a superstep every rank
+// performs local compute (seconds, supplied by measured or modeled kernel
+// cost) and exchanges point-to-point messages. Communication cost follows the
+// standard alpha-beta (latency + size/bandwidth) model; a rank's superstep
+// time is compute + its communication time, and the step completes when the
+// slowest rank does. Collectives use tree/butterfly cost formulas.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace finch::rt {
+
+struct CommModel {
+  double latency_s = 2e-6;          // per-message alpha (typical intra-cluster MPI)
+  double bandwidth_Bps = 12.5e9;    // ~100 Gb/s interconnect
+  double per_message(int64_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / bandwidth_Bps;
+  }
+};
+
+struct Message {
+  int32_t src = 0;
+  int32_t dst = 0;
+  int64_t bytes = 0;
+};
+
+// Per-phase accounting so breakdown figures (Figs 5 & 8) fall out directly.
+struct PhaseTimes {
+  double compute = 0.0;        // "solve for intensity"
+  double post_process = 0.0;   // "temperature update"
+  double communication = 0.0;  // halo exchange / reductions / H2D-D2H
+  double total() const { return compute + post_process + communication; }
+};
+
+class BspSimulator {
+ public:
+  BspSimulator(int32_t nranks, CommModel model = {});
+
+  int32_t nranks() const { return nranks_; }
+
+  // Advances the clock by a compute phase: every rank busy for seconds[r].
+  // `phase` routes the elapsed max-time into the matching PhaseTimes slot.
+  enum class Phase { Compute, PostProcess, Communication };
+  void compute_step(std::span<const double> seconds, Phase phase = Phase::Compute);
+  // Convenience: all ranks take the same time.
+  void uniform_compute(double seconds, Phase phase = Phase::Compute);
+
+  // Point-to-point exchange: each rank pays alpha per message plus bytes/bw
+  // for everything it sends and receives; the step costs the max over ranks.
+  void exchange(std::span<const Message> messages);
+
+  // Allreduce of `bytes` per rank (recursive-doubling cost model).
+  void allreduce(int64_t bytes);
+
+  // Gather of `bytes` per rank to a root (linear-tree model).
+  void gather(int64_t bytes_per_rank);
+
+  double elapsed() const { return clock_; }
+  const PhaseTimes& phases() const { return phases_; }
+
+ private:
+  int32_t nranks_;
+  CommModel model_;
+  double clock_ = 0.0;
+  PhaseTimes phases_;
+};
+
+}  // namespace finch::rt

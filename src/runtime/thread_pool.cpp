@@ -1,0 +1,86 @@
+#include "thread_pool.hpp"
+
+#include <atomic>
+
+namespace finch::rt {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(int64_t begin, int64_t end, const std::function<void(int64_t)>& fn,
+                              int64_t grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&fn](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) fn(i);
+      },
+      grain);
+}
+
+void ThreadPool::parallel_for_chunks(int64_t begin, int64_t end,
+                                     const std::function<void(int64_t, int64_t)>& fn, int64_t grain) {
+  if (begin >= end) return;
+  if (grain < 1) grain = 1;
+  std::atomic<int64_t> cursor{begin};
+  const int64_t nchunks = (end - begin + grain - 1) / grain;
+  std::atomic<int64_t> remaining{nchunks};
+  Job job;
+  job.body = &fn;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.cursor = &cursor;
+  job.remaining = &remaining;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    job_ = job;
+    ++job_epoch_;
+  }
+  cv_work_.notify_all();
+  run_chunks(job);  // the calling thread participates
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_done_.wait(lk, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  job_ = Job{};  // clear so late-waking workers see no work
+}
+
+void ThreadPool::run_chunks(const Job& job) {
+  while (true) {
+    int64_t b = job.cursor->fetch_add(job.grain, std::memory_order_relaxed);
+    if (b >= job.end) break;
+    int64_t e = std::min(b + job.grain, job.end);
+    (*job.body)(b, e);
+    if (job.remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_work_.wait(lk, [&] { return stopping_ || (job_epoch_ != seen_epoch && job_.body != nullptr); });
+      if (stopping_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    if (job.body != nullptr) run_chunks(job);
+  }
+}
+
+}  // namespace finch::rt

@@ -1,0 +1,55 @@
+#pragma once
+// Work-sharing thread pool with a blocking parallel_for, used by the CPU
+// multithreaded code-generation target. Kernels executed through the pool are
+// bit-identical to serial execution (each index is processed exactly once);
+// only the interleaving differs.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace finch::rt {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Blocks until fn has been applied to every i in [begin, end).
+  // Indices are handed out in contiguous grain-sized chunks.
+  void parallel_for(int64_t begin, int64_t end, const std::function<void(int64_t)>& fn,
+                    int64_t grain = 256);
+
+  // Chunked variant: fn receives [chunk_begin, chunk_end) ranges.
+  void parallel_for_chunks(int64_t begin, int64_t end,
+                           const std::function<void(int64_t, int64_t)>& fn, int64_t grain = 256);
+
+ private:
+  struct Job {
+    const std::function<void(int64_t, int64_t)>* body = nullptr;
+    int64_t begin = 0, end = 0, grain = 1;
+    std::atomic<int64_t>* cursor = nullptr;
+    std::atomic<int64_t>* remaining = nullptr;
+  };
+
+  void worker_loop();
+  void run_chunks(const Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job job_;
+  uint64_t job_epoch_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace finch::rt

@@ -1,0 +1,98 @@
+// Spectral 3-D BTE (the paper's "very coarse-grained 3-D runs" with the full
+// band structure): equilibrium steadiness, hot-spot response, symmetry, and
+// the §III.A scaling observation that 3-D blows the problem up by two
+// dimensions (cells x directions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "bte/bte_problem.hpp"
+
+using namespace finch;
+using namespace finch::bte;
+
+namespace {
+
+std::shared_ptr<const BtePhysics> phys3d() {
+  static auto p = std::make_shared<const BtePhysics>(4, 2, 4);  // 4 bands, 8 ordinates
+  return p;
+}
+
+Bte3dScenario tiny3d() {
+  Bte3dScenario s;
+  s.nx = s.ny = s.nz = 6;
+  s.lx = s.ly = s.lz = 30e-6;
+  s.hot_w = 12e-6;
+  s.n_polar = 2;
+  s.n_azimuth = 4;
+  s.nbands = 4;
+  s.dt = 1e-12;
+  return s;
+}
+
+}  // namespace
+
+TEST(Bte3d, PhysicsDimensions) {
+  EXPECT_EQ(phys3d()->num_dirs(), 8);
+  EXPECT_GE(phys3d()->num_bands(), 4);  // 4 LA + TA overlap
+  // The paper's full 3-D discretization: 400 directions x 55 bands = 22000
+  // coupled PDEs ("This typical discretization results in 22000 coupled PDEs").
+  BtePhysics full(40, 20, 20);
+  EXPECT_EQ(full.num_dirs() * full.num_bands(), 22000);
+}
+
+TEST(Bte3d, EquilibriumIsSteady) {
+  Bte3dScenario s = tiny3d();
+  s.T_hot = s.T_cold;
+  BteProblem3d bp(s, phys3d());
+  bp.compile(dsl::Target::CpuSerial)->run(10);
+  for (double T : bp.temperature()) EXPECT_NEAR(T, s.T_init, 0.05);
+}
+
+TEST(Bte3d, HotSpotHeatsTheTopCenter) {
+  Bte3dScenario s = tiny3d();
+  BteProblem3d bp(s, phys3d());
+  bp.compile(dsl::Target::CpuSerial)->run(60);
+  auto T = bp.temperature();
+  const int n = s.nx;
+  auto at = [&](int i, int j, int k) { return T[static_cast<size_t>((k * n + j) * n + i)]; };
+  // Top-center warms, bottom corner stays cold; field bounded.
+  EXPECT_GT(at(n / 2, n / 2, n - 1), s.T_init + 0.1);
+  EXPECT_NEAR(at(0, 0, 0), s.T_init, 0.2);
+  for (double t : T) {
+    EXPECT_GE(t, s.T_cold - 0.5);
+    EXPECT_LE(t, s.T_hot + 0.5);
+  }
+  // Decays downward under the spot.
+  EXPECT_GT(at(n / 2, n / 2, n - 1), at(n / 2, n / 2, n / 2));
+}
+
+TEST(Bte3d, FourFoldSymmetryOfTheField) {
+  Bte3dScenario s = tiny3d();
+  BteProblem3d bp(s, phys3d());
+  bp.compile(dsl::Target::CpuSerial)->run(30);
+  auto T = bp.temperature();
+  const int n = s.nx;
+  auto at = [&](int i, int j, int k) { return T[static_cast<size_t>((k * n + j) * n + i)]; };
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n / 2; ++i) {
+        EXPECT_NEAR(at(i, j, k), at(n - 1 - i, j, k), 1e-8) << i << " " << j << " " << k;
+        EXPECT_NEAR(at(j, i, k), at(j, n - 1 - i, k), 1e-8);
+      }
+}
+
+TEST(Bte3d, GpuTargetMatchesCpu) {
+  Bte3dScenario s = tiny3d();
+  s.nx = s.ny = s.nz = 4;
+  BteProblem3d cpu(s, phys3d());
+  cpu.compile(dsl::Target::CpuSerial)->run(6);
+  rt::SimGpu gpu(rt::GpuSpec::a6000());
+  BteProblem3d gp(s, phys3d());
+  gp.problem().use_cuda(&gpu);
+  gp.compile()->run(6);
+  auto a = cpu.problem().fields().get("I").data();
+  auto b = gp.problem().fields().get("I").data();
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}

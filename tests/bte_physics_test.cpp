@@ -1,0 +1,327 @@
+// Phonon physics substrate: dispersion, bands, relaxation, equilibrium
+// intensity, and the direction sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "bte/bands.hpp"
+#include "bte/directions.hpp"
+#include "bte/dispersion.hpp"
+#include "bte/equilibrium.hpp"
+#include "bte/relaxation.hpp"
+
+using namespace finch::bte;
+
+// ---- dispersion ------------------------------------------------------------
+
+TEST(Dispersion, SiliconBranchShapes) {
+  Dispersion si = Dispersion::silicon();
+  // Literature values: omega_max(LA) ~ 7.7e13 rad/s, omega_max(TA) ~ 3.0e13.
+  EXPECT_NEAR(si.la.omega_max(), 7.75e13, 0.1e13);
+  EXPECT_NEAR(si.ta.omega_max(), 3.02e13, 0.1e13);
+  // Group velocity at zone center equals the sound speed; decreases with k.
+  EXPECT_DOUBLE_EQ(si.la.group_velocity(0), 9.01e3);
+  EXPECT_LT(si.la.group_velocity(si.la.k_max), si.la.group_velocity(0));
+  // TA flattens out at the zone edge.
+  EXPECT_NEAR(si.ta.group_velocity(si.ta.k_max), 0.0, 50.0);
+}
+
+TEST(Dispersion, InverseDispersionRoundTrip) {
+  Dispersion si = Dispersion::silicon();
+  for (const BranchDispersion* bd : {&si.la, &si.ta}) {
+    for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      const double k = frac * bd->k_max;
+      const double w = bd->omega(k);
+      EXPECT_NEAR(bd->k_of_omega(w), k, 1e-6 * bd->k_max);
+    }
+  }
+  EXPECT_THROW(si.la.k_of_omega(-1.0), std::domain_error);
+  EXPECT_THROW(si.ta.k_of_omega(si.la.omega_max()), std::domain_error);
+}
+
+// ---- bands ------------------------------------------------------------------
+
+TEST(Bands, PaperCountFortyGivesFiftyFive) {
+  // §III.A: "40 frequency bands, which results in 40 longitudinal bands and
+  // an additional 15 transverse bands" -> 55 total.
+  BandSet set = make_bands(Dispersion::silicon(), 40);
+  int la = 0, ta = 0;
+  for (const auto& b : set.bands) (b.branch == Branch::LA ? la : ta)++;
+  EXPECT_EQ(la, 40);
+  EXPECT_EQ(ta, 15);
+  EXPECT_EQ(set.size(), 55);
+}
+
+TEST(Bands, CoverSpectrumWithoutGaps) {
+  BandSet set = make_bands(Dispersion::silicon(), 16);
+  const double dw = Dispersion::silicon().la.omega_max() / 16;
+  for (const auto& b : set.bands) {
+    EXPECT_NEAR(b.d_omega(), dw, 1e-3 * dw);
+    EXPECT_GT(b.omega_c, b.omega_lo);
+    EXPECT_LT(b.omega_c, b.omega_hi);
+    EXPECT_GT(b.vg, 0.0);
+  }
+}
+
+TEST(Bands, TaBandsAreDoublyDegenerate) {
+  BandSet set = make_bands(Dispersion::silicon(), 10);
+  for (const auto& b : set.bands)
+    EXPECT_DOUBLE_EQ(b.degeneracy, b.branch == Branch::TA ? 2.0 : 1.0);
+}
+
+class BandCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(BandCounts, TaFractionTracksFrequencyRatio) {
+  const int n = GetParam();
+  BandSet set = make_bands(Dispersion::silicon(), n);
+  int ta = 0;
+  for (const auto& b : set.bands)
+    if (b.branch == Branch::TA) ++ta;
+  const double ratio = Dispersion::silicon().ta.omega_max() / Dispersion::silicon().la.omega_max();
+  EXPECT_NEAR(static_cast<double>(ta) / n, ratio, 1.5 / n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BandCounts, ::testing::Values(8, 16, 40, 80));
+
+// ---- relaxation --------------------------------------------------------------
+
+TEST(Relaxation, RatesPositiveAndTemperatureSensitive) {
+  Dispersion si = Dispersion::silicon();
+  BandSet set = make_bands(si, 20);
+  RelaxationModel rm = RelaxationModel::silicon(si);
+  for (const auto& band : set.bands) {
+    const double r300 = rm.inverse_tau(band, 300.0);
+    const double r400 = rm.inverse_tau(band, 400.0);
+    EXPECT_GT(r300, 0.0);
+    EXPECT_GT(r400, r300);  // more scattering when hotter
+  }
+}
+
+TEST(Relaxation, SiliconTimescaleOrderOfMagnitude) {
+  // Mid-spectrum LA phonons at 300 K relax on ~1e-11..1e-9 s scales.
+  Dispersion si = Dispersion::silicon();
+  BandSet set = make_bands(si, 40);
+  RelaxationModel rm = RelaxationModel::silicon(si);
+  const Band& mid = set.bands[20];  // LA, mid spectrum
+  const double tau = rm.tau(mid, 300.0);
+  EXPECT_GT(tau, 1e-12);
+  EXPECT_LT(tau, 1e-8);
+}
+
+TEST(Relaxation, HigherFrequencyScattersMore) {
+  Dispersion si = Dispersion::silicon();
+  BandSet set = make_bands(si, 40);
+  RelaxationModel rm = RelaxationModel::silicon(si);
+  // Within the LA branch, rates grow with frequency.
+  EXPECT_LT(rm.inverse_tau(set.bands[2], 300.0), rm.inverse_tau(set.bands[30], 300.0));
+}
+
+// ---- equilibrium intensity ----------------------------------------------------
+
+TEST(Equilibrium, BoseEinsteinProperties) {
+  EXPECT_GT(bose_einstein(1e13, 300.0), bose_einstein(5e13, 300.0));  // decreasing in w
+  EXPECT_GT(bose_einstein(1e13, 400.0), bose_einstein(1e13, 300.0));  // increasing in T
+  EXPECT_NEAR(bose_einstein(1e13, 300.0), 1.0 / std::expm1(kHbar * 1e13 / (kBoltzmann * 300.0)), 1e-12);
+  // Derivative matches finite differences.
+  const double h = 1e-3;
+  const double fd = (bose_einstein(2e13, 300.0 + h) - bose_einstein(2e13, 300.0 - h)) / (2 * h);
+  EXPECT_NEAR(d_bose_einstein_dT(2e13, 300.0), fd, 1e-6 * std::abs(fd));
+}
+
+TEST(Equilibrium, IntensityIncreasesWithTemperature) {
+  BandSet set = make_bands(Dispersion::silicon(), 20);
+  for (int b : {0, 5, 12, 19}) {
+    EXPECT_GT(equilibrium_intensity(set.bands[static_cast<size_t>(b)], 350.0),
+              equilibrium_intensity(set.bands[static_cast<size_t>(b)], 300.0));
+  }
+}
+
+TEST(Equilibrium, TableMatchesDirectEvaluation) {
+  Dispersion si = Dispersion::silicon();
+  BandSet set = make_bands(si, 12);
+  RelaxationModel rm = RelaxationModel::silicon(si);
+  EquilibriumTable table(set, rm, 250.0, 450.0, 0.5);
+  for (int b = 0; b < set.size(); ++b) {
+    for (double T : {273.0, 300.0, 312.7, 380.0}) {
+      EXPECT_NEAR(table.I0(b, T), equilibrium_intensity(set.bands[static_cast<size_t>(b)], T),
+                  1e-4 * equilibrium_intensity(set.bands[static_cast<size_t>(b)], T) + 1e-12);
+      EXPECT_NEAR(table.beta(b, T), rm.inverse_tau(set.bands[static_cast<size_t>(b)], T),
+                  1e-4 * rm.inverse_tau(set.bands[static_cast<size_t>(b)], T));
+    }
+  }
+}
+
+TEST(Equilibrium, TemperatureSolveRecoversEquilibrium) {
+  // If G_b = 4 pi I0_b(T*), the solver must return T*.
+  Dispersion si = Dispersion::silicon();
+  BandSet set = make_bands(si, 16);
+  EquilibriumTable table(set, RelaxationModel::silicon(si), 250.0, 450.0, 0.25);
+  for (double T_star : {280.0, 300.0, 333.3, 420.0}) {
+    std::vector<double> G(static_cast<size_t>(set.size()));
+    for (int b = 0; b < set.size(); ++b) G[static_cast<size_t>(b)] = 4.0 * M_PI * table.I0(b, T_star);
+    EXPECT_NEAR(table.solve_temperature(G, 300.0), T_star, 0.02);
+    EXPECT_NEAR(table.solve_energy_temperature(G, 300.0), T_star, 0.02);
+  }
+}
+
+TEST(Equilibrium, TemperatureSolveMonotoneInEnergy) {
+  Dispersion si = Dispersion::silicon();
+  BandSet set = make_bands(si, 10);
+  EquilibriumTable table(set, RelaxationModel::silicon(si));
+  std::vector<double> G(static_cast<size_t>(set.size()));
+  for (int b = 0; b < set.size(); ++b) G[static_cast<size_t>(b)] = 4.0 * M_PI * table.I0(b, 300.0);
+  const double T1 = table.solve_temperature(G, 300.0);
+  for (auto& g : G) g *= 1.05;  // add energy
+  const double T2 = table.solve_temperature(G, 300.0);
+  EXPECT_GT(T2, T1);
+}
+
+// ---- directions ----------------------------------------------------------------
+
+TEST(Directions2D, UnitVectorsAndWeightSum) {
+  DirectionSet set = make_directions_2d(20);
+  EXPECT_EQ(set.size(), 20);
+  double wsum = 0;
+  for (int d = 0; d < set.size(); ++d) {
+    EXPECT_NEAR(set.s[static_cast<size_t>(d)].norm(), 1.0, 1e-14);
+    wsum += set.weight[static_cast<size_t>(d)];
+  }
+  EXPECT_NEAR(wsum, 4.0 * M_PI, 1e-12);
+}
+
+TEST(Directions2D, FirstMomentVanishes) {
+  DirectionSet set = make_directions_2d(16);
+  finch::mesh::Vec3 m{};
+  for (int d = 0; d < set.size(); ++d) m += set.s[static_cast<size_t>(d)] * set.weight[static_cast<size_t>(d)];
+  EXPECT_NEAR(m.norm(), 0.0, 1e-10);
+}
+
+TEST(Directions2D, ClosedUnderAxisReflections) {
+  for (int n : {8, 12, 20}) {
+    DirectionSet set = make_directions_2d(n);
+    for (int d = 0; d < n; ++d) {
+      const int rx = set.reflect_x[static_cast<size_t>(d)];
+      const int ry = set.reflect_y[static_cast<size_t>(d)];
+      ASSERT_GE(rx, 0);
+      ASSERT_GE(ry, 0);
+      EXPECT_NEAR(set.s[static_cast<size_t>(rx)].x, -set.s[static_cast<size_t>(d)].x, 1e-12);
+      EXPECT_NEAR(set.s[static_cast<size_t>(rx)].y, set.s[static_cast<size_t>(d)].y, 1e-12);
+      EXPECT_NEAR(set.s[static_cast<size_t>(ry)].y, -set.s[static_cast<size_t>(d)].y, 1e-12);
+      // Reflection is an involution.
+      EXPECT_EQ(set.reflect_x[static_cast<size_t>(rx)], d);
+      EXPECT_EQ(set.reflect_y[static_cast<size_t>(ry)], d);
+    }
+  }
+}
+
+TEST(Directions2D, ReflectDispatchesOnNormalAxis) {
+  DirectionSet set = make_directions_2d(8);
+  const int d = 1;
+  EXPECT_EQ(set.reflect(d, {1, 0, 0}), set.reflect_x[d]);
+  EXPECT_EQ(set.reflect(d, {-1, 0, 0}), set.reflect_x[d]);
+  EXPECT_EQ(set.reflect(d, {0, 1, 0}), set.reflect_y[d]);
+}
+
+TEST(Directions2D, RejectsOddCounts) {
+  EXPECT_THROW(make_directions_2d(7), std::invalid_argument);
+  EXPECT_THROW(make_directions_2d(0), std::invalid_argument);
+}
+
+TEST(Directions3D, WeightsSumToFourPiAndMomentsVanish) {
+  DirectionSet set = make_directions_3d(4, 8);
+  EXPECT_EQ(set.size(), 32);
+  double wsum = 0;
+  finch::mesh::Vec3 m{};
+  for (int d = 0; d < set.size(); ++d) {
+    EXPECT_NEAR(set.s[static_cast<size_t>(d)].norm(), 1.0, 1e-12);
+    wsum += set.weight[static_cast<size_t>(d)];
+    m += set.s[static_cast<size_t>(d)] * set.weight[static_cast<size_t>(d)];
+  }
+  EXPECT_NEAR(wsum, 4.0 * M_PI, 1e-10);
+  EXPECT_NEAR(m.norm(), 0.0, 1e-9);
+}
+
+TEST(Directions3D, SecondMomentIsIsotropic) {
+  // integral s_i s_j dOmega = (4 pi / 3) delta_ij
+  DirectionSet set = make_directions_3d(6, 12);
+  double xx = 0, yy = 0, zz = 0, xy = 0;
+  for (int d = 0; d < set.size(); ++d) {
+    const auto& s = set.s[static_cast<size_t>(d)];
+    const double w = set.weight[static_cast<size_t>(d)];
+    xx += w * s.x * s.x;
+    yy += w * s.y * s.y;
+    zz += w * s.z * s.z;
+    xy += w * s.x * s.y;
+  }
+  const double third = 4.0 * M_PI / 3.0;
+  EXPECT_NEAR(xx, third, 1e-8);
+  EXPECT_NEAR(yy, third, 1e-8);
+  EXPECT_NEAR(zz, third, 1e-8);
+  EXPECT_NEAR(xy, 0.0, 1e-10);
+}
+
+TEST(Directions3D, ClosedUnderReflections) {
+  DirectionSet set = make_directions_3d(4, 8);
+  for (int d = 0; d < set.size(); ++d) {
+    EXPECT_GE(set.reflect_x[static_cast<size_t>(d)], 0);
+    EXPECT_GE(set.reflect_y[static_cast<size_t>(d)], 0);
+    EXPECT_GE(set.reflect_z[static_cast<size_t>(d)], 0);
+  }
+}
+
+// ---- integrated physics validation ---------------------------------------------
+
+TEST(SiliconPhysics, BulkThermalConductivityOrderOfMagnitude) {
+  // Kinetic-theory conductivity k = (1/3) sum_b C_b vg_b^2 tau_b with
+  // C_b = 4 pi (dI0_b/dT) / vg_b. For Holland-type silicon parameters at
+  // 300 K the literature value is ~150 W/(m K); the model should land within
+  // a factor of ~2 (validating dispersion, DOS, occupancy and scattering
+  // together).
+  Dispersion si = Dispersion::silicon();
+  BandSet set = make_bands(si, 40);
+  RelaxationModel rm = RelaxationModel::silicon(si);
+  EquilibriumTable table(set, rm, 250.0, 350.0, 0.25);
+  double k = 0.0;
+  for (int b = 0; b < set.size(); ++b) {
+    const Band& band = set.bands[static_cast<size_t>(b)];
+    const double dI0dT = table.dI0_dT(b, 300.0);
+    const double C_b = 4.0 * M_PI * dI0dT / band.vg;
+    k += (1.0 / 3.0) * C_b * band.vg * band.vg * rm.tau(band, 300.0);
+  }
+  EXPECT_GT(k, 50.0);
+  EXPECT_LT(k, 500.0);
+}
+
+TEST(SiliconPhysics, HeatCapacityNearDulongPetit) {
+  // Total volumetric heat capacity at 300 K: silicon's experimental value is
+  // ~1.66e6 J/(m^3 K); the quadratic-dispersion model typically lands within
+  // a factor ~2 (it misses optical phonons).
+  Dispersion si = Dispersion::silicon();
+  BandSet set = make_bands(si, 40);
+  RelaxationModel rm = RelaxationModel::silicon(si);
+  EquilibriumTable table(set, rm, 250.0, 350.0, 0.25);
+  double cv = 0.0;
+  for (int b = 0; b < set.size(); ++b)
+    cv += 4.0 * M_PI * table.dI0_dT(b, 300.0) / set.bands[static_cast<size_t>(b)].vg;
+  EXPECT_GT(cv, 0.4e6);
+  EXPECT_LT(cv, 4.0e6);
+}
+
+TEST(SiliconPhysics, ConductivityDecreasesWithTemperature) {
+  // Above the Debye peak, phonon-phonon scattering strengthens with T and
+  // bulk conductivity falls (silicon: ~150 at 300 K, ~100 at 400 K).
+  Dispersion si = Dispersion::silicon();
+  BandSet set = make_bands(si, 40);
+  RelaxationModel rm = RelaxationModel::silicon(si);
+  EquilibriumTable table(set, rm, 250.0, 450.0, 0.25);
+  auto conductivity = [&](double T) {
+    double k = 0.0;
+    for (int b = 0; b < set.size(); ++b) {
+      const Band& band = set.bands[static_cast<size_t>(b)];
+      k += (4.0 * M_PI / 3.0) * table.dI0_dT(b, T) * band.vg * rm.tau(band, T);
+    }
+    return k;
+  };
+  EXPECT_GT(conductivity(300.0), conductivity(400.0));
+}

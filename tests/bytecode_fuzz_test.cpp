@@ -1,0 +1,213 @@
+// Property test: the bytecode compiler+interpreter must agree with a direct
+// tree-walking evaluation of the symbolic expression, for randomly generated
+// expressions over the full node grammar (seeded, deterministic).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/codegen/bytecode.hpp"
+#include "core/symbolic/printer.hpp"
+#include "core/symbolic/simplify.hpp"
+
+using namespace finch;
+using codegen::EvalContext;
+
+namespace {
+
+struct Env {
+  sym::EntityTable table;
+  fvm::FieldSet fields;
+  std::map<std::string, std::vector<double>> coefs;
+  std::map<std::string, double> scalars;
+  codegen::CompileEnv cenv;
+
+  Env() {
+    table.declare_index("d", 1, 3);
+    table.declare_index("b", 1, 2);
+    table.declare({"I", sym::EntityKind::Variable, 1, {"d", "b"}});
+    table.declare({"u", sym::EntityKind::Variable, 1, {}});
+    table.declare({"Sx", sym::EntityKind::Coefficient, 1, {"d"}});
+    table.declare({"k", sym::EntityKind::Coefficient, 1, {}});
+    fields.add("I", 4, 6);
+    fields.add("u", 4, 1);
+    for (int32_t c = 0; c < 4; ++c) {
+      fields.get("u").at(c, 0) = 0.5 + c;
+      for (int32_t dof = 0; dof < 6; ++dof) fields.get("I").at(c, dof) = 0.1 * (c + 1) * (dof + 1);
+    }
+    coefs["Sx"] = {0.3, -0.6, 0.9};
+    scalars["k"] = 1.75;
+    cenv.table = &table;
+    cenv.index_order = {"b", "d"};
+    cenv.index_extent = {2, 3};
+    cenv.fields = &fields;
+    cenv.coefficients = &coefs;
+    cenv.scalar_coefficients = &scalars;
+  }
+};
+
+// Reference evaluator: straight recursion over the tree.
+double ref_eval(const sym::Expr& e, const Env& env, const EvalContext& ctx) {
+  switch (e->kind()) {
+    case sym::Kind::Number:
+      return sym::as<sym::NumberNode>(e)->value;
+    case sym::Kind::Symbol: {
+      const std::string& n = sym::as<sym::SymbolNode>(e)->name;
+      if (n == "dt") return ctx.dt;
+      if (n == "NORMAL_1") return ctx.normal[0];
+      if (n == "NORMAL_2") return ctx.normal[1];
+      throw std::logic_error("ref_eval: unexpected symbol " + n);
+    }
+    case sym::Kind::EntityRef: {
+      const auto* r = sym::as<sym::EntityRefNode>(e);
+      if (r->name == "k") return env.scalars.at("k");
+      // Resolve indices (b slot 0, d slot 1).
+      auto idx_value = [&](const sym::Expr& ie) {
+        const auto* s = sym::as<sym::SymbolNode>(ie);
+        return s->name == "b" ? ctx.loop_values[0] : ctx.loop_values[1];
+      };
+      if (r->name == "Sx") return env.coefs.at("Sx")[static_cast<size_t>(idx_value(r->indices[0]))];
+      const int32_t cell = r->side == sym::CellSide::Cell2 && ctx.neighbor >= 0 ? ctx.neighbor : ctx.cell;
+      if (r->name == "u") return env.fields.get("u").at(cell, 0);
+      const int32_t d = idx_value(r->indices[0]);
+      const int32_t b = idx_value(r->indices[1]);
+      return env.fields.get("I").at(cell, d + 3 * b);
+    }
+    case sym::Kind::Add: {
+      double s = 0;
+      for (const auto& t : sym::as<sym::AddNode>(e)->terms) s += ref_eval(t, env, ctx);
+      return s;
+    }
+    case sym::Kind::Mul: {
+      double s = 1;
+      for (const auto& f : sym::as<sym::MulNode>(e)->factors) {
+        if (const auto* p = sym::as<sym::PowNode>(f); p != nullptr && sym::is_number(p->expo, -1.0)) {
+          s /= ref_eval(p->base, env, ctx);
+          continue;
+        }
+        s *= ref_eval(f, env, ctx);
+      }
+      return s;
+    }
+    case sym::Kind::Pow: {
+      const auto* p = sym::as<sym::PowNode>(e);
+      if (sym::is_number(p->expo, 2.0)) {
+        const double b = ref_eval(p->base, env, ctx);
+        return b * b;
+      }
+      if (sym::is_number(p->expo, -1.0)) return 1.0 / ref_eval(p->base, env, ctx);
+      return std::pow(ref_eval(p->base, env, ctx), ref_eval(p->expo, env, ctx));
+    }
+    case sym::Kind::Compare: {
+      const auto* c = sym::as<sym::CompareNode>(e);
+      const double l = ref_eval(c->lhs, env, ctx), r = ref_eval(c->rhs, env, ctx);
+      switch (c->op) {
+        case sym::CmpOp::GT: return l > r;
+        case sym::CmpOp::GE: return l >= r;
+        case sym::CmpOp::LT: return l < r;
+        case sym::CmpOp::LE: return l <= r;
+        case sym::CmpOp::EQ: return l == r;
+        case sym::CmpOp::NE: return l != r;
+      }
+      return 0;
+    }
+    case sym::Kind::Call: {
+      const auto* c = sym::as<sym::CallNode>(e);
+      if (c->func == "conditional")
+        return ref_eval(c->args[0], env, ctx) != 0.0 ? ref_eval(c->args[1], env, ctx)
+                                                     : ref_eval(c->args[2], env, ctx);
+      if (c->func == "exp") return std::exp(ref_eval(c->args[0], env, ctx));
+      if (c->func == "abs") return std::abs(ref_eval(c->args[0], env, ctx));
+      throw std::logic_error("ref_eval: unexpected call " + c->func);
+    }
+    default:
+      throw std::logic_error("ref_eval: unexpected node");
+  }
+}
+
+// Random expression generator over the supported grammar.
+class Gen {
+ public:
+  explicit Gen(uint32_t seed) : rng_(seed) {}
+
+  sym::Expr expr(int depth) {
+    if (depth <= 0) return leaf();
+    switch (rng_() % 7) {
+      case 0: case 1: {
+        std::vector<sym::Expr> t;
+        const int n = 2 + static_cast<int>(rng_() % 2);
+        for (int i = 0; i < n; ++i) t.push_back(expr(depth - 1));
+        return sym::add(std::move(t));
+      }
+      case 2: case 3: {
+        std::vector<sym::Expr> f;
+        const int n = 2 + static_cast<int>(rng_() % 2);
+        for (int i = 0; i < n; ++i) f.push_back(expr(depth - 1));
+        return sym::mul(std::move(f));
+      }
+      case 4:
+        return sym::pow(expr(depth - 1), sym::num(2.0));
+      case 5:
+        return sym::conditional(sym::compare(sym::CmpOp::GT, expr(depth - 1), sym::num(0.0)),
+                                expr(depth - 1), expr(depth - 1));
+      default:
+        return sym::call(rng_() % 2 == 0 ? "exp" : "abs", {scaled_leaf()});
+    }
+  }
+
+ private:
+  sym::Expr scaled_leaf() {
+    // keep exp() arguments small
+    return sym::mul({sym::num(0.1), leaf()});
+  }
+
+  sym::Expr leaf() {
+    switch (rng_() % 6) {
+      case 0: return sym::num(static_cast<double>(rng_() % 19) / 3.0 - 3.0);
+      case 1: return sym::sym("dt");
+      case 2: return sym::sym(rng_() % 2 == 0 ? "NORMAL_1" : "NORMAL_2");
+      case 3: return sym::entity("u", sym::EntityKind::Variable, 1, {},
+                                 rng_() % 2 == 0 ? sym::CellSide::Self : sym::CellSide::Cell2);
+      case 4: return sym::entity("I", sym::EntityKind::Variable, 1, {sym::sym("d"), sym::sym("b")});
+      default: return sym::entity("Sx", sym::EntityKind::Coefficient, 1, {sym::sym("d")});
+    }
+  }
+
+  std::mt19937 rng_;
+};
+
+}  // namespace
+
+class BytecodeFuzz : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BytecodeFuzz, CompiledMatchesReference) {
+  Env env;
+  Gen gen(GetParam());
+  for (int round = 0; round < 60; ++round) {
+    sym::Expr raw = gen.expr(3);
+    sym::Expr e = sym::simplify(raw);
+    codegen::Program prog = codegen::compile(e, env.cenv);
+    // Also verify expansion preserves semantics.
+    sym::Expr ex = sym::expand(raw);
+    codegen::Program prog_ex = codegen::compile(ex, env.cenv);
+    for (int trial = 0; trial < 4; ++trial) {
+      EvalContext ctx;
+      ctx.cell = trial % 4;
+      ctx.neighbor = (trial + 1) % 4;
+      ctx.dt = 0.25 * (trial + 1);
+      ctx.normal = {trial % 2 ? 1.0 : -0.5, trial % 3 ? 0.5 : -1.0, 0.0};
+      ctx.loop_values = {trial % 2, trial % 3, 0, 0};
+      const double want = ref_eval(e, env, ctx);
+      const double got = codegen::eval(prog, ctx);
+      const double got_ex = codegen::eval(prog_ex, ctx);
+      if (std::isfinite(want)) {
+        EXPECT_NEAR(got, want, 1e-9 * (1.0 + std::abs(want)))
+            << "expr: " << sym::to_string(e) << " trial " << trial;
+        EXPECT_NEAR(got_ex, want, 1e-6 * (1.0 + std::abs(want)))
+            << "expanded expr: " << sym::to_string(ex);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BytecodeFuzz, ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 42u));

@@ -1,0 +1,295 @@
+// FEM substrate tests: sparse algebra, Q1 assembly invariants, the weak-form
+// classification (§II.A's "linear and bilinear groups"), the pattern-matching
+// lowering, and convergence of the assembled solvers against manufactured
+// solutions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/symbolic/printer.hpp"
+#include "fem/heat_solver.hpp"
+
+using namespace finch;
+using namespace finch::fem;
+
+// ---- sparse ------------------------------------------------------------------
+
+TEST(Sparse, TripletsAccumulateDuplicates) {
+  CsrMatrix m = CsrMatrix::from_triplets(3, {0, 0, 1, 2, 0}, {0, 1, 1, 2, 0}, {1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 6.0);  // 1 + 5
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+  EXPECT_EQ(m.nonzeros(), 4);
+}
+
+TEST(Sparse, MultiplyMatchesDense) {
+  CsrMatrix m = CsrMatrix::from_triplets(2, {0, 0, 1}, {0, 1, 1}, {2.0, -1.0, 3.0});
+  std::vector<double> x = {1.0, 2.0}, y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Sparse, SumUnionOfSparsity) {
+  CsrMatrix a = CsrMatrix::from_triplets(2, {0}, {0}, {1.0});
+  CsrMatrix b = CsrMatrix::from_triplets(2, {1, 0}, {1, 0}, {2.0, 3.0});
+  CsrMatrix c = CsrMatrix::sum(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 1.0);
+}
+
+TEST(Sparse, CgSolvesSpdSystem) {
+  // Laplacian-like tridiagonal system.
+  const int n = 50;
+  std::vector<int32_t> r, c;
+  std::vector<double> v;
+  for (int i = 0; i < n; ++i) {
+    r.push_back(i); c.push_back(i); v.push_back(2.0);
+    if (i > 0) { r.push_back(i); c.push_back(i - 1); v.push_back(-1.0); }
+    if (i < n - 1) { r.push_back(i); c.push_back(i + 1); v.push_back(-1.0); }
+  }
+  CsrMatrix A = CsrMatrix::from_triplets(n, std::move(r), std::move(c), std::move(v));
+  std::vector<double> b(static_cast<size_t>(n), 1.0), x(static_cast<size_t>(n), 0.0);
+  CgResult res = conjugate_gradient(A, b, x, 1e-12);
+  EXPECT_TRUE(res.converged);
+  std::vector<double> y(static_cast<size_t>(n));
+  A.multiply(x, y);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(y[static_cast<size_t>(i)], 1.0, 1e-8);
+}
+
+TEST(Sparse, DirichletPreservesConstrainedValues) {
+  CsrMatrix A = CsrMatrix::from_triplets(3, {0, 0, 1, 1, 1, 2, 2}, {0, 1, 0, 1, 2, 1, 2},
+                                         {2, -1, -1, 2, -1, -1, 2});
+  std::vector<double> rhs = {0.0, 0.0, 0.0};
+  std::vector<int32_t> dofs = {0};
+  std::vector<double> vals = {5.0};
+  A.apply_dirichlet(dofs, vals, rhs);
+  std::vector<double> x = {0, 0, 0};
+  conjugate_gradient(A, rhs, x, 1e-12);
+  EXPECT_NEAR(x[0], 5.0, 1e-10);
+  // Interior solves the constrained system: x1 = (x0 + x2)/... consistent.
+  EXPECT_NEAR(2 * x[1] - x[2], 5.0, 1e-8);
+}
+
+// ---- assembly -----------------------------------------------------------------
+
+TEST(Assembly, ShapeFunctionsPartitionOfUnity) {
+  for (double xi : {-0.9, -0.3, 0.0, 0.5, 1.0}) {
+    for (double eta : {-1.0, -0.2, 0.4, 0.8}) {
+      auto N = q1_shape(xi, eta);
+      EXPECT_NEAR(N[0] + N[1] + N[2] + N[3], 1.0, 1e-14);
+      auto dN = q1_shape_grad(xi, eta);
+      EXPECT_NEAR(dN[0][0] + dN[1][0] + dN[2][0] + dN[3][0], 0.0, 1e-14);
+      EXPECT_NEAR(dN[0][1] + dN[1][1] + dN[2][1] + dN[3][1], 0.0, 1e-14);
+    }
+  }
+}
+
+TEST(Assembly, NodeMeshConnectivity) {
+  NodeMesh mesh(3, 2, 3.0, 2.0);
+  EXPECT_EQ(mesh.num_nodes(), 12);
+  EXPECT_EQ(mesh.num_elements(), 6);
+  auto nodes = mesh.element_nodes(0);
+  EXPECT_EQ(nodes[0], 0);
+  EXPECT_EQ(nodes[1], 1);
+  EXPECT_EQ(nodes[2], 5);
+  EXPECT_EQ(nodes[3], 4);
+  EXPECT_EQ(mesh.boundary_nodes(1).size(), 4u);
+  EXPECT_EQ(mesh.boundary_nodes(3).size(), 3u);
+  EXPECT_EQ(mesh.all_boundary_nodes().size(), 10u);  // 12 nodes, 2 interior
+}
+
+TEST(Assembly, StiffnessRowsSumToZero) {
+  NodeMesh mesh(5, 4, 1.0, 1.0);
+  CsrMatrix K = assemble_stiffness(mesh);
+  for (int32_t r = 0; r < K.rows(); ++r) EXPECT_NEAR(K.row_sum(r), 0.0, 1e-12);
+  // Symmetry on a few entries.
+  EXPECT_NEAR(K.at(0, 1), K.at(1, 0), 1e-14);
+  EXPECT_NEAR(K.at(7, 8), K.at(8, 7), 1e-14);
+}
+
+TEST(Assembly, MassTotalEqualsDomainArea) {
+  NodeMesh mesh(6, 3, 2.0, 1.5);
+  CsrMatrix M = assemble_mass(mesh);
+  double total = 0;
+  for (int32_t r = 0; r < M.rows(); ++r) total += M.row_sum(r);
+  EXPECT_NEAR(total, 3.0, 1e-12);  // area = 2.0 * 1.5
+  auto lumped = assemble_lumped_mass(mesh);
+  double lumped_total = 0;
+  for (double v : lumped) lumped_total += v;
+  EXPECT_NEAR(lumped_total, 3.0, 1e-12);
+}
+
+TEST(Assembly, LoadOfConstantIntegratesExactly) {
+  NodeMesh mesh(4, 4, 1.0, 1.0);
+  auto load = assemble_load(mesh, [](mesh::Vec3) { return 3.0; });
+  double total = 0;
+  for (double v : load) total += v;
+  EXPECT_NEAR(total, 3.0, 1e-12);
+}
+
+// ---- weak-form classification & lowering ---------------------------------------
+
+TEST(WeakForm, ClassifiesBilinearAndLinearGroups) {
+  sym::EntityTable t;
+  t.declare({"u", sym::EntityKind::Variable, 1, {}});
+  t.declare({"v", sym::EntityKind::Variable, 1, {}});
+  t.declare({"alpha", sym::EntityKind::Coefficient, 1, {}});
+  t.declare({"f", sym::EntityKind::Coefficient, 1, {}});
+  auto terms = classify_weak_form("-alpha * dot(grad(u), grad(v)) + f * v", t, "u", "v");
+  ASSERT_EQ(terms.bilinear.size(), 1u);
+  ASSERT_EQ(terms.linear.size(), 1u);
+  EXPECT_EQ(sym::to_string(terms.bilinear[0]), "-_alpha_1*grad(_u_1)*grad(_v_1)");
+  EXPECT_EQ(sym::to_string(terms.linear[0]), "_f_1*_v_1");
+}
+
+TEST(WeakForm, ReactionTermIsMass) {
+  sym::EntityTable t;
+  t.declare({"u", sym::EntityKind::Variable, 1, {}});
+  t.declare({"v", sym::EntityKind::Variable, 1, {}});
+  auto terms = classify_weak_form("-2 * u * v", t, "u", "v");
+  auto low = lower_weak_form(terms, "u", "v");
+  ASSERT_EQ(low.matrices.size(), 1u);
+  EXPECT_EQ(low.matrices[0].kind, BilinearOp::Kind::Mass);
+  EXPECT_DOUBLE_EQ(low.matrices[0].constant, -2.0);
+}
+
+TEST(WeakForm, DiffusionTermIsStiffness) {
+  sym::EntityTable t;
+  t.declare({"u", sym::EntityKind::Variable, 1, {}});
+  t.declare({"v", sym::EntityKind::Variable, 1, {}});
+  t.declare({"alpha", sym::EntityKind::Coefficient, 1, {}});
+  auto low = lower_weak_form(classify_weak_form("-alpha*dot(grad(u), grad(v))", t, "u", "v"), "u", "v");
+  ASSERT_EQ(low.matrices.size(), 1u);
+  EXPECT_EQ(low.matrices[0].kind, BilinearOp::Kind::Stiffness);
+  EXPECT_EQ(low.matrices[0].coefficient, "alpha");
+  EXPECT_DOUBLE_EQ(low.matrices[0].constant, -1.0);
+}
+
+TEST(WeakForm, RejectsTermWithoutTestFunction) {
+  sym::EntityTable t;
+  t.declare({"u", sym::EntityKind::Variable, 1, {}});
+  t.declare({"v", sym::EntityKind::Variable, 1, {}});
+  EXPECT_THROW(classify_weak_form("u + u*v", t, "u", "v"), std::invalid_argument);
+}
+
+TEST(WeakForm, RejectsUnsupportedBilinearPattern) {
+  sym::EntityTable t;
+  t.declare({"u", sym::EntityKind::Variable, 1, {}});
+  t.declare({"v", sym::EntityKind::Variable, 1, {}});
+  auto terms = classify_weak_form("grad(u) * v", t, "u", "v");
+  EXPECT_THROW(lower_weak_form(terms, "u", "v"), std::invalid_argument);
+}
+
+// ---- end-to-end FEM solves ------------------------------------------------------
+
+TEST(FemHeat, SteadyManufacturedSolutionConverges) {
+  // -lap(u) = 2 pi^2 sin(pi x) sin(pi y), u = 0 on the boundary;
+  // exact u = sin(pi x) sin(pi y). L2 error must drop ~4x per refinement.
+  auto l2_error = [](int n) {
+    FemHeatProblem p(NodeMesh(n, n, 1.0, 1.0));
+    p.coefficient("alpha", [](mesh::Vec3) { return 1.0; });
+    p.coefficient("f", [](mesh::Vec3 x) {
+      return 2.0 * M_PI * M_PI * std::sin(M_PI * x.x) * std::sin(M_PI * x.y);
+    });
+    p.weak_form("-alpha * dot(grad(u), grad(v)) + f * v");
+    for (int region = 1; region <= 4; ++region)
+      p.dirichlet(region, [](mesh::Vec3) { return 0.0; });
+    auto u = p.solve_steady(1e-12);
+    double err2 = 0;
+    const double h2 = (1.0 / n) * (1.0 / n);
+    for (int32_t k = 0; k < p.mesh().num_nodes(); ++k) {
+      const auto x = p.mesh().node(k);
+      const double e = u[static_cast<size_t>(k)] - std::sin(M_PI * x.x) * std::sin(M_PI * x.y);
+      err2 += e * e * h2;
+    }
+    return std::sqrt(err2);
+  };
+  const double e8 = l2_error(8), e16 = l2_error(16);
+  EXPECT_LT(e16, e8 / 3.0);  // ~O(h^2)
+  EXPECT_LT(e16, 0.01);
+}
+
+TEST(FemHeat, SteadyLinearProfileIsExact) {
+  // No source, u = x on left/right walls' values: Q1 reproduces linears exactly.
+  FemHeatProblem p(NodeMesh(7, 5, 1.0, 1.0));
+  p.coefficient("alpha", [](mesh::Vec3) { return 2.5; });
+  p.weak_form("-alpha * dot(grad(u), grad(v))");
+  for (int region = 1; region <= 4; ++region)
+    p.dirichlet(region, [](mesh::Vec3 x) { return x.x; });
+  auto u = p.solve_steady(1e-12);
+  for (int32_t k = 0; k < p.mesh().num_nodes(); ++k)
+    EXPECT_NEAR(u[static_cast<size_t>(k)], p.mesh().node(k).x, 1e-9);
+}
+
+TEST(FemHeat, TransientDecaysAtAnalyticRate) {
+  // du/dt = lap(u), u0 = sin(pi x) sin(pi y): u(t) = u0 exp(-2 pi^2 t).
+  const int n = 16;
+  FemHeatProblem p(NodeMesh(n, n, 1.0, 1.0));
+  p.coefficient("alpha", [](mesh::Vec3) { return 1.0; });
+  p.weak_form("-alpha * dot(grad(u), grad(v))");
+  for (int region = 1; region <= 4; ++region)
+    p.dirichlet(region, [](mesh::Vec3) { return 0.0; });
+  auto u = p.interpolate([](mesh::Vec3 x) { return std::sin(M_PI * x.x) * std::sin(M_PI * x.y); });
+  const double dt = 1e-4;  // well under the explicit stability limit (~h^2/4)
+  const int steps = 400;
+  p.advance(u, dt, steps);
+  const double decay = std::exp(-2.0 * M_PI * M_PI * dt * steps);
+  // Check the center node (peak of the mode).
+  const int32_t center = (n / 2) * (n + 1) + n / 2;
+  EXPECT_NEAR(u[static_cast<size_t>(center)], decay, 0.05 * decay);
+}
+
+TEST(FemHeat, TransientRespectsMaximumPrinciple) {
+  FemHeatProblem p(NodeMesh(12, 12, 1.0, 1.0));
+  p.coefficient("alpha", [](mesh::Vec3) { return 1.0; });
+  p.weak_form("-alpha * dot(grad(u), grad(v))");
+  for (int region = 1; region <= 4; ++region)
+    p.dirichlet(region, [](mesh::Vec3) { return 0.0; });
+  auto u = p.interpolate([](mesh::Vec3 x) { return x.x < 0.5 ? 1.0 : 0.0; });
+  p.advance(u, 5e-5, 200);
+  for (double v : u) {
+    EXPECT_GE(v, -0.05);
+    EXPECT_LE(v, 1.05);
+  }
+}
+
+TEST(FemHeat, HelmholtzCombinesStiffnessAndMass) {
+  // -lap(u) + u = (2 pi^2 + 1) sin(pi x) sin(pi y): exact solution unchanged.
+  const int n = 16;
+  FemHeatProblem p(NodeMesh(n, n, 1.0, 1.0));
+  p.coefficient("alpha", [](mesh::Vec3) { return 1.0; });
+  p.coefficient("f", [](mesh::Vec3 x) {
+    return (2.0 * M_PI * M_PI + 1.0) * std::sin(M_PI * x.x) * std::sin(M_PI * x.y);
+  });
+  p.weak_form("-alpha * dot(grad(u), grad(v)) - u * v + f * v");
+  for (int region = 1; region <= 4; ++region)
+    p.dirichlet(region, [](mesh::Vec3) { return 0.0; });
+  auto u = p.solve_steady(1e-12);
+  const int32_t center = (n / 2) * (n + 1) + n / 2;
+  EXPECT_NEAR(u[static_cast<size_t>(center)], 1.0, 0.02);
+}
+
+TEST(FemHeat, NeumannFluxBalancesAtSteadyState) {
+  // Insulated problem except: unit influx on the left wall, u = 0 on the
+  // right wall. Steady solution of -u'' = 0 with u'(0) = -q/alpha is linear:
+  // u(x) = q (1 - x) / alpha.
+  const int n = 12;
+  FemHeatProblem p(NodeMesh(n, n, 1.0, 1.0));
+  p.coefficient("alpha", [](mesh::Vec3) { return 2.0; });
+  p.weak_form("-alpha * dot(grad(u), grad(v))");
+  p.neumann(3, [](mesh::Vec3) { return 1.0; });  // q = 1 into the left wall
+  p.dirichlet(4, [](mesh::Vec3) { return 0.0; });
+  auto u = p.solve_steady(1e-12);
+  for (int32_t k = 0; k < p.mesh().num_nodes(); ++k) {
+    const auto x = p.mesh().node(k);
+    EXPECT_NEAR(u[static_cast<size_t>(k)], (1.0 - x.x) / 2.0, 1e-6) << "node " << k;
+  }
+}
+
+TEST(FemHeat, NeumannBeforeWeakFormThrows) {
+  FemHeatProblem p(NodeMesh(4, 4, 1.0, 1.0));
+  EXPECT_THROW(p.neumann(1, [](mesh::Vec3) { return 1.0; }), std::logic_error);
+}

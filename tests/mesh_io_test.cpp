@@ -1,0 +1,106 @@
+// Mesh-file I/O: Gmsh 2.2 and MEDIT round trips (the two import formats the
+// paper's DSL accepts), and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mesh/gmsh_io.hpp"
+#include "mesh/medit_io.hpp"
+
+using namespace finch::mesh;
+
+namespace {
+
+void expect_same_mesh(const Mesh& a, const Mesh& b) {
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  ASSERT_EQ(a.num_faces(), b.num_faces());
+  for (int32_t c = 0; c < a.num_cells(); ++c) {
+    EXPECT_NEAR(a.cell_volume(c), b.cell_volume(c), 1e-15);
+    EXPECT_NEAR((a.cell_centroid(c) - b.cell_centroid(c)).norm(), 0.0, 1e-12);
+  }
+  for (int32_t f = 0; f < a.num_faces(); ++f) {
+    EXPECT_EQ(a.face(f).owner, b.face(f).owner);
+    EXPECT_EQ(a.face(f).neighbor, b.face(f).neighbor);
+    EXPECT_EQ(a.face(f).boundary_region, b.face(f).boundary_region);
+  }
+}
+
+}  // namespace
+
+TEST(GmshIo, RoundTripSquare) {
+  Mesh m = Mesh::structured_quad(6, 4, 3.0, 2.0);
+  std::stringstream ss;
+  write_gmsh_quad(m, ss, 6, 4, 3.0, 2.0);
+  Mesh back = read_gmsh_quad(ss);
+  expect_same_mesh(m, back);
+}
+
+TEST(GmshIo, RoundTripPaperDomain) {
+  Mesh m = Mesh::structured_quad(12, 12, 525e-6, 525e-6);
+  std::stringstream ss;
+  write_gmsh_quad(m, ss, 12, 12, 525e-6, 525e-6);
+  Mesh back = read_gmsh_quad(ss);
+  expect_same_mesh(m, back);
+}
+
+TEST(GmshIo, WrittenFileHasBoundaryTags) {
+  Mesh m = Mesh::structured_quad(3, 3, 1.0, 1.0);
+  std::stringstream ss;
+  write_gmsh_quad(m, ss, 3, 3, 1.0, 1.0);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("$MeshFormat"), std::string::npos);
+  EXPECT_NE(text.find("$Nodes"), std::string::npos);
+  EXPECT_NE(text.find("$Elements"), std::string::npos);
+  // 4 physical boundary regions appear as line elements with tags 1..4.
+  EXPECT_NE(text.find(" 1 2 1 1 "), std::string::npos);
+  EXPECT_NE(text.find(" 1 2 4 4 "), std::string::npos);
+}
+
+TEST(GmshIo, RejectsGarbage) {
+  std::stringstream ss("this is not a mesh");
+  EXPECT_THROW(read_gmsh_quad(ss), std::runtime_error);
+}
+
+TEST(GmshIo, RejectsNonRectangularNodeSet) {
+  // Handcrafted file with 3 nodes and one (degenerate) quad: not a lattice.
+  std::stringstream ss(
+      "$MeshFormat\n2.2 0 8\n$EndMeshFormat\n"
+      "$Nodes\n3\n1 0 0 0\n2 1 0 0\n3 0.5 1 0\n$EndNodes\n"
+      "$Elements\n1\n1 3 2 0 0 1 2 3 3\n$EndElements\n");
+  EXPECT_THROW(read_gmsh_quad(ss), std::runtime_error);
+}
+
+TEST(MeditIo, RoundTripSquare) {
+  Mesh m = Mesh::structured_quad(5, 7, 2.5, 3.5);
+  std::stringstream ss;
+  write_medit_quad(m, ss, 5, 7, 2.5, 3.5);
+  Mesh back = read_medit_quad(ss);
+  expect_same_mesh(m, back);
+}
+
+TEST(MeditIo, WrittenFileStructure) {
+  Mesh m = Mesh::structured_quad(2, 2, 1.0, 1.0);
+  std::stringstream ss;
+  write_medit_quad(m, ss, 2, 2, 1.0, 1.0);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("MeshVersionFormatted"), std::string::npos);
+  EXPECT_NE(text.find("Vertices\n9"), std::string::npos);
+  EXPECT_NE(text.find("Quadrilaterals\n4"), std::string::npos);
+  EXPECT_NE(text.find("Edges\n8"), std::string::npos);
+}
+
+TEST(MeditIo, RejectsGarbage) {
+  std::stringstream ss("Vertices\n0\nEnd\n");
+  EXPECT_THROW(read_medit_quad(ss), std::runtime_error);
+}
+
+TEST(MeshIoFiles, FileRoundTripThroughDisk) {
+  Mesh m = Mesh::structured_quad(4, 3, 2.0, 1.5);
+  const std::string g = "/tmp/finch_test_mesh.msh";
+  const std::string md = "/tmp/finch_test_mesh.mesh";
+  write_gmsh_quad_file(m, g, 4, 3, 2.0, 1.5);
+  write_medit_quad_file(m, md, 4, 3, 2.0, 1.5);
+  expect_same_mesh(m, read_gmsh_quad_file(g));
+  expect_same_mesh(m, read_medit_quad_file(md));
+  EXPECT_THROW(read_gmsh_quad_file("/tmp/definitely_missing_mesh_file.msh"), std::runtime_error);
+}

@@ -1,0 +1,125 @@
+// Partitioner properties: coverage, balance, edge-cut quality, halo plans.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "mesh/mesh.hpp"
+#include "mesh/partition.hpp"
+
+using namespace finch::mesh;
+
+namespace {
+Mesh grid(int n) { return Mesh::structured_quad(n, n, 1.0, 1.0); }
+}  // namespace
+
+class PartitionMethods : public ::testing::TestWithParam<PartitionMethod> {};
+
+TEST_P(PartitionMethods, CoversAllCellsWithValidIds) {
+  Mesh m = grid(12);
+  for (int nparts : {1, 2, 3, 4, 8, 16}) {
+    auto part = partition(m, nparts, GetParam());
+    ASSERT_EQ(part.size(), static_cast<size_t>(m.num_cells()));
+    std::set<int32_t> used(part.begin(), part.end());
+    EXPECT_EQ(static_cast<int>(used.size()), nparts);
+    EXPECT_GE(*used.begin(), 0);
+    EXPECT_LT(*used.rbegin(), nparts);
+  }
+}
+
+TEST_P(PartitionMethods, BalanceWithinTolerance) {
+  Mesh m = grid(16);
+  for (int nparts : {2, 4, 8}) {
+    auto part = partition(m, nparts, GetParam());
+    EXPECT_LE(imbalance(m, part, nparts), 1.10) << "nparts=" << nparts;
+  }
+}
+
+TEST_P(PartitionMethods, EdgeCutBeatsRandomAssignment) {
+  Mesh m = grid(16);
+  auto part = partition(m, 4, GetParam());
+  // A striped/random assignment would cut on the order of half the interior
+  // faces; a spatial partitioner should do far better.
+  int64_t interior = 0;
+  for (int32_t f = 0; f < m.num_faces(); ++f)
+    if (!m.face(f).is_boundary()) ++interior;
+  EXPECT_LT(edge_cut(m, part), interior / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, PartitionMethods,
+                         ::testing::Values(PartitionMethod::RCB, PartitionMethod::GreedyGraph),
+                         [](const auto& info) {
+                           return info.param == PartitionMethod::RCB ? "RCB" : "GreedyGraph";
+                         });
+
+TEST(PartitionRcb, FourPartsOnSquareAreQuadrants) {
+  Mesh m = grid(8);
+  auto part = partition(m, 4, PartitionMethod::RCB);
+  // Perfect balance on a power-of-two grid.
+  EXPECT_DOUBLE_EQ(imbalance(m, part, 4), 1.0);
+  // Each quadrant's cut is exactly the two dividing lines: 2*8 faces.
+  EXPECT_EQ(edge_cut(m, part), 16);
+}
+
+TEST(Partition, SinglePartHasNoCut) {
+  Mesh m = grid(6);
+  auto part = partition(m, 1);
+  EXPECT_EQ(edge_cut(m, part), 0);
+}
+
+TEST(Partition, Errors) {
+  Mesh m = grid(2);
+  EXPECT_THROW(partition(m, 0), std::invalid_argument);
+  EXPECT_THROW(partition(m, 5), std::invalid_argument);  // more parts than cells
+}
+
+TEST(Halo, TwoPartSplitExchangesOneColumn) {
+  Mesh m = grid(8);
+  auto part = partition(m, 2, PartitionMethod::RCB);
+  HaloPlan plan = build_halo(m, part, 0);
+  ASSERT_EQ(plan.sends.size(), 1u);
+  ASSERT_EQ(plan.recvs.size(), 1u);
+  EXPECT_EQ(plan.sends[0].peer, 1);
+  // The interface of a half-split 8x8 grid is 8 cells on each side.
+  EXPECT_EQ(plan.sends[0].cells.size(), 8u);
+  EXPECT_EQ(plan.recvs[0].cells.size(), 8u);
+  EXPECT_EQ(plan.total_send_cells(), 8);
+}
+
+TEST(Halo, SendsAndRecvsAreSymmetricAcrossParts) {
+  Mesh m = grid(10);
+  auto part = partition(m, 4, PartitionMethod::RCB);
+  for (int32_t p = 0; p < 4; ++p) {
+    HaloPlan mine = build_halo(m, part, p);
+    for (const auto& s : mine.sends) {
+      HaloPlan theirs = build_halo(m, part, s.peer);
+      bool found = false;
+      for (const auto& r : theirs.recvs)
+        if (r.peer == p) {
+          EXPECT_EQ(r.cells, s.cells);
+          found = true;
+        }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Halo, HaloCellsOwnedBySender) {
+  Mesh m = grid(9);
+  auto part = partition(m, 3, PartitionMethod::GreedyGraph);
+  HaloPlan plan = build_halo(m, part, 0);
+  for (const auto& s : plan.sends)
+    for (int32_t c : s.cells) EXPECT_EQ(part[static_cast<size_t>(c)], 0);
+  for (const auto& r : plan.recvs)
+    for (int32_t c : r.cells) EXPECT_EQ(part[static_cast<size_t>(c)], r.peer);
+}
+
+// Scaling property driving Fig 3/4: with p parts of an n×n grid, the per-part
+// halo volume shrinks while the number of parts grows — total cut grows ~sqrt(p).
+TEST(Partition, CutGrowsSublinearlyWithParts) {
+  Mesh m = grid(32);
+  int64_t cut4 = edge_cut(m, partition(m, 4, PartitionMethod::RCB));
+  int64_t cut16 = edge_cut(m, partition(m, 16, PartitionMethod::RCB));
+  EXPECT_LT(cut16, 4 * cut4);  // strictly sublinear in parts
+  EXPECT_GT(cut16, cut4);
+}

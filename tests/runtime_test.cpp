@@ -1,0 +1,245 @@
+// Thread pool, virtual-time BSP simulator, and simulated-GPU semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "runtime/simgpu.hpp"
+#include "runtime/simmpi.hpp"
+#include "runtime/thread_pool.hpp"
+
+using namespace finch::rt;
+
+// ---- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, EveryIndexProcessedExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](int64_t i) { hits[static_cast<size_t>(i)]++; }, 7);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(5, 5, [&](int64_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(5, 6, [&](int64_t) { count++; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ReductionMatchesSerial) {
+  ThreadPool pool(3);
+  const int64_t n = 10000;
+  std::vector<double> vals(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) vals[static_cast<size_t>(i)] = std::sin(static_cast<double>(i));
+  std::atomic<long long> bits{0};
+  // chunk-local partial sums then atomic combine (order-independent check via sum of squares)
+  std::mutex mu;
+  double sum = 0;
+  pool.parallel_for_chunks(0, n, [&](int64_t b, int64_t e) {
+    double local = 0;
+    for (int64_t i = b; i < e; ++i) local += vals[static_cast<size_t>(i)] * vals[static_cast<size_t>(i)];
+    std::lock_guard<std::mutex> lk(mu);
+    sum += local;
+  });
+  double serial = 0;
+  for (double v : vals) serial += v * v;
+  EXPECT_NEAR(sum, serial, 1e-9 * std::abs(serial));
+  (void)bits;
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.parallel_for(0, 100, [&](int64_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+// ---- BspSimulator ----------------------------------------------------------
+
+TEST(BspSim, ComputeStepTakesMaxOverRanks) {
+  BspSimulator sim(4);
+  std::vector<double> secs = {1.0, 2.0, 0.5, 1.5};
+  sim.compute_step(secs);
+  EXPECT_DOUBLE_EQ(sim.elapsed(), 2.0);
+  EXPECT_DOUBLE_EQ(sim.phases().compute, 2.0);
+}
+
+TEST(BspSim, PhaseRouting) {
+  BspSimulator sim(2);
+  sim.uniform_compute(1.0, BspSimulator::Phase::Compute);
+  sim.uniform_compute(0.25, BspSimulator::Phase::PostProcess);
+  EXPECT_DOUBLE_EQ(sim.phases().compute, 1.0);
+  EXPECT_DOUBLE_EQ(sim.phases().post_process, 0.25);
+  EXPECT_DOUBLE_EQ(sim.phases().total(), 1.25);
+}
+
+TEST(BspSim, ExchangeUsesAlphaBetaModel) {
+  CommModel model{1e-6, 1e9};
+  BspSimulator sim(2, model);
+  Message msg{0, 1, 1000000};  // 1 MB
+  sim.exchange(std::span<const Message>(&msg, 1));
+  // Both endpoints pay latency + bytes/bw = 1e-6 + 1e-3.
+  EXPECT_NEAR(sim.elapsed(), 1.001e-3, 1e-9);
+  EXPECT_NEAR(sim.phases().communication, 1.001e-3, 1e-9);
+}
+
+TEST(BspSim, BusiestRankDominatesExchange) {
+  CommModel model{0.0, 1e9};
+  BspSimulator sim(3, model);
+  // rank 0 sends to both others; it is the bottleneck.
+  std::vector<Message> msgs = {{0, 1, 1000000}, {0, 2, 1000000}};
+  sim.exchange(msgs);
+  EXPECT_NEAR(sim.elapsed(), 2e-3, 1e-12);
+}
+
+TEST(BspSim, SingleRankCommunicationIsFree) {
+  BspSimulator sim(1);
+  sim.allreduce(1 << 20);
+  Message m{0, 0, 12345};
+  sim.exchange(std::span<const Message>(&m, 1));
+  EXPECT_DOUBLE_EQ(sim.elapsed(), 0.0);
+}
+
+TEST(BspSim, AllreduceScalesLogarithmically) {
+  CommModel model{1e-6, 1e12};
+  BspSimulator a(8, model), b(64, model);
+  a.allreduce(8);
+  b.allreduce(8);
+  // log2(64)/log2(8) = 2x rounds.
+  EXPECT_NEAR(b.elapsed() / a.elapsed(), 2.0, 1e-9);
+}
+
+TEST(BspSim, RejectsBadInput) {
+  EXPECT_THROW(BspSimulator(0), std::invalid_argument);
+  BspSimulator sim(2);
+  std::vector<double> wrong = {1.0};
+  EXPECT_THROW(sim.compute_step(wrong), std::invalid_argument);
+  Message bad{0, 7, 10};
+  EXPECT_THROW(sim.exchange(std::span<const Message>(&bad, 1)), std::invalid_argument);
+}
+
+// ---- SimGpu ----------------------------------------------------------------
+
+TEST(SimGpu, CopiesRoundTripData) {
+  SimGpu gpu(GpuSpec::a6000());
+  auto buf = gpu.allocate(100);
+  std::vector<double> in(100);
+  std::iota(in.begin(), in.end(), 0.0);
+  gpu.memcpy_h2d(buf, in);
+  std::vector<double> out(100, -1.0);
+  gpu.memcpy_d2h(out, buf);
+  EXPECT_EQ(in, out);
+  EXPECT_EQ(gpu.counters().bytes_h2d, 800);
+  EXPECT_EQ(gpu.counters().bytes_d2h, 800);
+  EXPECT_GT(gpu.counters().copy_seconds, 0.0);
+}
+
+TEST(SimGpu, CopyTimeFollowsPcieModel) {
+  GpuSpec spec = GpuSpec::a6000();
+  SimGpu gpu(spec);
+  auto buf = gpu.allocate(1 << 20);
+  std::vector<double> data(1 << 20, 1.0);
+  gpu.memcpy_h2d(buf, data);
+  const double expect = spec.pcie_latency_s + static_cast<double>(data.size() * 8) / spec.pcie_bandwidth_Bps;
+  EXPECT_NEAR(gpu.counters().copy_seconds, expect, 1e-12);
+}
+
+TEST(SimGpu, KernelBodyExecutes) {
+  SimGpu gpu(GpuSpec::a6000());
+  int ran = 0;
+  KernelStats ks;
+  ks.threads = 1000;
+  ks.flops_per_thread = 10;
+  gpu.launch("touch", ks, [&] { ran = 42; });
+  EXPECT_EQ(ran, 42);
+  EXPECT_EQ(gpu.counters().kernel_launches, 1);
+  EXPECT_GT(gpu.counters().kernel_seconds, 0.0);
+}
+
+TEST(SimGpu, RooflineComputeBoundKernel) {
+  GpuSpec spec = GpuSpec::a6000();
+  SimGpu gpu(spec);
+  KernelStats ks;
+  ks.threads = 100000000;  // fills many waves; sm_util ~ 1
+  ks.flops_per_thread = 200;
+  ks.dram_bytes_per_thread = 1;  // compute bound
+  ks.fma_fraction = 1.0;
+  const double t = gpu.model_kernel_seconds(ks);
+  const double flops = ks.flops_per_thread * static_cast<double>(ks.threads);
+  EXPECT_NEAR(t - spec.launch_overhead_s, flops / (spec.peak_dp_flops * gpu.model_sm_utilization(ks)),
+              1e-9);
+}
+
+TEST(SimGpu, RooflineMemoryBoundKernel) {
+  GpuSpec spec = GpuSpec::a6000();
+  SimGpu gpu(spec);
+  KernelStats ks;
+  ks.threads = 10000000;
+  ks.flops_per_thread = 1;
+  ks.dram_bytes_per_thread = 64;  // memory bound
+  const double t = gpu.model_kernel_seconds(ks);
+  const double bytes = ks.dram_bytes_per_thread * static_cast<double>(ks.threads);
+  EXPECT_NEAR(t - spec.launch_overhead_s, bytes / spec.mem_bandwidth_Bps, 1e-9);
+}
+
+TEST(SimGpu, SmUtilizationTailWave) {
+  SimGpu gpu(GpuSpec::a6000());
+  KernelStats full;
+  full.threads = static_cast<int64_t>(84) * 1536;  // exactly one wave
+  EXPECT_NEAR(gpu.model_sm_utilization(full), 1.0, 1e-12);
+  KernelStats half;
+  half.threads = full.threads / 2;
+  EXPECT_NEAR(gpu.model_sm_utilization(half), 0.5, 1e-12);
+  KernelStats wave_and_a_bit;
+  wave_and_a_bit.threads = full.threads + 1;
+  EXPECT_LT(gpu.model_sm_utilization(wave_and_a_bit), 0.51);
+}
+
+TEST(SimGpu, SinglePrecisionUsesSpPeak) {
+  SimGpu gpu(GpuSpec::a6000());
+  KernelStats ks;
+  ks.threads = 100000000;
+  ks.flops_per_thread = 100;
+  ks.fma_fraction = 1.0;
+  ks.dram_bytes_per_thread = 0.1;
+  const double t64 = gpu.model_kernel_seconds(ks);
+  ks.single_precision = true;
+  const double t32 = gpu.model_kernel_seconds(ks);
+  // GA102 DP is 1/32 of SP: the FP32 kernel is far faster.
+  EXPECT_GT(t64 / t32, 10.0);
+}
+
+TEST(SimGpu, StreamsAccumulateIndependently) {
+  SimGpu gpu(GpuSpec::a6000());
+  int s1 = gpu.create_stream();
+  KernelStats ks;
+  ks.threads = 1000000;
+  ks.flops_per_thread = 100;
+  gpu.launch("a", ks, nullptr, 0);
+  gpu.launch("b", ks, nullptr, s1);
+  gpu.launch("c", ks, nullptr, s1);
+  EXPECT_NEAR(gpu.stream_clock(s1), 2 * gpu.stream_clock(0), 1e-12);
+  EXPECT_DOUBLE_EQ(gpu.synchronize(), gpu.stream_clock(s1));
+}
+
+TEST(SimGpu, CountersAggregate) {
+  SimGpu gpu(GpuSpec::a6000());
+  KernelStats ks;
+  ks.threads = 1 << 20;
+  ks.flops_per_thread = 50;
+  ks.dram_bytes_per_thread = 16;
+  gpu.launch("k", ks, nullptr);
+  gpu.launch("k", ks, nullptr);
+  EXPECT_EQ(gpu.counters().kernel_launches, 2);
+  EXPECT_DOUBLE_EQ(gpu.counters().total_flops, 2.0 * 50 * (1 << 20));
+  EXPECT_EQ(gpu.kernel_times().at("k") > 0, true);
+  EXPECT_GT(gpu.counters().sm_utilization, 0.0);
+  EXPECT_LE(gpu.counters().sm_utilization, 1.0);
+  EXPECT_GT(gpu.counters().flop_fraction, 0.0);
+  EXPECT_LT(gpu.counters().flop_fraction, 1.0);
+}

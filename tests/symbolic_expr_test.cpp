@@ -1,0 +1,124 @@
+// Unit tests for the expression AST: construction, equality, hashing,
+// traversal and the simplify/expand normalization passes.
+#include <gtest/gtest.h>
+
+#include "core/symbolic/expr.hpp"
+#include "core/symbolic/printer.hpp"
+#include "core/symbolic/simplify.hpp"
+
+namespace sym = finch::sym;
+using sym::Expr;
+
+TEST(Expr, NumberAndSymbolPrint) {
+  EXPECT_EQ(sym::to_string(sym::num(3.0)), "3");
+  EXPECT_EQ(sym::to_string(sym::num(2.5)), "2.5");
+  EXPECT_EQ(sym::to_string(sym::sym("dt")), "dt");
+}
+
+TEST(Expr, EntityPrintStyleMatchesPaper) {
+  // Paper renders entity u as _u_1 and neighbor values as CELL1_u_1 / CELL2_u_1.
+  Expr u = sym::entity("u", sym::EntityKind::Variable, 1);
+  EXPECT_EQ(sym::to_string(u), "_u_1");
+  Expr u1 = sym::entity("u", sym::EntityKind::Variable, 1, {}, sym::CellSide::Cell1);
+  EXPECT_EQ(sym::to_string(u1), "CELL1_u_1");
+  Expr u2 = sym::entity("u", sym::EntityKind::Variable, 1, {}, sym::CellSide::Cell2);
+  EXPECT_EQ(sym::to_string(u2), "CELL2_u_1");
+  Expr I = sym::entity("I", sym::EntityKind::Variable, 1, {sym::sym("d"), sym::sym("b")});
+  EXPECT_EQ(sym::to_string(I), "_I_1[d,b]");
+}
+
+TEST(Expr, AddMulPrinting) {
+  Expr e = sym::add({sym::sym("a"), sym::neg(sym::sym("b"))});
+  EXPECT_EQ(sym::to_string(sym::simplify(e)), "a - b");
+  Expr m = sym::mul({sym::num(-1.0), sym::sym("k"), sym::sym("u")});
+  EXPECT_EQ(sym::to_string(m), "-k*u");
+  Expr d = sym::div(sym::sym("a"), sym::sym("b"));
+  EXPECT_EQ(sym::to_string(d), "a/b");
+}
+
+TEST(Expr, StructuralEquality) {
+  Expr a = sym::mul({sym::num(2.0), sym::sym("x")});
+  Expr b = sym::mul({sym::num(2.0), sym::sym("x")});
+  Expr c = sym::mul({sym::num(3.0), sym::sym("x")});
+  EXPECT_TRUE(sym::equal(a, b));
+  EXPECT_FALSE(sym::equal(a, c));
+  EXPECT_EQ(sym::hash(a), sym::hash(b));
+}
+
+TEST(Expr, EntityEqualityDistinguishesSideAndKnown) {
+  Expr a = sym::entity("u", sym::EntityKind::Variable, 1, {}, sym::CellSide::Cell1);
+  Expr b = sym::entity("u", sym::EntityKind::Variable, 1, {}, sym::CellSide::Cell2);
+  Expr c = sym::entity("u", sym::EntityKind::Variable, 1, {}, sym::CellSide::Cell1, true);
+  EXPECT_FALSE(sym::equal(a, b));
+  EXPECT_FALSE(sym::equal(a, c));
+}
+
+TEST(Simplify, FoldsConstants) {
+  Expr e = sym::add({sym::num(1.0), sym::num(2.0), sym::sym("x"), sym::num(0.0)});
+  EXPECT_EQ(sym::to_string(sym::simplify(e)), "x + 3");
+  Expr m = sym::mul({sym::num(2.0), sym::num(3.0), sym::sym("x")});
+  EXPECT_EQ(sym::to_string(sym::simplify(m)), "6*x");
+}
+
+TEST(Simplify, ZeroAnnihilatesProduct) {
+  Expr m = sym::mul({sym::num(0.0), sym::sym("x"), sym::sym("y")});
+  EXPECT_EQ(sym::to_string(sym::simplify(m)), "0");
+}
+
+TEST(Simplify, DropsUnitFactorsAndZeroTerms) {
+  Expr m = sym::mul({sym::num(1.0), sym::sym("x")});
+  EXPECT_EQ(sym::to_string(sym::simplify(m)), "x");
+  Expr a = sym::add({sym::num(0.0), sym::sym("x")});
+  EXPECT_EQ(sym::to_string(sym::simplify(a)), "x");
+}
+
+TEST(Simplify, FlattensNested) {
+  Expr e = sym::add({sym::sym("a"), sym::add({sym::sym("b"), sym::add({sym::sym("c")})})});
+  auto terms = sym::top_level_terms(sym::simplify(e));
+  EXPECT_EQ(terms.size(), 3u);
+}
+
+TEST(Simplify, PowIdentities) {
+  EXPECT_EQ(sym::to_string(sym::simplify(sym::pow(sym::sym("x"), sym::num(1.0)))), "x");
+  EXPECT_EQ(sym::to_string(sym::simplify(sym::pow(sym::sym("x"), sym::num(0.0)))), "1");
+  EXPECT_EQ(sym::to_string(sym::simplify(sym::pow(sym::num(2.0), sym::num(3.0)))), "8");
+}
+
+TEST(Expand, DistributesOverSum) {
+  // dt * (a + b)  ->  dt*a + dt*b
+  Expr e = sym::mul({sym::sym("dt"), sym::add({sym::sym("a"), sym::sym("b")})});
+  EXPECT_EQ(sym::to_string(sym::expand(e)), "dt*a + dt*b");
+}
+
+TEST(Expand, DoesNotEnterCallArguments) {
+  // Conditional branches stay intact: dt * conditional(c, a+b, x) keeps its sum.
+  Expr cond = sym::conditional(sym::compare(sym::CmpOp::GT, sym::sym("c"), sym::num(0.0)),
+                               sym::add({sym::sym("a"), sym::sym("b")}), sym::sym("x"));
+  Expr e = sym::mul({sym::sym("dt"), cond});
+  EXPECT_EQ(sym::to_string(sym::expand(e)), "dt*conditional(c > 0, a + b, x)");
+}
+
+TEST(Expand, NestedDistribution) {
+  // (a+b)*(c+d) -> four terms
+  Expr e = sym::mul({sym::add({sym::sym("a"), sym::sym("b")}), sym::add({sym::sym("c"), sym::sym("d")})});
+  auto terms = sym::top_level_terms(sym::expand(e));
+  EXPECT_EQ(terms.size(), 4u);
+}
+
+TEST(Traverse, ContainsAndCollect) {
+  Expr I = sym::entity("I", sym::EntityKind::Variable, 1, {sym::sym("d")});
+  Expr e = sym::mul({sym::sym("vg"), I});
+  EXPECT_TRUE(sym::contains(e, [](const Expr& n) { return n->kind() == sym::Kind::EntityRef; }));
+  auto refs = sym::collect_entity_refs(e);
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(sym::as<sym::EntityRefNode>(refs[0])->name, "I");
+}
+
+TEST(Traverse, TransformRewritesLeaves) {
+  Expr e = sym::add({sym::sym("x"), sym::sym("y")});
+  Expr r = sym::transform(e, [](const Expr& n) -> Expr {
+    if (const auto* s = sym::as<sym::SymbolNode>(n); s != nullptr && s->name == "x") return sym::num(5.0);
+    return n;
+  });
+  EXPECT_EQ(sym::to_string(sym::simplify(r)), "y + 5");
+}

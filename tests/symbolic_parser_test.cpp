@@ -1,0 +1,122 @@
+// Parser tests: tokenization, precedence, entity resolution, vector literals,
+// calls, comparisons and error reporting.
+#include <gtest/gtest.h>
+
+#include "core/symbolic/parser.hpp"
+#include "core/symbolic/printer.hpp"
+#include "core/symbolic/simplify.hpp"
+
+namespace sym = finch::sym;
+
+namespace {
+
+sym::EntityTable bte_table() {
+  sym::EntityTable t;
+  t.declare_index("d", 1, 20);
+  t.declare_index("b", 1, 55);
+  t.declare({"I", sym::EntityKind::Variable, 1, {"d", "b"}});
+  t.declare({"Io", sym::EntityKind::Variable, 1, {"b"}});
+  t.declare({"beta", sym::EntityKind::Variable, 1, {"b"}});
+  t.declare({"Sx", sym::EntityKind::Coefficient, 1, {"d"}});
+  t.declare({"Sy", sym::EntityKind::Coefficient, 1, {"d"}});
+  t.declare({"vg", sym::EntityKind::Coefficient, 1, {"b"}});
+  t.declare({"u", sym::EntityKind::Variable, 1, {}});
+  t.declare({"k", sym::EntityKind::Coefficient, 1, {}});
+  t.declare({"bvec", sym::EntityKind::Coefficient, 2, {}});
+  return t;
+}
+
+std::string parse_str(const std::string& s) {
+  auto table = bte_table();
+  return sym::to_string(sym::simplify(sym::parse_expression(s, table)));
+}
+
+}  // namespace
+
+TEST(Parser, Precedence) {
+  EXPECT_EQ(parse_str("1 + 2 * 3"), "7");
+  EXPECT_EQ(parse_str("2 * k + 1"), "2*_k_1 + 1");
+  EXPECT_EQ(parse_str("(1 + 2) * 3"), "9");
+  EXPECT_EQ(parse_str("2 ^ 3 ^ 1"), "8");
+  EXPECT_EQ(parse_str("-2 ^ 2"), "-4");  // unary minus binds looser than ^
+}
+
+TEST(Parser, Division) {
+  EXPECT_EQ(parse_str("u / k"), "_u_1/_k_1");
+  EXPECT_EQ(parse_str("6 / 3"), "2");
+}
+
+TEST(Parser, EntityResolution) {
+  EXPECT_EQ(parse_str("-k*u"), "-_k_1*_u_1");
+  EXPECT_EQ(parse_str("I[d,b]"), "_I_1[d,b]");
+  EXPECT_EQ(parse_str("Io[b] - I[d,b]"), "_Io_1[b] - _I_1[d,b]");
+}
+
+TEST(Parser, IntegerIndices) {
+  EXPECT_EQ(parse_str("I[1,2]"), "_I_1[1,2]");
+}
+
+TEST(Parser, VectorLiteral) {
+  EXPECT_EQ(parse_str("[Sx[d]; Sy[d]]"), "[_Sx_1[d]; _Sy_1[d]]");
+}
+
+TEST(Parser, CallsArePreserved) {
+  EXPECT_EQ(parse_str("surface(vg[b] * upwind([Sx[d];Sy[d]], I[d,b]))"),
+            "surface(_vg_1[b]*upwind([_Sx_1[d]; _Sy_1[d]], _I_1[d,b]))");
+}
+
+TEST(Parser, Comparisons) {
+  EXPECT_EQ(parse_str("conditional(u > 0, u, k)"), "conditional(_u_1 > 0, _u_1, _k_1)");
+  EXPECT_EQ(parse_str("conditional(u >= k, 1, 2)"), "conditional(_u_1 >= _k_1, 1, 2)");
+}
+
+TEST(Parser, FreeSymbolsPassThrough) {
+  EXPECT_EQ(parse_str("dt * u"), "dt*_u_1");
+  EXPECT_EQ(parse_str("normaldir"), "normaldir");
+}
+
+TEST(Parser, ScientificNotation) {
+  EXPECT_EQ(parse_str("1e-12"), "1e-12");
+  EXPECT_EQ(parse_str("2.5e3"), "2500");
+}
+
+TEST(Parser, UnaryChains) {
+  EXPECT_EQ(parse_str("--u"), "_u_1");
+  EXPECT_EQ(parse_str("-+-u"), "_u_1");
+}
+
+TEST(ParserErrors, MissingIndicesOnArrayEntity) {
+  auto table = bte_table();
+  EXPECT_THROW(sym::parse_expression("I + 1", table), sym::ParseError);
+}
+
+TEST(ParserErrors, UnknownIndexedIdentifier) {
+  auto table = bte_table();
+  EXPECT_THROW(sym::parse_expression("zz[d]", table), sym::ParseError);
+}
+
+TEST(ParserErrors, UnbalancedParens) {
+  auto table = bte_table();
+  EXPECT_THROW(sym::parse_expression("(u + k", table), sym::ParseError);
+  EXPECT_THROW(sym::parse_expression("u + k)", table), sym::ParseError);
+}
+
+TEST(ParserErrors, BadCharacter) {
+  auto table = bte_table();
+  EXPECT_THROW(sym::parse_expression("u $ k", table), sym::ParseError);
+}
+
+TEST(ParserErrors, EmptyExpression) {
+  auto table = bte_table();
+  EXPECT_THROW(sym::parse_expression("", table), sym::ParseError);
+}
+
+TEST(Parser, WhitespaceInsensitive) {
+  EXPECT_EQ(parse_str("  -k  *\tu "), parse_str("-k*u"));
+}
+
+TEST(Parser, FullBteInput) {
+  // The exact equation string from the paper's §III.B.
+  EXPECT_EQ(parse_str("(Io[b] - I[d,b]) / beta[b] + surface(vg[b] * upwind([Sx[d];Sy[d]], I[d,b]))"),
+            "(_Io_1[b] - _I_1[d,b])/_beta_1[b] + surface(_vg_1[b]*upwind([_Sx_1[d]; _Sy_1[d]], _I_1[d,b]))");
+}
