@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_movement.dir/bench_ablation_movement.cpp.o"
+  "CMakeFiles/bench_ablation_movement.dir/bench_ablation_movement.cpp.o.d"
+  "bench_ablation_movement"
+  "bench_ablation_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

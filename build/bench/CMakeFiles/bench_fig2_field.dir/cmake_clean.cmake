@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_field.dir/bench_fig2_field.cpp.o"
+  "CMakeFiles/bench_fig2_field.dir/bench_fig2_field.cpp.o.d"
+  "bench_fig2_field"
+  "bench_fig2_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

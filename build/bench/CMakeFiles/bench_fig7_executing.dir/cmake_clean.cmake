@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_executing.dir/bench_fig7_executing.cpp.o"
+  "CMakeFiles/bench_fig7_executing.dir/bench_fig7_executing.cpp.o.d"
+  "bench_fig7_executing"
+  "bench_fig7_executing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_executing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bte2d_hotspot.cpp" "examples/CMakeFiles/bte2d_hotspot.dir/bte2d_hotspot.cpp.o" "gcc" "examples/CMakeFiles/bte2d_hotspot.dir/bte2d_hotspot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bte/CMakeFiles/finch_bte.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/finch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fvm/CMakeFiles/finch_fvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/finch_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/finch_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

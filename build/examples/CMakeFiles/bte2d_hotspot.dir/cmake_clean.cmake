@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bte2d_hotspot.dir/bte2d_hotspot.cpp.o"
+  "CMakeFiles/bte2d_hotspot.dir/bte2d_hotspot.cpp.o.d"
+  "bte2d_hotspot"
+  "bte2d_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bte2d_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bte3d_coarse.dir/bte3d_coarse.cpp.o"
+  "CMakeFiles/bte3d_coarse.dir/bte3d_coarse.cpp.o.d"
+  "bte3d_coarse"
+  "bte3d_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bte3d_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

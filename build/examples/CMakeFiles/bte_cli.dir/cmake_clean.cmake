@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bte_cli.dir/bte_cli.cpp.o"
+  "CMakeFiles/bte_cli.dir/bte_cli.cpp.o.d"
+  "bte_cli"
+  "bte_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bte_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bte_corner.dir/bte_corner.cpp.o"
+  "CMakeFiles/bte_corner.dir/bte_corner.cpp.o.d"
+  "bte_corner"
+  "bte_corner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bte_corner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bte_gray.dir/bte_gray.cpp.o"
+  "CMakeFiles/bte_gray.dir/bte_gray.cpp.o.d"
+  "bte_gray"
+  "bte_gray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bte_gray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem_heat.dir/fem_heat.cpp.o"
+  "CMakeFiles/fem_heat.dir/fem_heat.cpp.o.d"
+  "fem_heat"
+  "fem_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

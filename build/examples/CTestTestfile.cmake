@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bte2d_hotspot "/root/repo/build/examples/bte2d_hotspot" "--steps" "5")
+set_tests_properties(example_bte2d_hotspot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bte2d_hotspot_gpu "/root/repo/build/examples/bte2d_hotspot" "--steps" "5" "--gpu")
+set_tests_properties(example_bte2d_hotspot_gpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bte_corner "/root/repo/build/examples/bte_corner" "5")
+set_tests_properties(example_bte_corner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bte_gray "/root/repo/build/examples/bte_gray" "10")
+set_tests_properties(example_bte_gray PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bte3d_coarse "/root/repo/build/examples/bte3d_coarse" "5")
+set_tests_properties(example_bte3d_coarse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fem_heat "/root/repo/build/examples/fem_heat")
+set_tests_properties(example_fem_heat PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bte_cli_multigpu "/root/repo/build/examples/bte_cli" "--nx" "8" "--ny" "8" "--dirs" "4" "--bands" "4" "--steps" "5" "--solver" "multigpu" "--devices" "2")
+set_tests_properties(example_bte_cli_multigpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bte_cli_cellpart "/root/repo/build/examples/bte_cli" "--nx" "8" "--ny" "8" "--dirs" "4" "--bands" "4" "--steps" "5" "--solver" "cellpart" "--parts" "3")
+set_tests_properties(example_bte_cli_cellpart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bte/bands.cpp" "src/bte/CMakeFiles/finch_bte.dir/bands.cpp.o" "gcc" "src/bte/CMakeFiles/finch_bte.dir/bands.cpp.o.d"
+  "/root/repo/src/bte/boundary_models.cpp" "src/bte/CMakeFiles/finch_bte.dir/boundary_models.cpp.o" "gcc" "src/bte/CMakeFiles/finch_bte.dir/boundary_models.cpp.o.d"
+  "/root/repo/src/bte/bte_problem.cpp" "src/bte/CMakeFiles/finch_bte.dir/bte_problem.cpp.o" "gcc" "src/bte/CMakeFiles/finch_bte.dir/bte_problem.cpp.o.d"
+  "/root/repo/src/bte/direct_solver.cpp" "src/bte/CMakeFiles/finch_bte.dir/direct_solver.cpp.o" "gcc" "src/bte/CMakeFiles/finch_bte.dir/direct_solver.cpp.o.d"
+  "/root/repo/src/bte/directions.cpp" "src/bte/CMakeFiles/finch_bte.dir/directions.cpp.o" "gcc" "src/bte/CMakeFiles/finch_bte.dir/directions.cpp.o.d"
+  "/root/repo/src/bte/dispersion.cpp" "src/bte/CMakeFiles/finch_bte.dir/dispersion.cpp.o" "gcc" "src/bte/CMakeFiles/finch_bte.dir/dispersion.cpp.o.d"
+  "/root/repo/src/bte/equilibrium.cpp" "src/bte/CMakeFiles/finch_bte.dir/equilibrium.cpp.o" "gcc" "src/bte/CMakeFiles/finch_bte.dir/equilibrium.cpp.o.d"
+  "/root/repo/src/bte/gray.cpp" "src/bte/CMakeFiles/finch_bte.dir/gray.cpp.o" "gcc" "src/bte/CMakeFiles/finch_bte.dir/gray.cpp.o.d"
+  "/root/repo/src/bte/multi_gpu_solver.cpp" "src/bte/CMakeFiles/finch_bte.dir/multi_gpu_solver.cpp.o" "gcc" "src/bte/CMakeFiles/finch_bte.dir/multi_gpu_solver.cpp.o.d"
+  "/root/repo/src/bte/partitioned_solver.cpp" "src/bte/CMakeFiles/finch_bte.dir/partitioned_solver.cpp.o" "gcc" "src/bte/CMakeFiles/finch_bte.dir/partitioned_solver.cpp.o.d"
+  "/root/repo/src/bte/relaxation.cpp" "src/bte/CMakeFiles/finch_bte.dir/relaxation.cpp.o" "gcc" "src/bte/CMakeFiles/finch_bte.dir/relaxation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/finch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/finch_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/fvm/CMakeFiles/finch_fvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/finch_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

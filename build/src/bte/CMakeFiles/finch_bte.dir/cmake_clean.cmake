@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finch_bte.dir/bands.cpp.o"
+  "CMakeFiles/finch_bte.dir/bands.cpp.o.d"
+  "CMakeFiles/finch_bte.dir/boundary_models.cpp.o"
+  "CMakeFiles/finch_bte.dir/boundary_models.cpp.o.d"
+  "CMakeFiles/finch_bte.dir/bte_problem.cpp.o"
+  "CMakeFiles/finch_bte.dir/bte_problem.cpp.o.d"
+  "CMakeFiles/finch_bte.dir/direct_solver.cpp.o"
+  "CMakeFiles/finch_bte.dir/direct_solver.cpp.o.d"
+  "CMakeFiles/finch_bte.dir/directions.cpp.o"
+  "CMakeFiles/finch_bte.dir/directions.cpp.o.d"
+  "CMakeFiles/finch_bte.dir/dispersion.cpp.o"
+  "CMakeFiles/finch_bte.dir/dispersion.cpp.o.d"
+  "CMakeFiles/finch_bte.dir/equilibrium.cpp.o"
+  "CMakeFiles/finch_bte.dir/equilibrium.cpp.o.d"
+  "CMakeFiles/finch_bte.dir/gray.cpp.o"
+  "CMakeFiles/finch_bte.dir/gray.cpp.o.d"
+  "CMakeFiles/finch_bte.dir/multi_gpu_solver.cpp.o"
+  "CMakeFiles/finch_bte.dir/multi_gpu_solver.cpp.o.d"
+  "CMakeFiles/finch_bte.dir/partitioned_solver.cpp.o"
+  "CMakeFiles/finch_bte.dir/partitioned_solver.cpp.o.d"
+  "CMakeFiles/finch_bte.dir/relaxation.cpp.o"
+  "CMakeFiles/finch_bte.dir/relaxation.cpp.o.d"
+  "libfinch_bte.a"
+  "libfinch_bte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finch_bte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for finch_bte.
+# This may be replaced when dependencies are built.

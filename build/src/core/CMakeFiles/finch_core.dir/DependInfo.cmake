@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codegen/bytecode.cpp" "src/core/CMakeFiles/finch_core.dir/codegen/bytecode.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/codegen/bytecode.cpp.o.d"
+  "/root/repo/src/core/codegen/cpu_solver.cpp" "src/core/CMakeFiles/finch_core.dir/codegen/cpu_solver.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/codegen/cpu_solver.cpp.o.d"
+  "/root/repo/src/core/codegen/gpu_solver.cpp" "src/core/CMakeFiles/finch_core.dir/codegen/gpu_solver.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/codegen/gpu_solver.cpp.o.d"
+  "/root/repo/src/core/codegen/movement.cpp" "src/core/CMakeFiles/finch_core.dir/codegen/movement.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/codegen/movement.cpp.o.d"
+  "/root/repo/src/core/codegen/source_cpp.cpp" "src/core/CMakeFiles/finch_core.dir/codegen/source_cpp.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/codegen/source_cpp.cpp.o.d"
+  "/root/repo/src/core/codegen/source_cuda.cpp" "src/core/CMakeFiles/finch_core.dir/codegen/source_cuda.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/codegen/source_cuda.cpp.o.d"
+  "/root/repo/src/core/dsl/problem.cpp" "src/core/CMakeFiles/finch_core.dir/dsl/problem.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/dsl/problem.cpp.o.d"
+  "/root/repo/src/core/ir/step_program.cpp" "src/core/CMakeFiles/finch_core.dir/ir/step_program.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/ir/step_program.cpp.o.d"
+  "/root/repo/src/core/symbolic/expr.cpp" "src/core/CMakeFiles/finch_core.dir/symbolic/expr.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/symbolic/expr.cpp.o.d"
+  "/root/repo/src/core/symbolic/operators.cpp" "src/core/CMakeFiles/finch_core.dir/symbolic/operators.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/symbolic/operators.cpp.o.d"
+  "/root/repo/src/core/symbolic/parser.cpp" "src/core/CMakeFiles/finch_core.dir/symbolic/parser.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/symbolic/parser.cpp.o.d"
+  "/root/repo/src/core/symbolic/printer.cpp" "src/core/CMakeFiles/finch_core.dir/symbolic/printer.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/symbolic/printer.cpp.o.d"
+  "/root/repo/src/core/symbolic/simplify.cpp" "src/core/CMakeFiles/finch_core.dir/symbolic/simplify.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/symbolic/simplify.cpp.o.d"
+  "/root/repo/src/core/symbolic/transform.cpp" "src/core/CMakeFiles/finch_core.dir/symbolic/transform.cpp.o" "gcc" "src/core/CMakeFiles/finch_core.dir/symbolic/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/finch_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/fvm/CMakeFiles/finch_fvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/finch_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

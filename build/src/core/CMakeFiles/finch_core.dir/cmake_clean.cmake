@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finch_core.dir/codegen/bytecode.cpp.o"
+  "CMakeFiles/finch_core.dir/codegen/bytecode.cpp.o.d"
+  "CMakeFiles/finch_core.dir/codegen/cpu_solver.cpp.o"
+  "CMakeFiles/finch_core.dir/codegen/cpu_solver.cpp.o.d"
+  "CMakeFiles/finch_core.dir/codegen/gpu_solver.cpp.o"
+  "CMakeFiles/finch_core.dir/codegen/gpu_solver.cpp.o.d"
+  "CMakeFiles/finch_core.dir/codegen/movement.cpp.o"
+  "CMakeFiles/finch_core.dir/codegen/movement.cpp.o.d"
+  "CMakeFiles/finch_core.dir/codegen/source_cpp.cpp.o"
+  "CMakeFiles/finch_core.dir/codegen/source_cpp.cpp.o.d"
+  "CMakeFiles/finch_core.dir/codegen/source_cuda.cpp.o"
+  "CMakeFiles/finch_core.dir/codegen/source_cuda.cpp.o.d"
+  "CMakeFiles/finch_core.dir/dsl/problem.cpp.o"
+  "CMakeFiles/finch_core.dir/dsl/problem.cpp.o.d"
+  "CMakeFiles/finch_core.dir/ir/step_program.cpp.o"
+  "CMakeFiles/finch_core.dir/ir/step_program.cpp.o.d"
+  "CMakeFiles/finch_core.dir/symbolic/expr.cpp.o"
+  "CMakeFiles/finch_core.dir/symbolic/expr.cpp.o.d"
+  "CMakeFiles/finch_core.dir/symbolic/operators.cpp.o"
+  "CMakeFiles/finch_core.dir/symbolic/operators.cpp.o.d"
+  "CMakeFiles/finch_core.dir/symbolic/parser.cpp.o"
+  "CMakeFiles/finch_core.dir/symbolic/parser.cpp.o.d"
+  "CMakeFiles/finch_core.dir/symbolic/printer.cpp.o"
+  "CMakeFiles/finch_core.dir/symbolic/printer.cpp.o.d"
+  "CMakeFiles/finch_core.dir/symbolic/simplify.cpp.o"
+  "CMakeFiles/finch_core.dir/symbolic/simplify.cpp.o.d"
+  "CMakeFiles/finch_core.dir/symbolic/transform.cpp.o"
+  "CMakeFiles/finch_core.dir/symbolic/transform.cpp.o.d"
+  "libfinch_core.a"
+  "libfinch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

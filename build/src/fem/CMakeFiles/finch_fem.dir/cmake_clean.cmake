@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finch_fem.dir/assembly.cpp.o"
+  "CMakeFiles/finch_fem.dir/assembly.cpp.o.d"
+  "CMakeFiles/finch_fem.dir/heat_solver.cpp.o"
+  "CMakeFiles/finch_fem.dir/heat_solver.cpp.o.d"
+  "CMakeFiles/finch_fem.dir/sparse.cpp.o"
+  "CMakeFiles/finch_fem.dir/sparse.cpp.o.d"
+  "CMakeFiles/finch_fem.dir/weak_form.cpp.o"
+  "CMakeFiles/finch_fem.dir/weak_form.cpp.o.d"
+  "libfinch_fem.a"
+  "libfinch_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finch_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finch_fvm.dir/field.cpp.o"
+  "CMakeFiles/finch_fvm.dir/field.cpp.o.d"
+  "libfinch_fvm.a"
+  "libfinch_fvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finch_fvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

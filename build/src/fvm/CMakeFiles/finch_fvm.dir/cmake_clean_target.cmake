@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfinch_fvm.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for finch_fvm.
+# This may be replaced when dependencies are built.

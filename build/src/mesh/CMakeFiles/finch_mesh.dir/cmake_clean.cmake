@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finch_mesh.dir/gmsh_io.cpp.o"
+  "CMakeFiles/finch_mesh.dir/gmsh_io.cpp.o.d"
+  "CMakeFiles/finch_mesh.dir/medit_io.cpp.o"
+  "CMakeFiles/finch_mesh.dir/medit_io.cpp.o.d"
+  "CMakeFiles/finch_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/finch_mesh.dir/mesh.cpp.o.d"
+  "CMakeFiles/finch_mesh.dir/partition.cpp.o"
+  "CMakeFiles/finch_mesh.dir/partition.cpp.o.d"
+  "CMakeFiles/finch_mesh.dir/vtk_io.cpp.o"
+  "CMakeFiles/finch_mesh.dir/vtk_io.cpp.o.d"
+  "libfinch_mesh.a"
+  "libfinch_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finch_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finch_perf.dir/models.cpp.o"
+  "CMakeFiles/finch_perf.dir/models.cpp.o.d"
+  "libfinch_perf.a"
+  "libfinch_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finch_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finch_runtime.dir/simgpu.cpp.o"
+  "CMakeFiles/finch_runtime.dir/simgpu.cpp.o.d"
+  "CMakeFiles/finch_runtime.dir/simmpi.cpp.o"
+  "CMakeFiles/finch_runtime.dir/simmpi.cpp.o.d"
+  "CMakeFiles/finch_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/finch_runtime.dir/thread_pool.cpp.o.d"
+  "libfinch_runtime.a"
+  "libfinch_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finch_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

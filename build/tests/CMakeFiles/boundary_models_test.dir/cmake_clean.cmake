@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundary_models_test.dir/boundary_models_test.cpp.o"
+  "CMakeFiles/boundary_models_test.dir/boundary_models_test.cpp.o.d"
+  "boundary_models_test"
+  "boundary_models_test.pdb"
+  "boundary_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundary_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

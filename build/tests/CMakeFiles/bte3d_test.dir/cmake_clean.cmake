@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bte3d_test.dir/bte3d_test.cpp.o"
+  "CMakeFiles/bte3d_test.dir/bte3d_test.cpp.o.d"
+  "bte3d_test"
+  "bte3d_test.pdb"
+  "bte3d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bte3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

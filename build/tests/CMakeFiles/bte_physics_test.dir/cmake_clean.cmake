@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bte_physics_test.dir/bte_physics_test.cpp.o"
+  "CMakeFiles/bte_physics_test.dir/bte_physics_test.cpp.o.d"
+  "bte_physics_test"
+  "bte_physics_test.pdb"
+  "bte_physics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bte_physics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bte_solver_test.dir/bte_solver_test.cpp.o"
+  "CMakeFiles/bte_solver_test.dir/bte_solver_test.cpp.o.d"
+  "bte_solver_test"
+  "bte_solver_test.pdb"
+  "bte_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bte_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

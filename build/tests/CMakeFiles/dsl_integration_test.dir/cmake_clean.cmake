@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_integration_test.dir/dsl_integration_test.cpp.o"
+  "CMakeFiles/dsl_integration_test.dir/dsl_integration_test.cpp.o.d"
+  "dsl_integration_test"
+  "dsl_integration_test.pdb"
+  "dsl_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

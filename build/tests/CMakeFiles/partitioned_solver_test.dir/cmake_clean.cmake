@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_solver_test.dir/partitioned_solver_test.cpp.o"
+  "CMakeFiles/partitioned_solver_test.dir/partitioned_solver_test.cpp.o.d"
+  "partitioned_solver_test"
+  "partitioned_solver_test.pdb"
+  "partitioned_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

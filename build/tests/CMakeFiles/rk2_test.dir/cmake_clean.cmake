@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rk2_test.dir/rk2_test.cpp.o"
+  "CMakeFiles/rk2_test.dir/rk2_test.cpp.o.d"
+  "rk2_test"
+  "rk2_test.pdb"
+  "rk2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rk2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_emitter_test.dir/source_emitter_test.cpp.o"
+  "CMakeFiles/source_emitter_test.dir/source_emitter_test.cpp.o.d"
+  "source_emitter_test"
+  "source_emitter_test.pdb"
+  "source_emitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_emitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_golden_test.dir/symbolic_golden_test.cpp.o"
+  "CMakeFiles/symbolic_golden_test.dir/symbolic_golden_test.cpp.o.d"
+  "symbolic_golden_test"
+  "symbolic_golden_test.pdb"
+  "symbolic_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

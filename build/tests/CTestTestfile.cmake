@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/symbolic_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/symbolic_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/symbolic_golden_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_io_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/field_test[1]_include.cmake")
+include("/root/repo/build/tests/bytecode_test[1]_include.cmake")
+include("/root/repo/build/tests/bytecode_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/bte_physics_test[1]_include.cmake")
+include("/root/repo/build/tests/bte_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_model_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioned_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_gpu_test[1]_include.cmake")
+include("/root/repo/build/tests/boundary_models_test[1]_include.cmake")
+include("/root/repo/build/tests/bte3d_test[1]_include.cmake")
+include("/root/repo/build/tests/fem_test[1]_include.cmake")
+include("/root/repo/build/tests/rk2_test[1]_include.cmake")
+include("/root/repo/build/tests/source_emitter_test[1]_include.cmake")
