@@ -218,8 +218,12 @@ void BteProblem::write_temperature_csv(const std::string& path) const {
   const auto& mesh = problem_->mesh();
   const auto& T = problem_->fields().get("T");
   for (int32_t c = 0; c < mesh.num_cells(); ++c) {
+    const double t = T.at(c, 0);
+    // Corrupted state must not leak into result files unnoticed.
+    if (!std::isfinite(t))
+      throw std::runtime_error("write_temperature_csv: non-finite T at cell " + std::to_string(c));
     const auto& p = mesh.cell_centroid(c);
-    os << p.x << "," << p.y << "," << T.at(c, 0) << "\n";
+    os << p.x << "," << p.y << "," << t << "\n";
   }
 }
 

@@ -143,7 +143,7 @@ void MultiGpuSolver::step() {
     ks.fma_fraction = 0.3;
     ks.dram_bytes_per_thread = 18;
     ks.divergence = 0.05;
-    gpu.launch("bte_interior", ks, [&] { sweep_cells(r, interior_cells_); });
+    launch_with_retry(gpu, "bte_interior", ks, [&] { sweep_cells(r, interior_cells_); });
     const double kernel_seconds = gpu.stream_clock(0) - dev_before;
 
     // Boundary cells on the CPU (the user-callback side of Fig. 6).
@@ -156,9 +156,7 @@ void MultiGpuSolver::step() {
     // Refresh the device mirror with the interior results (what the real
     // kernel would have produced in place), then D2H the band slice for the
     // CPU post-step — the movement plan's per-step download.
-    gpu.memcpy_h2d(r.dev_I, r.I);
-    host_back_.resize(r.I.size());
-    gpu.memcpy_d2h(host_back_, r.dev_I);
+    roundtrip_with_guard(p);
     comm = std::max(comm, gpu.counters().copy_seconds - copy_before);
     max_intensity = std::max(max_intensity, std::max(kernel_seconds, cpu_boundary));
   }
@@ -210,6 +208,151 @@ void MultiGpuSolver::step() {
     up = std::max(up, gpu.counters().copy_seconds - before);
   }
   phases_.communication += up;
+}
+
+// ---- resilience --------------------------------------------------------------
+
+void MultiGpuSolver::launch_with_retry(rt::SimGpu& gpu, const std::string& name,
+                                       const rt::KernelStats& ks,
+                                       const std::function<void()>& body) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      gpu.launch(name, ks, body);
+      return;
+    } catch (const rt::TransientFault&) {
+      rstats_.faults_detected += 1;
+      if (!resilient_ || attempt >= res_.max_retries)
+        throw;  // unrecoverable here; run() or the caller decides
+      const double delay = backoff_delay(res_, attempt);
+      phases_.recovery += delay;
+      rstats_.recovery_seconds += delay;
+      rstats_.retries += 1;
+    }
+  }
+}
+
+void MultiGpuSolver::roundtrip_with_guard(size_t p) {
+  Rank& r = ranks_[p];
+  rt::SimGpu& gpu = *devices_[p];
+  host_back_.resize(r.I.size());
+  const uint64_t want = resilient_ ? rt::checksum_doubles(r.I) : 0;
+  for (int attempt = 0;; ++attempt) {
+    gpu.memcpy_h2d(r.dev_I, r.I);
+    gpu.memcpy_d2h(host_back_, r.dev_I);
+    if (!resilient_) return;
+    if (rt::checksum_doubles(host_back_) == want) return;
+    // Corrupted transfer: the band slice on the device (or the downloaded
+    // copy) does not match the host truth. Re-drive the round trip.
+    rstats_.faults_detected += 1;
+    if (attempt >= res_.max_retries) {
+      health_.transfer_ok = false;
+      health_.detail = "device " + std::to_string(p) + " round-trip checksum mismatch";
+      return;  // validation fails; run() rolls back and replays this step
+    }
+    const double delay = backoff_delay(res_, attempt);
+    phases_.recovery += delay;
+    rstats_.recovery_seconds += delay;
+    rstats_.retries += 1;
+  }
+}
+
+void MultiGpuSolver::validate() {
+  rstats_.validations += 1;
+  size_t bad = 0;
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    if (!rt::all_finite(ranks_[p].I, &bad)) {
+      health_.finite_ok = false;
+      health_.nonfinite_values += 1;
+      health_.detail = "rank " + std::to_string(p) + " I[" + std::to_string(bad) + "] non-finite";
+    }
+  }
+  if (!rt::all_finite(T_, &bad)) {
+    health_.finite_ok = false;
+    health_.nonfinite_values += 1;
+    health_.detail = "T[" + std::to_string(bad) + "] non-finite";
+  }
+}
+
+void MultiGpuSolver::take_checkpoint() {
+  rt::Snapshot snap;
+  snap.step = step_index_;
+  snap.add("T", T_);
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    const Rank& r = ranks_[p];
+    const std::string tag = "r" + std::to_string(p);
+    snap.add(tag + ".I", r.I);
+    snap.add(tag + ".Io", r.Io);
+    snap.add(tag + ".beta", r.beta);
+  }
+  store_.save(snap);
+  rstats_.checkpoints += 1;
+}
+
+void MultiGpuSolver::restore_checkpoint() {
+  const rt::Snapshot snap = store_.load_latest();
+  double copy_before = 0;
+  for (const auto& dev : devices_) copy_before += dev->counters().copy_seconds;
+  T_ = snap.field("T");
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    Rank& r = ranks_[p];
+    const std::string tag = "r" + std::to_string(p);
+    r.I = snap.field(tag + ".I");
+    r.Io = snap.field(tag + ".Io");
+    r.beta = snap.field(tag + ".beta");
+    // Device mirrors must match the restored host truth before replay.
+    rt::SimGpu& gpu = *devices_[p];
+    gpu.memcpy_h2d(r.dev_I, r.I);
+    iob_scratch_.resize(r.Io.size() + r.beta.size());
+    std::copy(r.Io.begin(), r.Io.end(), iob_scratch_.begin());
+    std::copy(r.beta.begin(), r.beta.end(),
+              iob_scratch_.begin() + static_cast<std::ptrdiff_t>(r.Io.size()));
+    gpu.memcpy_h2d(r.dev_Iob, iob_scratch_);
+  }
+  double copy_after = 0;
+  for (const auto& dev : devices_) copy_after += dev->counters().copy_seconds;
+  phases_.recovery += copy_after - copy_before;
+  rstats_.recovery_seconds += copy_after - copy_before;
+  step_index_ = snap.step;
+}
+
+void MultiGpuSolver::enable_resilience(const ResilienceOptions& options) {
+  res_ = options;
+  resilient_ = true;
+  for (auto& dev : devices_) dev->set_fault_injector(res_.injector);
+  take_checkpoint();  // rollback target before any resilient step runs
+}
+
+void MultiGpuSolver::run(int nsteps) {
+  if (!resilient_) {
+    for (int i = 0; i < nsteps; ++i) step();
+    return;
+  }
+  const int64_t target = step_index_ + nsteps;
+  int rollback_budget = res_.max_rollbacks;
+  while (step_index_ < target) {
+    health_ = StepHealth{};
+    try {
+      step();
+      ++step_index_;
+      validate();
+    } catch (const rt::TransientFault& fault) {
+      // Retry budget exhausted mid-step: some ranks advanced, some did not.
+      // Only a rollback restores a consistent state.
+      health_.transfer_ok = false;
+      health_.detail = std::string("retries exhausted: ") + fault.what();
+    }
+    if (health_.ok()) {
+      if (res_.checkpoint.due(step_index_)) take_checkpoint();
+      continue;
+    }
+    rstats_.faults_detected += 1;
+    if (rollback_budget-- <= 0)
+      throw ResilienceError("rollback budget exhausted: " + health_.detail);
+    const int64_t lost = step_index_ - store_.latest_step();
+    restore_checkpoint();
+    rstats_.rollbacks += 1;
+    rstats_.replayed_steps += lost;
+  }
 }
 
 std::vector<double> MultiGpuSolver::gather_intensity() const {

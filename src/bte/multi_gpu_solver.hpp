@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bte_problem.hpp"
+#include "resilience.hpp"
 #include "runtime/simgpu.hpp"
 
 namespace finch::bte {
@@ -24,9 +25,17 @@ class MultiGpuSolver {
                  int num_devices, rt::GpuSpec spec = rt::GpuSpec::a6000());
 
   void step();
-  void run(int nsteps) {
-    for (int i = 0; i < nsteps; ++i) step();
-  }
+  void run(int nsteps);
+
+  // Arms recovery: installs the injector on every device, takes the initial
+  // checkpoint, and makes run() retry transient launch faults, verify each
+  // host<->device round trip by checksum, validate fields per step, and roll
+  // back + replay from the last checkpoint when validation fails.
+  void enable_resilience(const ResilienceOptions& options);
+  bool resilient() const { return resilient_; }
+  const ResilienceStats& resilience_stats() const { return rstats_; }
+  const StepHealth& last_health() const { return health_; }
+  int64_t step_index() const { return step_index_; }
 
   int num_devices() const { return static_cast<int>(devices_.size()); }
   const rt::SimGpu& device(int i) const { return *devices_[static_cast<size_t>(i)]; }
@@ -36,7 +45,8 @@ class MultiGpuSolver {
     double intensity = 0;      // max(kernel, cpu boundary) per step, summed
     double temperature = 0;    // CPU post-step (measured)
     double communication = 0;  // PCIe transfers (modeled)
-    double total() const { return intensity + temperature + communication; }
+    double recovery = 0;       // backoff + retransmit + restore (modeled)
+    double total() const { return intensity + temperature + communication + recovery; }
   };
   const Phases& phases() const { return phases_; }
 
@@ -54,6 +64,12 @@ class MultiGpuSolver {
 
   void sweep_cells(Rank& r, const std::vector<int32_t>& cells);
   double wall_temperature(double x) const;
+  void launch_with_retry(rt::SimGpu& gpu, const std::string& name, const rt::KernelStats& ks,
+                         const std::function<void()>& body);
+  void roundtrip_with_guard(size_t p);
+  void validate();
+  void take_checkpoint();
+  void restore_checkpoint();
 
   BteScenario scen_;
   std::shared_ptr<const BtePhysics> phys_;
@@ -67,6 +83,13 @@ class MultiGpuSolver {
   std::vector<double> G_global_;
   std::vector<double> host_back_, iob_scratch_;
   Phases phases_;
+
+  bool resilient_ = false;
+  ResilienceOptions res_;
+  ResilienceStats rstats_;
+  StepHealth health_;
+  rt::CheckpointStore store_;
+  int64_t step_index_ = 0;
 };
 
 }  // namespace finch::bte

@@ -1,5 +1,6 @@
 #include "partitioned_solver.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -14,6 +15,11 @@ struct UpdateParams {
   double ax, ay;  // dt / hx, dt / hy
 };
 
+using Clock = std::chrono::steady_clock;
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
 }  // namespace
 
 // ---- CellPartitionedSolver ---------------------------------------------------
@@ -24,7 +30,8 @@ CellPartitionedSolver::CellPartitionedSolver(const BteScenario& scenario,
     : scen_(scenario),
       phys_(std::move(physics)),
       mesh_(mesh::Mesh::structured_quad(scenario.nx, scenario.ny, scenario.lx, scenario.ly)),
-      nparts_(nparts) {
+      nparts_(nparts),
+      bsp_(nparts < 1 ? 1 : nparts) {
   if (nparts < 1) throw std::invalid_argument("CellPartitionedSolver: nparts >= 1");
   nd_ = phys_->num_dirs();
   nb_ = phys_->num_bands();
@@ -68,9 +75,12 @@ CellPartitionedSolver::CellPartitionedSolver(const BteScenario& scenario,
     }
   }
   // Per-step communication volume: every halo cell's full DOF vector.
-  for (const Rank& r : ranks_) {
+  for (int32_t p = 0; p < nparts; ++p) {
+    const Rank& r = ranks_[static_cast<size_t>(p)];
     comm_.bytes_per_step += static_cast<int64_t>(r.ghosts.size()) * dofs_ * 8;
     comm_.messages_per_step += static_cast<int64_t>(r.halo.recvs.size());
+    for (const auto& recv : r.halo.recvs)
+      halo_messages_.push_back({recv.peer, p, static_cast<int64_t>(recv.cells.size()) * dofs_ * 8});
   }
 }
 
@@ -84,9 +94,31 @@ double CellPartitionedSolver::wall_temperature(double x) const {
 void CellPartitionedSolver::exchange_halos() {
   // Pull model: each rank copies the owned values it needs from the peer
   // ranks (in a real MPI code this is the send/recv pair of the halo plan).
+  rt::FaultInjector* fi = resilient_ ? res_.injector : nullptr;
   for (Rank& r : ranks_) {
     for (const auto& recv : r.halo.recvs) {
       const Rank& peer = ranks_[static_cast<size_t>(recv.peer)];
+      if (fi != nullptr) {
+        // A dropped message is retransmitted with bounded exponential backoff;
+        // an exhausted budget marks the step unhealthy (stale ghosts would
+        // silently poison the sweep) so run() rolls back and replays.
+        bool delivered = true;
+        for (int attempt = 0; fi->should_fault(rt::FaultKind::DroppedMessage, "halo");
+             ++attempt) {
+          rstats_.faults_detected += 1;
+          if (attempt >= res_.max_retries) {
+            delivered = false;
+            health_.transfer_ok = false;
+            health_.detail = "halo message dropped after " + std::to_string(attempt) + " retries";
+            break;
+          }
+          const double delay = backoff_delay(res_, attempt);
+          bsp_.charge_fault(delay);
+          rstats_.recovery_seconds += delay;
+          rstats_.retries += 1;
+        }
+        if (!delivered) continue;
+      }
       for (int32_t gc : recv.cells) {
         const int32_t src = peer.global_to_local[static_cast<size_t>(gc)];
         const int32_t dst = r.global_to_local[static_cast<size_t>(gc)];
@@ -94,9 +126,20 @@ void CellPartitionedSolver::exchange_halos() {
           r.I[static_cast<size_t>(dst) * dofs_ + static_cast<size_t>(k)] =
               peer.I[static_cast<size_t>(src) * dofs_ + static_cast<size_t>(k)];
       }
+      if (fi != nullptr && !recv.cells.empty() &&
+          fi->should_fault(rt::FaultKind::TransferCorruption, "halo")) {
+        // In-flight corruption of this message's payload: lands in the ghost
+        // region, where the next sweep drags it into owned state. The per-step
+        // NaN/Inf validation catches it and triggers rollback + replay.
+        const size_t base =
+            static_cast<size_t>(r.global_to_local[static_cast<size_t>(recv.cells[0])]) *
+            static_cast<size_t>(dofs_);
+        fi->corrupt(std::span<double>(r.I).subspan(base, static_cast<size_t>(dofs_)), "halo");
+      }
     }
   }
   comm_.total_bytes += comm_.bytes_per_step;
+  bsp_.exchange(halo_messages_);
 }
 
 void CellPartitionedSolver::sweep_rank(Rank& r) {
@@ -175,7 +218,13 @@ void CellPartitionedSolver::temperature_rank(Rank& r) {
 
 void CellPartitionedSolver::step() {
   exchange_halos();
-  for (Rank& r : ranks_) sweep_rank(r);
+  std::vector<double> rank_seconds(static_cast<size_t>(nparts_));
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    const auto t0 = Clock::now();
+    sweep_rank(ranks_[p]);
+    rank_seconds[p] = seconds_since(t0);
+  }
+  bsp_.compute_step(rank_seconds, rt::BspSimulator::Phase::Compute);
   for (Rank& r : ranks_) {
     // Commit owned values; ghosts refresh at the next exchange.
     for (size_t lo = 0; lo < r.owned.size(); ++lo)
@@ -183,7 +232,90 @@ void CellPartitionedSolver::step() {
         r.I[lo * static_cast<size_t>(dofs_) + static_cast<size_t>(k)] =
             r.I_new[lo * static_cast<size_t>(dofs_) + static_cast<size_t>(k)];
   }
-  for (Rank& r : ranks_) temperature_rank(r);
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    const auto t0 = Clock::now();
+    temperature_rank(ranks_[p]);
+    rank_seconds[p] = seconds_since(t0);
+  }
+  bsp_.compute_step(rank_seconds, rt::BspSimulator::Phase::PostProcess);
+}
+
+void CellPartitionedSolver::run(int nsteps) {
+  if (!resilient_) {
+    for (int i = 0; i < nsteps; ++i) step();
+    return;
+  }
+  const int64_t target = step_index_ + nsteps;
+  int rollback_budget = res_.max_rollbacks;
+  while (step_index_ < target) {
+    health_ = StepHealth{};
+    step();
+    ++step_index_;
+    validate();
+    if (health_.ok()) {
+      if (res_.checkpoint.due(step_index_)) take_checkpoint();
+      continue;
+    }
+    rstats_.faults_detected += 1;
+    if (rollback_budget-- <= 0)
+      throw ResilienceError("rollback budget exhausted: " + health_.detail);
+    const int64_t lost = step_index_ - store_.latest_step();
+    restore_checkpoint();
+    rstats_.rollbacks += 1;
+    rstats_.replayed_steps += lost;
+  }
+}
+
+void CellPartitionedSolver::enable_resilience(const ResilienceOptions& options) {
+  res_ = options;
+  resilient_ = true;
+  take_checkpoint();
+}
+
+void CellPartitionedSolver::validate() {
+  rstats_.validations += 1;
+  size_t bad = 0;
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    const Rank& r = ranks_[p];
+    if (!rt::all_finite(r.I, &bad)) {
+      health_.finite_ok = false;
+      health_.nonfinite_values += 1;
+      health_.detail = "rank " + std::to_string(p) + " I[" + std::to_string(bad) + "] non-finite";
+    }
+    if (!rt::all_finite(r.T, &bad)) {
+      health_.finite_ok = false;
+      health_.nonfinite_values += 1;
+      health_.detail = "rank " + std::to_string(p) + " T[" + std::to_string(bad) + "] non-finite";
+    }
+  }
+}
+
+void CellPartitionedSolver::take_checkpoint() {
+  rt::Snapshot snap;
+  snap.step = step_index_;
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    const Rank& r = ranks_[p];
+    const std::string tag = "r" + std::to_string(p);
+    snap.add(tag + ".I", r.I);
+    snap.add(tag + ".Io", r.Io);
+    snap.add(tag + ".beta", r.beta);
+    snap.add(tag + ".T", r.T);
+  }
+  store_.save(snap);
+  rstats_.checkpoints += 1;
+}
+
+void CellPartitionedSolver::restore_checkpoint() {
+  const rt::Snapshot snap = store_.load_latest();
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    Rank& r = ranks_[p];
+    const std::string tag = "r" + std::to_string(p);
+    r.I = snap.field(tag + ".I");
+    r.Io = snap.field(tag + ".Io");
+    r.beta = snap.field(tag + ".beta");
+    r.T = snap.field(tag + ".T");
+  }
+  step_index_ = snap.step;
 }
 
 std::vector<double> CellPartitionedSolver::gather_intensity() const {
@@ -207,7 +339,10 @@ std::vector<double> CellPartitionedSolver::gather_temperature() const {
 
 BandPartitionedSolver::BandPartitionedSolver(const BteScenario& scenario,
                                              std::shared_ptr<const BtePhysics> physics, int nparts)
-    : scen_(scenario), phys_(std::move(physics)), nparts_(nparts) {
+    : scen_(scenario),
+      phys_(std::move(physics)),
+      nparts_(nparts),
+      bsp_(nparts < 1 ? 1 : nparts) {
   if (nparts < 1) throw std::invalid_argument("BandPartitionedSolver: nparts >= 1");
   nx_ = scen_.nx;
   ny_ = scen_.ny;
@@ -309,28 +444,73 @@ void BandPartitionedSolver::sweep_rank(Rank& r) {
   r.I.swap(r.I_new);
 }
 
-void BandPartitionedSolver::step() {
-  for (Rank& r : ranks_) sweep_rank(r);
-
-  // Allgather of per-cell band sums (the only cross-rank coupling).
+void BandPartitionedSolver::gather_rank(Rank& r) {
+  // One rank's contribution to the allgather of per-cell band sums (the only
+  // cross-rank coupling): pack the slice into a contiguous payload — what a
+  // real MPI_Allgatherv would put on the wire — then scatter into G_global_.
   const int ncell = nx_ * ny_;
-  for (Rank& r : ranks_) {
-    const int bl = r.b_hi - r.b_lo;
-    for (int b = r.b_lo; b < r.b_hi; ++b) {
-      const int lb = b - r.b_lo;
-      for (int c = 0; c < ncell; ++c) {
-        double g = 0.0;
-        for (int d = 0; d < nd_; ++d)
-          g += phys_->directions.weight[static_cast<size_t>(d)] *
-               r.I[(static_cast<size_t>(c) * bl + lb) * nd_ + static_cast<size_t>(d)];
-        G_global_[static_cast<size_t>(c) * nb_ + static_cast<size_t>(b)] = g;
-      }
+  const int bl = r.b_hi - r.b_lo;
+  std::vector<double> payload(static_cast<size_t>(ncell) * static_cast<size_t>(bl));
+  for (int b = r.b_lo; b < r.b_hi; ++b) {
+    const int lb = b - r.b_lo;
+    for (int c = 0; c < ncell; ++c) {
+      double g = 0.0;
+      for (int d = 0; d < nd_; ++d)
+        g += phys_->directions.weight[static_cast<size_t>(d)] *
+             r.I[(static_cast<size_t>(c) * bl + lb) * nd_ + static_cast<size_t>(d)];
+      payload[static_cast<size_t>(c) * bl + lb] = g;
     }
   }
+
+  rt::FaultInjector* fi = resilient_ ? res_.injector : nullptr;
+  if (fi != nullptr) {
+    bool delivered = true;
+    for (int attempt = 0; fi->should_fault(rt::FaultKind::DroppedMessage, "gather"); ++attempt) {
+      rstats_.faults_detected += 1;
+      if (attempt >= res_.max_retries) {
+        delivered = false;
+        health_.transfer_ok = false;
+        health_.detail =
+            "gather contribution dropped after " + std::to_string(attempt) + " retries";
+        break;
+      }
+      const double delay = backoff_delay(res_, attempt);
+      bsp_.charge_fault(delay);
+      rstats_.recovery_seconds += delay;
+      rstats_.retries += 1;
+    }
+    // An undelivered contribution leaves last step's (stale, finite) sums in
+    // G_global_ — invisible to the NaN scan, hence the explicit health flag.
+    if (!delivered) return;
+    if (fi->should_fault(rt::FaultKind::TransferCorruption, "gather"))
+      fi->corrupt(payload, "gather");
+  }
+
+  for (int b = r.b_lo; b < r.b_hi; ++b) {
+    const int lb = b - r.b_lo;
+    for (int c = 0; c < ncell; ++c)
+      G_global_[static_cast<size_t>(c) * nb_ + static_cast<size_t>(b)] =
+          payload[static_cast<size_t>(c) * bl + lb];
+  }
+}
+
+void BandPartitionedSolver::step() {
+  std::vector<double> rank_seconds(static_cast<size_t>(nparts_));
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    const auto t0 = Clock::now();
+    sweep_rank(ranks_[p]);
+    rank_seconds[p] = seconds_since(t0);
+  }
+  bsp_.compute_step(rank_seconds, rt::BspSimulator::Phase::Compute);
+
+  for (Rank& r : ranks_) gather_rank(r);
   comm_.total_bytes += comm_.bytes_per_step;
+  bsp_.gather(comm_.bytes_per_step / (nparts_ > 0 ? nparts_ : 1));
 
   // Every rank solves the (replicated) temperature and refreshes its own
   // bands' Io/beta — executed once here since the result is identical.
+  const auto t0 = Clock::now();
+  const int ncell = nx_ * ny_;
   std::vector<double> G(static_cast<size_t>(nb_));
   for (int c = 0; c < ncell; ++c) {
     for (int b = 0; b < nb_; ++b) G[static_cast<size_t>(b)] = G_global_[static_cast<size_t>(c) * nb_ + static_cast<size_t>(b)];
@@ -345,6 +525,91 @@ void BandPartitionedSolver::step() {
       }
     }
   }
+  bsp_.uniform_compute(seconds_since(t0), rt::BspSimulator::Phase::PostProcess);
+}
+
+void BandPartitionedSolver::run(int nsteps) {
+  if (!resilient_) {
+    for (int i = 0; i < nsteps; ++i) step();
+    return;
+  }
+  const int64_t target = step_index_ + nsteps;
+  int rollback_budget = res_.max_rollbacks;
+  while (step_index_ < target) {
+    health_ = StepHealth{};
+    step();
+    ++step_index_;
+    validate();
+    if (health_.ok()) {
+      if (res_.checkpoint.due(step_index_)) take_checkpoint();
+      continue;
+    }
+    rstats_.faults_detected += 1;
+    if (rollback_budget-- <= 0)
+      throw ResilienceError("rollback budget exhausted: " + health_.detail);
+    const int64_t lost = step_index_ - store_.latest_step();
+    restore_checkpoint();
+    rstats_.rollbacks += 1;
+    rstats_.replayed_steps += lost;
+  }
+}
+
+void BandPartitionedSolver::enable_resilience(const ResilienceOptions& options) {
+  res_ = options;
+  resilient_ = true;
+  take_checkpoint();
+}
+
+void BandPartitionedSolver::validate() {
+  rstats_.validations += 1;
+  size_t bad = 0;
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    if (!rt::all_finite(ranks_[p].I, &bad)) {
+      health_.finite_ok = false;
+      health_.nonfinite_values += 1;
+      health_.detail = "rank " + std::to_string(p) + " I[" + std::to_string(bad) + "] non-finite";
+    }
+  }
+  // solve_temperature's bisection fallback returns a finite T even for NaN
+  // band sums, so the gathered sums must be scanned directly.
+  if (!rt::all_finite(G_global_, &bad)) {
+    health_.finite_ok = false;
+    health_.nonfinite_values += 1;
+    health_.detail = "G[" + std::to_string(bad) + "] non-finite";
+  }
+  if (!rt::all_finite(T_, &bad)) {
+    health_.finite_ok = false;
+    health_.nonfinite_values += 1;
+    health_.detail = "T[" + std::to_string(bad) + "] non-finite";
+  }
+}
+
+void BandPartitionedSolver::take_checkpoint() {
+  rt::Snapshot snap;
+  snap.step = step_index_;
+  snap.add("T", T_);
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    const Rank& r = ranks_[p];
+    const std::string tag = "r" + std::to_string(p);
+    snap.add(tag + ".I", r.I);
+    snap.add(tag + ".Io", r.Io);
+    snap.add(tag + ".beta", r.beta);
+  }
+  store_.save(snap);
+  rstats_.checkpoints += 1;
+}
+
+void BandPartitionedSolver::restore_checkpoint() {
+  const rt::Snapshot snap = store_.load_latest();
+  T_ = snap.field("T");
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    Rank& r = ranks_[p];
+    const std::string tag = "r" + std::to_string(p);
+    r.I = snap.field(tag + ".I");
+    r.Io = snap.field(tag + ".Io");
+    r.beta = snap.field(tag + ".beta");
+  }
+  step_index_ = snap.step;
 }
 
 std::vector<double> BandPartitionedSolver::gather_intensity() const {

@@ -22,6 +22,8 @@
 
 #include "bte_problem.hpp"
 #include "mesh/partition.hpp"
+#include "resilience.hpp"
+#include "runtime/simmpi.hpp"
 
 namespace finch::bte {
 
@@ -37,12 +39,22 @@ class CellPartitionedSolver {
                         int nparts, mesh::PartitionMethod method = mesh::PartitionMethod::RCB);
 
   void step();
-  void run(int nsteps) {
-    for (int i = 0; i < nsteps; ++i) step();
-  }
+  void run(int nsteps);
+
+  // Arms recovery: the halo exchange retries dropped messages with bounded
+  // backoff, every step is validated (NaN/Inf scan over the distributed
+  // fields), and a failed validation rolls back to the last checkpoint and
+  // replays. Costs are charged to the BSP virtual clock.
+  void enable_resilience(const ResilienceOptions& options);
+  bool resilient() const { return resilient_; }
+  const ResilienceStats& resilience_stats() const { return rstats_; }
+  const StepHealth& last_health() const { return health_; }
+  int64_t step_index() const { return step_index_; }
 
   int nparts() const { return nparts_; }
   const CommVolume& comm() const { return comm_; }
+  // Virtual-time phase breakdown (measured compute, modeled communication).
+  const rt::PhaseTimes& phases() const { return bsp_.phases(); }
 
   // Gathers the distributed field back to global ordering for comparison.
   std::vector<double> gather_intensity() const;
@@ -65,6 +77,9 @@ class CellPartitionedSolver {
   void sweep_rank(Rank& r);
   void temperature_rank(Rank& r);
   double wall_temperature(double x) const;
+  void validate();
+  void take_checkpoint();
+  void restore_checkpoint();
 
   BteScenario scen_;
   std::shared_ptr<const BtePhysics> phys_;
@@ -76,6 +91,15 @@ class CellPartitionedSolver {
   std::vector<Rank> ranks_;
   CommVolume comm_;
   std::vector<double> g_scratch_;
+  rt::BspSimulator bsp_;
+  std::vector<rt::Message> halo_messages_;
+
+  bool resilient_ = false;
+  ResilienceOptions res_;
+  ResilienceStats rstats_;
+  StepHealth health_;
+  rt::CheckpointStore store_;
+  int64_t step_index_ = 0;
 };
 
 class BandPartitionedSolver {
@@ -84,12 +108,21 @@ class BandPartitionedSolver {
                         int nparts);
 
   void step();
-  void run(int nsteps) {
-    for (int i = 0; i < nsteps; ++i) step();
-  }
+  void run(int nsteps);
+
+  // Arms recovery for the band-sum gather (the solver's only cross-rank data
+  // motion): dropped contributions are re-gathered with bounded backoff,
+  // corrupted ones are caught by the per-step NaN/Inf validation and undone
+  // by rollback + replay from the last checkpoint.
+  void enable_resilience(const ResilienceOptions& options);
+  bool resilient() const { return resilient_; }
+  const ResilienceStats& resilience_stats() const { return rstats_; }
+  const StepHealth& last_health() const { return health_; }
+  int64_t step_index() const { return step_index_; }
 
   int nparts() const { return nparts_; }
   const CommVolume& comm() const { return comm_; }
+  const rt::PhaseTimes& phases() const { return bsp_.phases(); }
   std::vector<double> gather_intensity() const;
   const std::vector<double>& temperature() const { return T_; }
 
@@ -101,7 +134,11 @@ class BandPartitionedSolver {
   };
 
   void sweep_rank(Rank& r);
+  void gather_rank(Rank& r);
   double wall_temperature(double x) const;
+  void validate();
+  void take_checkpoint();
+  void restore_checkpoint();
 
   BteScenario scen_;
   std::shared_ptr<const BtePhysics> phys_;
@@ -112,6 +149,14 @@ class BandPartitionedSolver {
   std::vector<double> T_;        // replicated temperature (each rank holds a copy)
   std::vector<double> G_global_; // gathered band sums [cells * nb]
   CommVolume comm_;
+  rt::BspSimulator bsp_;
+
+  bool resilient_ = false;
+  ResilienceOptions res_;
+  ResilienceStats rstats_;
+  StepHealth health_;
+  rt::CheckpointStore store_;
+  int64_t step_index_ = 0;
 };
 
 }  // namespace finch::bte

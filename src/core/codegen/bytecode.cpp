@@ -256,9 +256,13 @@ class Compiler {
 
 Program compile(const sym::Expr& integrand, const CompileEnv& env) { return Compiler(env).run(integrand); }
 
-double eval(const Program& p, const EvalContext& ctx) {
+namespace {
+
+template <bool Guarded>
+double eval_impl(const Program& p, const EvalContext& ctx, GuardReport* report) {
   double regs[256];
-  for (const Instr& in : p.code) {
+  for (size_t ip = 0; ip < p.code.size(); ++ip) {
+    const Instr& in = p.code[ip];
     switch (in.op) {
       case Op::Const: regs[in.dst] = in.imm; break;
       case Op::Load: {
@@ -308,10 +312,34 @@ double eval(const Program& p, const EvalContext& ctx) {
       case Op::MathSin: regs[in.dst] = std::sin(regs[in.a]); break;
       case Op::MathCos: regs[in.dst] = std::cos(regs[in.a]); break;
       case Op::MathLog: regs[in.dst] = std::log(regs[in.a]); break;
-      case Op::Ret: return regs[in.a];
+      case Op::Ret: {
+        const double result = regs[in.a];
+        if constexpr (Guarded) {
+          report->evals += 1;
+          if (!std::isfinite(result)) report->nonfinite_results += 1;
+        }
+        return result;
+      }
+    }
+    if constexpr (Guarded) {
+      // Audit every intermediate so the report pinpoints the op that went bad
+      // (a Div by zero, Pow of a negative base, Log of a corrupted field).
+      if (!std::isfinite(regs[in.dst]) && report->first_instr < 0) {
+        report->first_instr = static_cast<int32_t>(ip);
+        report->first_op = in.op;
+        report->first_cell = ctx.cell;
+      }
     }
   }
   throw std::logic_error("bytecode program missing Ret");
+}
+
+}  // namespace
+
+double eval(const Program& p, const EvalContext& ctx) { return eval_impl<false>(p, ctx, nullptr); }
+
+double eval_guarded(const Program& p, const EvalContext& ctx, GuardReport& report) {
+  return eval_impl<true>(p, ctx, &report);
 }
 
 Program::Stats Program::analyze() const {

@@ -133,6 +133,31 @@ Program compile(const sym::Expr& integrand, const CompileEnv& env);
 
 double eval(const Program& p, const EvalContext& ctx);
 
+// Non-finite guard: eval_guarded() runs the same interpreter but audits every
+// instruction result, so a NaN/Inf produced anywhere in a step — a divide at a
+// degenerate face, pow of a negative base, log of a corrupted (negative) field
+// value — is *reported* instead of silently propagating into the solution.
+// The report is cheap to merge, so per-thread instances can be combined.
+struct GuardReport {
+  int64_t evals = 0;              // guarded evaluations performed
+  int64_t nonfinite_results = 0;  // evaluations returning NaN or +/-Inf
+  int32_t first_instr = -1;       // instruction index that first went non-finite
+  Op first_op = Op::Ret;          // its opcode
+  int32_t first_cell = -1;        // ctx.cell of the first offending evaluation
+  bool clean() const { return nonfinite_results == 0; }
+  void merge(const GuardReport& other) {
+    evals += other.evals;
+    nonfinite_results += other.nonfinite_results;
+    if (first_instr < 0 && other.first_instr >= 0) {
+      first_instr = other.first_instr;
+      first_op = other.first_op;
+      first_cell = other.first_cell;
+    }
+  }
+};
+
+double eval_guarded(const Program& p, const EvalContext& ctx, GuardReport& report);
+
 // Disassembly for debugging and source-golden tests.
 std::string disassemble(const Program& p);
 

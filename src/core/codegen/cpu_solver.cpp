@@ -1,6 +1,8 @@
 #include "cpu_solver.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 
 #include "bytecode.hpp"
@@ -70,6 +72,10 @@ class CpuSolver final : public dsl::Solver {
       euler_step();
     else
       rk2_step();
+    if (guard_enabled_) {
+      guard_report_.evals = guard_evals_.load(std::memory_order_relaxed);
+      guard_report_.nonfinite_results = guard_nonfinite_.load(std::memory_order_relaxed);
+    }
     phases_.intensity += seconds_since(t0);
     t0 = Clock::now();
     p_.run_post_steps(time_);
@@ -158,8 +164,26 @@ class CpuSolver final : public dsl::Solver {
           ctx.loop_values[static_cast<size_t>(env_.loop_slot_of(loops[k].index_name))] = digit;
       }
       ctx.cell = cell;
-      double value = eval(ce.volume, ctx);
-      if (ce.has_surface) value += surface_contribution(ce, ctx, cell);
+      double value;
+      if (guard_enabled_) {
+        GuardReport local;
+        value = eval_guarded(ce.volume, ctx, local);
+        if (ce.has_surface) value += surface_contribution(ce, ctx, cell, &local);
+        guard_evals_.fetch_add(local.evals, std::memory_order_relaxed);
+        if (local.nonfinite_results > 0) {
+          guard_nonfinite_.fetch_add(local.nonfinite_results, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(guard_mutex_);
+          if (guard_report_.first_cell < 0) {
+            guard_report_.first_cell = local.first_cell;
+            guard_report_.detail = ce.field->name() + " kernel, instr " +
+                                   std::to_string(local.first_instr) + " (op " +
+                                   std::to_string(static_cast<int>(local.first_op)) + ")";
+          }
+        }
+      } else {
+        value = eval(ce.volume, ctx);
+        if (ce.has_surface) value += surface_contribution(ce, ctx, cell, nullptr);
+      }
       out.at(cell, static_cast<int32_t>(ce.var_addr.dof(ctx.loop_values))) = value;
     };
 
@@ -170,8 +194,12 @@ class CpuSolver final : public dsl::Solver {
     }
   }
 
-  double surface_contribution(CompiledEquation& ce, EvalContext& ctx, int32_t cell) {
+  double surface_contribution(CompiledEquation& ce, EvalContext& ctx, int32_t cell,
+                              GuardReport* guard) {
     const mesh::Mesh& mesh = p_.mesh();
+    auto run = [&](const Program& prog) {
+      return guard != nullptr ? eval_guarded(prog, ctx, *guard) : eval(prog, ctx);
+    };
     const double inv_vol = 1.0 / mesh.cell_volume(cell);
     double acc = 0.0;
     for (int32_t f : mesh.cell_faces(cell)) {
@@ -181,7 +209,7 @@ class CpuSolver final : public dsl::Solver {
       const double scale = face.area * inv_vol;
       if (!face.is_boundary()) {
         ctx.neighbor = mesh.across(f, cell);
-        acc += scale * eval(ce.surface, ctx);
+        acc += scale * run(ce.surface);
         ctx.neighbor = -1;
         continue;
       }
@@ -205,7 +233,7 @@ class CpuSolver final : public dsl::Solver {
       } else {
         ctx.ghost_field = ce.field;
         ctx.ghost_value = bc->fn(bctx);
-        acc += scale * eval(ce.surface, ctx);
+        acc += scale * run(ce.surface);
         ctx.ghost_field = nullptr;
       }
     }
@@ -218,6 +246,11 @@ class CpuSolver final : public dsl::Solver {
   std::vector<CompiledEquation> eqs_;
   std::vector<fvm::CellField> scratch_;
   std::vector<double> backup_;
+  // Guard tallies: atomics so pooled sweeps can report without contention;
+  // the mutex only serializes recording the (rare) first offender.
+  std::atomic<int64_t> guard_evals_{0};
+  std::atomic<int64_t> guard_nonfinite_{0};
+  std::mutex guard_mutex_;
 };
 
 }  // namespace

@@ -18,6 +18,7 @@
 //   auto solver = p.compile(Target::CpuSerial);   // or CpuThreads / Gpu (useCUDA())
 //   solver->run(nsteps);
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -49,6 +50,18 @@ struct SolvePhases {
   double total() const { return intensity + post_process + communication; }
 };
 
+// Tally of non-finite values produced by the generated kernels, filled when
+// the non-finite guard is armed. A NaN or Inf escaping a kernel normally
+// poisons the whole field silently; the guard makes it a reportable event the
+// resilience layer (or a test) can act on.
+struct NonFiniteReport {
+  int64_t evals = 0;              // audited kernel evaluations
+  int64_t nonfinite_results = 0;  // evaluations that produced NaN / +-Inf
+  int32_t first_cell = -1;        // cell of the first offending evaluation
+  std::string detail;             // human-readable site of the first offender
+  bool clean() const { return nonfinite_results == 0; }
+};
+
 class Solver {
  public:
   virtual ~Solver() = default;
@@ -59,9 +72,19 @@ class Solver {
   double time() const { return time_; }
   const SolvePhases& phases() const { return phases_; }
 
+  // Arms per-evaluation NaN/Inf auditing in targets that execute bytecode
+  // (the CPU targets). Off by default — the unguarded interpreter runs and
+  // numerics are untouched either way; the guard only observes.
+  void enable_nonfinite_guard(bool on = true) { guard_enabled_ = on; }
+  bool nonfinite_guard_enabled() const { return guard_enabled_; }
+  const NonFiniteReport& nonfinite_report() const { return guard_report_; }
+  void reset_nonfinite_report() { guard_report_ = NonFiniteReport{}; }
+
  protected:
   double time_ = 0.0;
   SolvePhases phases_;
+  bool guard_enabled_ = false;
+  NonFiniteReport guard_report_;
 };
 
 class Problem {

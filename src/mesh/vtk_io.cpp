@@ -1,7 +1,9 @@
 #include "vtk_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 
 namespace finch::mesh {
 
@@ -10,6 +12,12 @@ void write_vtk_cells(std::ostream& os, const Mesh& mesh, int nx, int ny, int nz,
   const int64_t ncell = static_cast<int64_t>(nx) * ny * std::max(nz, 1);
   if (ncell != mesh.num_cells() || static_cast<int64_t>(cell_values.size()) != ncell)
     throw std::invalid_argument("write_vtk_cells: extent/value mismatch");
+  // A NaN/Inf in an output file means corrupted state escaped every upstream
+  // guard; fail loudly here rather than writing a silently-broken file.
+  for (size_t c = 0; c < cell_values.size(); ++c)
+    if (!std::isfinite(cell_values[c]))
+      throw std::invalid_argument("write_vtk_cells: field '" + name + "' has non-finite value at cell " +
+                                  std::to_string(c));
   const bool is3d = nz > 1;
   // Reconstruct node coordinates from the first cell's size (uniform grids).
   const Vec3 c0 = mesh.cell_centroid(0);

@@ -1,0 +1,141 @@
+#include "checkpoint.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+namespace finch::rt {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x46434e4b50543031ULL;  // "FCNKPT01"
+constexpr uint32_t kVersion = 1;
+
+void put_u64(std::vector<std::byte>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+uint64_t get_u64(std::span<const std::byte> bytes, size_t& off) {
+  if (off + 8 > bytes.size()) throw CheckpointError("checkpoint truncated");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(bytes[off + static_cast<size_t>(i)]) << (8 * i);
+  off += 8;
+  return v;
+}
+
+}  // namespace
+
+uint64_t fnv1a64(std::span<const std::byte> bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : bytes) {
+    h ^= static_cast<uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t checksum_doubles(std::span<const double> data) {
+  return fnv1a64(std::as_bytes(data));
+}
+
+bool all_finite(std::span<const double> data, size_t* first_bad) {
+  for (size_t i = 0; i < data.size(); ++i)
+    if (!std::isfinite(data[i])) {
+      if (first_bad != nullptr) *first_bad = i;
+      return false;
+    }
+  return true;
+}
+
+const std::vector<double>& Snapshot::field(std::string_view name) const {
+  for (const auto& [n, v] : fields)
+    if (n == name) return v;
+  throw CheckpointError("snapshot has no field named '" + std::string(name) + "'");
+}
+
+bool Snapshot::has(std::string_view name) const {
+  for (const auto& [n, v] : fields)
+    if (n == name) return true;
+  return false;
+}
+
+std::vector<std::byte> serialize(const Snapshot& snap) {
+  std::vector<std::byte> out;
+  put_u64(out, kMagic);
+  put_u64(out, kVersion);
+  put_u64(out, static_cast<uint64_t>(snap.step));
+  put_u64(out, static_cast<uint64_t>(snap.fields.size()));
+  for (const auto& [name, data] : snap.fields) {
+    put_u64(out, static_cast<uint64_t>(name.size()));
+    for (char c : name) out.push_back(static_cast<std::byte>(c));
+    put_u64(out, static_cast<uint64_t>(data.size()));
+    const auto raw = std::as_bytes(std::span<const double>(data));
+    out.insert(out.end(), raw.begin(), raw.end());
+  }
+  put_u64(out, fnv1a64(out));
+  return out;
+}
+
+Snapshot deserialize(std::span<const std::byte> bytes) {
+  if (bytes.size() < 8 * 5) throw CheckpointError("checkpoint truncated");
+  const uint64_t stored = fnv1a64(bytes.subspan(0, bytes.size() - 8));
+  size_t tail = bytes.size() - 8;
+  if (get_u64(bytes, tail) != stored) throw CheckpointError("checkpoint checksum mismatch");
+
+  size_t off = 0;
+  if (get_u64(bytes, off) != kMagic) throw CheckpointError("not a checkpoint image (bad magic)");
+  const uint64_t version = get_u64(bytes, off);
+  if (version != kVersion)
+    throw CheckpointError("unsupported checkpoint version " + std::to_string(version));
+  Snapshot snap;
+  snap.step = static_cast<int64_t>(get_u64(bytes, off));
+  const uint64_t nfields = get_u64(bytes, off);
+  snap.fields.reserve(nfields);
+  for (uint64_t f = 0; f < nfields; ++f) {
+    const uint64_t name_len = get_u64(bytes, off);
+    if (off + name_len > bytes.size()) throw CheckpointError("checkpoint truncated");
+    std::string name(name_len, '\0');
+    std::memcpy(name.data(), bytes.data() + off, name_len);
+    off += name_len;
+    const uint64_t count = get_u64(bytes, off);
+    if (off + count * sizeof(double) > bytes.size()) throw CheckpointError("checkpoint truncated");
+    std::vector<double> data(count);
+    std::memcpy(data.data(), bytes.data() + off, count * sizeof(double));
+    off += count * sizeof(double);
+    snap.fields.emplace_back(std::move(name), std::move(data));
+  }
+  return snap;
+}
+
+void CheckpointStore::save(const Snapshot& snap) {
+  image_ = serialize(snap);
+  latest_step_ = snap.step;
+  saves_ += 1;
+  if (!dir_.empty()) {
+    std::ofstream os(dir_ + "/checkpoint.bin", std::ios::binary | std::ios::trunc);
+    if (!os) throw CheckpointError("cannot write checkpoint to " + dir_);
+    os.write(reinterpret_cast<const char*>(image_.data()),
+             static_cast<std::streamsize>(image_.size()));
+  }
+}
+
+Snapshot CheckpointStore::load_latest() const {
+  if (image_.empty()) throw CheckpointError("no checkpoint saved");
+  return deserialize(image_);
+}
+
+void CheckpointStore::write_file(const std::string& path, const Snapshot& snap) {
+  const auto image = serialize(snap);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw CheckpointError("cannot open for writing: " + path);
+  os.write(reinterpret_cast<const char*>(image.data()), static_cast<std::streamsize>(image.size()));
+}
+
+Snapshot CheckpointStore::read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw CheckpointError("cannot open checkpoint: " + path);
+  std::vector<char> raw((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  return deserialize(std::as_bytes(std::span<const char>(raw)));
+}
+
+}  // namespace finch::rt

@@ -1,0 +1,86 @@
+#pragma once
+// Versioned, checksummed snapshot/restore of solver state.
+//
+// A Snapshot is an ordered list of named double arrays plus the step index it
+// was taken at. Serialization is a raw little-endian binary image with a
+// magic/version header and a trailing FNV-1a checksum over everything before
+// it, so a restore either reproduces the saved state bit-for-bit or throws
+// CheckpointError — silently restoring from a torn or corrupted image is the
+// one failure mode a resilience layer must never have.
+//
+// CheckpointStore keeps the latest image in memory (fast rollback path) and
+// can mirror it to disk for restart across processes. CheckpointPolicy is the
+// periodic-interval schedule the solvers consult.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace finch::rt {
+
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Bitwise FNV-1a over the raw bytes of the doubles: NaN payloads, signed
+// zeros and infinities all hash distinctly, so any corruption is visible.
+uint64_t fnv1a64(std::span<const std::byte> bytes);
+uint64_t checksum_doubles(std::span<const double> data);
+
+// Scans for NaN/Inf; reports the first offending index through `first_bad`.
+bool all_finite(std::span<const double> data, size_t* first_bad = nullptr);
+
+struct Snapshot {
+  int64_t step = 0;
+  std::vector<std::pair<std::string, std::vector<double>>> fields;
+
+  void add(std::string name, std::span<const double> data) {
+    fields.emplace_back(std::move(name), std::vector<double>(data.begin(), data.end()));
+  }
+  const std::vector<double>& field(std::string_view name) const;
+  bool has(std::string_view name) const;
+};
+
+std::vector<std::byte> serialize(const Snapshot& snap);
+// Throws CheckpointError on bad magic, unsupported version, truncation, or
+// checksum mismatch.
+Snapshot deserialize(std::span<const std::byte> bytes);
+
+struct CheckpointPolicy {
+  int interval = 16;  // checkpoint every `interval` completed steps; <= 0: never
+  bool due(int64_t steps_completed) const {
+    return interval > 0 && steps_completed > 0 && steps_completed % interval == 0;
+  }
+};
+
+class CheckpointStore {
+ public:
+  // `dir` empty: in-memory only. Otherwise every save is also mirrored to
+  // `<dir>/checkpoint.bin` (the restart-from-disk backend).
+  explicit CheckpointStore(std::string dir = "") : dir_(std::move(dir)) {}
+
+  void save(const Snapshot& snap);
+  bool has_checkpoint() const { return !image_.empty(); }
+  int64_t latest_step() const { return latest_step_; }
+  int64_t bytes_stored() const { return static_cast<int64_t>(image_.size()); }
+  int64_t saves() const { return saves_; }
+  // Deserializes (and checksum-validates) the most recent image.
+  Snapshot load_latest() const;
+
+  static void write_file(const std::string& path, const Snapshot& snap);
+  static Snapshot read_file(const std::string& path);
+
+ private:
+  std::string dir_;
+  std::vector<std::byte> image_;
+  int64_t latest_step_ = 0;
+  int64_t saves_ = 0;
+};
+
+}  // namespace finch::rt

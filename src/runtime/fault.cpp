@@ -1,0 +1,113 @@
+#include "fault.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace finch::rt {
+
+namespace {
+
+// splitmix64 — small, well-mixed, and stable across platforms; the quality
+// bar here is reproducibility, not cryptography.
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t hash_site(std::string_view site) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+double to_unit(uint64_t bits) {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::KernelLaunchFailure: return "kernel-launch-failure";
+    case FaultKind::TransferCorruption: return "transfer-corruption";
+    case FaultKind::DroppedMessage: return "dropped-message";
+    case FaultKind::StuckRank: return "stuck-rank";
+  }
+  return "unknown-fault";
+}
+
+void FaultInjector::set_policy(FaultKind kind, FaultPolicy policy) {
+  global_[static_cast<size_t>(kind)] = policy;
+  has_global_[static_cast<size_t>(kind)] = true;
+}
+
+void FaultInjector::set_site_policy(FaultKind kind, const std::string& site, FaultPolicy policy) {
+  site_policies_[{static_cast<int>(kind), site}] = policy;
+}
+
+const FaultPolicy* FaultInjector::policy_for(FaultKind kind, std::string_view site) const {
+  auto it = site_policies_.find(std::make_pair(static_cast<int>(kind), std::string(site)));
+  if (it != site_policies_.end()) return &it->second;
+  if (has_global_[static_cast<size_t>(kind)]) return &global_[static_cast<size_t>(kind)];
+  return nullptr;
+}
+
+uint64_t FaultInjector::draw(FaultKind kind, std::string_view site, int64_t index,
+                             uint64_t salt) const {
+  uint64_t h = seed_;
+  h = splitmix64(h ^ (static_cast<uint64_t>(kind) + 1));
+  h = splitmix64(h ^ hash_site(site));
+  h = splitmix64(h ^ static_cast<uint64_t>(index));
+  return splitmix64(h ^ salt);
+}
+
+bool FaultInjector::should_fault(FaultKind kind, std::string_view site) {
+  const auto key = std::make_pair(static_cast<int>(kind), std::string(site));
+  const int64_t index = counters_[key]++;
+  stats_.consulted[static_cast<size_t>(kind)] += 1;
+
+  const FaultPolicy* p = policy_for(kind, site);
+  if (p == nullptr) return false;
+  if (index < p->first_event) return false;
+  if (p->max_injections >= 0 && fired_[key] >= p->max_injections) return false;
+
+  bool fire;
+  if (p->every > 0)
+    fire = (index - p->first_event) % p->every == 0;
+  else
+    fire = p->probability > 0.0 && to_unit(draw(kind, site, index, 0)) < p->probability;
+  if (!fire) return false;
+
+  fired_[key] += 1;
+  stats_.injected[static_cast<size_t>(kind)] += 1;
+  events_.push_back({kind, std::string(site), index});
+  return true;
+}
+
+size_t FaultInjector::corrupt(std::span<double> data, std::string_view site) {
+  if (data.empty()) return 0;
+  const uint64_t bits = draw(FaultKind::TransferCorruption, site,
+                             static_cast<int64_t>(events_.size()), 0x5eedULL);
+  const size_t idx = static_cast<size_t>(bits % data.size());
+  switch (bits >> 62) {  // top two bits pick the poison
+    case 0: data[idx] = std::numeric_limits<double>::quiet_NaN(); break;
+    case 1: data[idx] = std::numeric_limits<double>::infinity(); break;
+    default: data[idx] = -std::numeric_limits<double>::infinity(); break;
+  }
+  return idx;
+}
+
+void FaultInjector::reset_counters() {
+  counters_.clear();
+  fired_.clear();
+  stats_ = FaultStats{};
+  events_.clear();
+}
+
+}  // namespace finch::rt

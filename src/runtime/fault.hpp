@@ -1,0 +1,123 @@
+#pragma once
+// Deterministic fault injection for the simulated runtime.
+//
+// At the paper's scale (320 MPI ranks, multiple devices) transient faults are
+// routine: a kernel launch fails, a PCIe transfer flips bits, a message is
+// dropped, a rank stalls. The injector models these as typed faults drawn from
+// a counter-keyed hash of a user seed, so a given (seed, site) pair always
+// produces the same fault sequence regardless of how sites interleave — runs
+// are reproducible and recovery logic can be tested deterministically.
+//
+// The runtime consults the injector at its natural fault sites —
+// SimGpu::launch / memcpy_{h2d,d2h} and BspSimulator::exchange — so injected
+// faults land inside the virtual-time model: a failed launch still pays its
+// launch overhead, a dropped message pays a timeout plus the retransmit, a
+// stuck rank stretches the superstep. Their cost therefore shows up in
+// GpuCounters / PhaseTimes exactly like real faults would in a profile.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace finch::rt {
+
+enum class FaultKind : int {
+  KernelLaunchFailure = 0,  // SimGpu::launch throws TransientFault
+  TransferCorruption = 1,   // memcpy destination gets a non-finite element
+  DroppedMessage = 2,       // exchange message lost; costs timeout + resend
+  StuckRank = 3,            // one rank stalls, stretching the superstep
+};
+inline constexpr int kNumFaultKinds = 4;
+
+const char* fault_kind_name(FaultKind kind);
+
+// Thrown by the runtime when a transient fault fires at a site whose failure
+// mode is an error return (e.g. a kernel launch). Callers retry with backoff.
+class TransientFault : public std::runtime_error {
+ public:
+  TransientFault(FaultKind kind, std::string site)
+      : std::runtime_error(std::string(fault_kind_name(kind)) + " at " + site),
+        kind_(kind),
+        site_(std::move(site)) {}
+  FaultKind kind() const { return kind_; }
+  const std::string& site() const { return site_; }
+
+ private:
+  FaultKind kind_;
+  std::string site_;
+};
+
+// Per-kind (optionally per-site) injection policy. `every` > 0 switches from
+// probabilistic to scheduled injection: the fault fires on consultations
+// first_event, first_event + every, ... which tests use for exact placement.
+struct FaultPolicy {
+  double probability = 0.0;
+  int64_t max_injections = -1;  // cap on fires for this policy; -1 = unlimited
+  int64_t first_event = 0;      // consultations before this index never fire
+  int64_t every = 0;            // if > 0, deterministic schedule (probability ignored)
+};
+
+struct FaultEvent {
+  FaultKind kind;
+  std::string site;
+  int64_t event_index = 0;  // per-(kind, site) consultation counter value
+};
+
+struct FaultStats {
+  std::array<int64_t, kNumFaultKinds> injected{};
+  std::array<int64_t, kNumFaultKinds> consulted{};
+  int64_t total_injected() const {
+    int64_t n = 0;
+    for (int64_t v : injected) n += v;
+    return n;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  // Policy for a kind at every site; site-specific policies take precedence.
+  void set_policy(FaultKind kind, FaultPolicy policy);
+  void set_site_policy(FaultKind kind, const std::string& site, FaultPolicy policy);
+
+  // One consultation: advances the (kind, site) counter and reports whether a
+  // fault fires there. Deterministic in (seed, kind, site, counter).
+  bool should_fault(FaultKind kind, std::string_view site);
+
+  // Deterministically overwrites one element of `data` with NaN or +/-Inf
+  // (the corruption a checksum or finite-scan must catch). Returns the index.
+  size_t corrupt(std::span<double> data, std::string_view site);
+
+  // Extra virtual seconds a StuckRank fault adds on top of a step that would
+  // have cost `base_seconds`.
+  double stall_seconds(double base_seconds) const { return stall_factor_ * base_seconds; }
+  void set_stall_factor(double factor) { stall_factor_ = factor; }
+
+  const FaultStats& stats() const { return stats_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  void reset_counters();
+
+ private:
+  const FaultPolicy* policy_for(FaultKind kind, std::string_view site) const;
+  uint64_t draw(FaultKind kind, std::string_view site, int64_t index, uint64_t salt) const;
+
+  uint64_t seed_ = 0;
+  double stall_factor_ = 10.0;
+  std::array<FaultPolicy, kNumFaultKinds> global_{};
+  std::array<bool, kNumFaultKinds> has_global_{};
+  std::map<std::pair<int, std::string>, FaultPolicy, std::less<>> site_policies_;
+  std::map<std::pair<int, std::string>, int64_t, std::less<>> counters_;
+  std::map<std::pair<int, std::string>, int64_t, std::less<>> fired_;
+  FaultStats stats_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace finch::rt

@@ -47,6 +47,11 @@ void SimGpu::memcpy_h2d(DeviceBuffer& dst, std::span<const double> src, int stre
   stream_clocks_.at(static_cast<size_t>(stream)) += t;
   counters_.copy_seconds += t;
   counters_.bytes_h2d += bytes;
+  if (faults_ != nullptr && faults_->should_fault(FaultKind::TransferCorruption, "h2d")) {
+    faults_->corrupt(std::span<double>(dst.data_.data(), src.size()), "h2d");
+    counters_.transfer_corruptions += 1;
+    counters_.fault_seconds += t;  // the whole transfer must be redone
+  }
 }
 
 void SimGpu::memcpy_d2h(std::span<double> dst, const DeviceBuffer& src, int stream) {
@@ -57,6 +62,11 @@ void SimGpu::memcpy_d2h(std::span<double> dst, const DeviceBuffer& src, int stre
   stream_clocks_.at(static_cast<size_t>(stream)) += t;
   counters_.copy_seconds += t;
   counters_.bytes_d2h += bytes;
+  if (faults_ != nullptr && faults_->should_fault(FaultKind::TransferCorruption, "d2h")) {
+    faults_->corrupt(dst, "d2h");
+    counters_.transfer_corruptions += 1;
+    counters_.fault_seconds += t;
+  }
 }
 
 double SimGpu::model_sm_utilization(const KernelStats& s) const {
@@ -83,6 +93,15 @@ double SimGpu::model_kernel_seconds(const KernelStats& s) const {
 
 void SimGpu::launch(const std::string& kernel_name, const KernelStats& stats,
                     const std::function<void()>& body, int stream) {
+  if (faults_ != nullptr && faults_->should_fault(FaultKind::KernelLaunchFailure, kernel_name)) {
+    // A failed launch never runs the body but still burns the launch overhead
+    // on the stream — the caller sees the time loss plus a TransientFault.
+    stream_clocks_.at(static_cast<size_t>(stream)) += spec_.launch_overhead_s;
+    counters_.launch_failures += 1;
+    counters_.kernel_seconds += spec_.launch_overhead_s;
+    counters_.fault_seconds += spec_.launch_overhead_s;
+    throw TransientFault(FaultKind::KernelLaunchFailure, kernel_name);
+  }
   if (body) body();  // the generated kernel really executes on device buffers
   const double t = model_kernel_seconds(stats);
   stream_clocks_.at(static_cast<size_t>(stream)) += t;

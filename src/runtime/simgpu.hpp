@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "fault.hpp"
+
 namespace finch::rt {
 
 struct GpuSpec {
@@ -79,6 +81,12 @@ struct GpuCounters {
   double sm_utilization = 0;      // 0..1
   double flop_fraction = 0;       // achieved / peak
   double mem_fraction = 0;        // achieved DRAM bw / peak
+  // Injected-fault accounting: failed launches still pay their overhead and
+  // corrupted transfers their full copy time; fault_seconds is that wasted
+  // device time (a subset of kernel_seconds + copy_seconds).
+  int64_t launch_failures = 0;
+  int64_t transfer_corruptions = 0;
+  double fault_seconds = 0;
 };
 
 class SimGpu {
@@ -86,6 +94,11 @@ class SimGpu {
   explicit SimGpu(GpuSpec spec) : spec_(std::move(spec)) {}
 
   const GpuSpec& spec() const { return spec_; }
+
+  // Optional fault injection: launches may throw TransientFault and copies may
+  // corrupt their destination, per the injector's policies. Null disables.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+  FaultInjector* fault_injector() const { return faults_; }
 
   DeviceBuffer allocate(size_t doubles) { return DeviceBuffer(doubles); }
 
@@ -118,6 +131,7 @@ class SimGpu {
 
  private:
   GpuSpec spec_;
+  FaultInjector* faults_ = nullptr;
   GpuCounters counters_;
   std::map<std::string, double> kernel_times_;
   std::vector<double> stream_clocks_{0.0};

@@ -30,6 +30,7 @@ void BspSimulator::uniform_compute(double seconds, Phase phase) {
 void BspSimulator::exchange(std::span<const Message> messages) {
   if (nranks_ == 1 || messages.empty()) return;
   std::vector<double> cost(static_cast<size_t>(nranks_), 0.0);
+  double fault_cost = 0.0;
   for (const Message& m : messages) {
     if (m.src < 0 || m.src >= nranks_ || m.dst < 0 || m.dst >= nranks_)
       throw std::invalid_argument("exchange: rank out of range");
@@ -37,10 +38,33 @@ void BspSimulator::exchange(std::span<const Message> messages) {
     const double t = model_.per_message(m.bytes);
     cost[static_cast<size_t>(m.src)] += t;
     cost[static_cast<size_t>(m.dst)] += t;
+    if (faults_ != nullptr && faults_->should_fault(FaultKind::DroppedMessage, "exchange")) {
+      // The sender times out waiting for the ack, then retransmits.
+      const double penalty = model_.drop_timeout_s + t;
+      cost[static_cast<size_t>(m.src)] += penalty;
+      cost[static_cast<size_t>(m.dst)] += penalty;
+      fault_cost += penalty;
+      dropped_messages_ += 1;
+    }
   }
   double step = *std::max_element(cost.begin(), cost.end());
+  if (faults_ != nullptr && faults_->should_fault(FaultKind::StuckRank, "exchange")) {
+    // One rank stalls (page fault, OS jitter, failed NIC): since the superstep
+    // completes when the slowest rank does, the stall lands on the clock.
+    const double stall = faults_->stall_seconds(step);
+    step += stall;
+    fault_cost += stall;
+    stuck_events_ += 1;
+  }
   clock_ += step;
   phases_.communication += step;
+  phases_.fault_stall += std::min(fault_cost, step);
+}
+
+void BspSimulator::charge_fault(double seconds) {
+  clock_ += seconds;
+  phases_.communication += seconds;
+  phases_.fault_stall += seconds;
 }
 
 void BspSimulator::allreduce(int64_t bytes) {

@@ -18,11 +18,14 @@
 #include <span>
 #include <vector>
 
+#include "fault.hpp"
+
 namespace finch::rt {
 
 struct CommModel {
   double latency_s = 2e-6;          // per-message alpha (typical intra-cluster MPI)
   double bandwidth_Bps = 12.5e9;    // ~100 Gb/s interconnect
+  double drop_timeout_s = 200e-6;   // time a sender waits before retransmitting
   double per_message(int64_t bytes) const {
     return latency_s + static_cast<double>(bytes) / bandwidth_Bps;
   }
@@ -39,6 +42,9 @@ struct PhaseTimes {
   double compute = 0.0;        // "solve for intensity"
   double post_process = 0.0;   // "temperature update"
   double communication = 0.0;  // halo exchange / reductions / H2D-D2H
+  // Portion of `communication` caused by injected faults (drop timeouts,
+  // retransmits, stuck-rank stalls) — already included in the total.
+  double fault_stall = 0.0;
   double total() const { return compute + post_process + communication; }
 };
 
@@ -59,6 +65,11 @@ class BspSimulator {
   // for everything it sends and receives; the step costs the max over ranks.
   void exchange(std::span<const Message> messages);
 
+  // Charges fault-recovery time (backoff waits, retransmits, replays driven
+  // by a caller's recovery logic) to the clock and the communication phase,
+  // tagged as fault stall.
+  void charge_fault(double seconds);
+
   // Allreduce of `bytes` per rank (recursive-doubling cost model).
   void allreduce(int64_t bytes);
 
@@ -68,11 +79,20 @@ class BspSimulator {
   double elapsed() const { return clock_; }
   const PhaseTimes& phases() const { return phases_; }
 
+  // Optional fault injection for exchanges: dropped messages pay a timeout
+  // plus a retransmit, a stuck rank stretches the superstep. Null disables.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+  int64_t dropped_messages() const { return dropped_messages_; }
+  int64_t stuck_events() const { return stuck_events_; }
+
  private:
   int32_t nranks_;
   CommModel model_;
+  FaultInjector* faults_ = nullptr;
   double clock_ = 0.0;
   PhaseTimes phases_;
+  int64_t dropped_messages_ = 0;
+  int64_t stuck_events_ = 0;
 };
 
 }  // namespace finch::rt

@@ -211,3 +211,93 @@ TEST_P(BytecodeFuzz, CompiledMatchesReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BytecodeFuzz, ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 42u));
+
+// ---- non-finite guard ----------------------------------------------------
+// Degenerate operands (division by zero, pow of a negative base, log of a
+// non-positive argument) must evaluate without crashing, and eval_guarded()
+// must report the resulting NaN/Inf instead of letting it pass silently.
+
+TEST(BytecodeGuard, DivisionByZeroIsReported) {
+  Env env;
+  // 1 / dt with dt == 0: compiles to a Div, evaluates to +Inf.
+  sym::Expr e = sym::mul({sym::num(1.0), sym::pow(sym::sym("dt"), sym::num(-1.0))});
+  codegen::Program prog = codegen::compile(e, env.cenv);
+  EvalContext ctx;
+  ctx.dt = 0.0;
+  const double plain = codegen::eval(prog, ctx);
+  EXPECT_TRUE(std::isinf(plain));
+  codegen::GuardReport report;
+  const double guarded = codegen::eval_guarded(prog, ctx, report);
+  EXPECT_TRUE(std::isinf(guarded));
+  EXPECT_EQ(report.evals, 1);
+  EXPECT_EQ(report.nonfinite_results, 1);
+  EXPECT_GE(report.first_instr, 0);
+  EXPECT_EQ(report.first_op, codegen::Op::Div);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(BytecodeGuard, PowNegativeBaseIsReported) {
+  Env env;
+  // NORMAL_1 ^ 0.5 with a negative normal component -> NaN.
+  sym::Expr e = sym::pow(sym::sym("NORMAL_1"), sym::num(0.5));
+  codegen::Program prog = codegen::compile(e, env.cenv);
+  EvalContext ctx;
+  ctx.normal = {-1.0, 0.0, 0.0};
+  EXPECT_TRUE(std::isnan(codegen::eval(prog, ctx)));
+  codegen::GuardReport report;
+  EXPECT_TRUE(std::isnan(codegen::eval_guarded(prog, ctx, report)));
+  EXPECT_EQ(report.nonfinite_results, 1);
+  EXPECT_EQ(report.first_op, codegen::Op::Pow);
+}
+
+TEST(BytecodeGuard, LogOfZeroAndNegativeIsReported) {
+  Env env;
+  sym::Expr e = sym::call("log", {sym::sym("dt")});
+  codegen::Program prog = codegen::compile(e, env.cenv);
+  codegen::GuardReport report;
+  EvalContext ctx;
+  ctx.dt = 0.0;  // log(0) -> -Inf
+  EXPECT_TRUE(std::isinf(codegen::eval_guarded(prog, ctx, report)));
+  ctx.dt = -2.0;  // log(<0) -> NaN
+  EXPECT_TRUE(std::isnan(codegen::eval_guarded(prog, ctx, report)));
+  EXPECT_EQ(report.evals, 2);
+  EXPECT_EQ(report.nonfinite_results, 2);
+  EXPECT_EQ(report.first_op, codegen::Op::MathLog);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(BytecodeGuard, CleanExpressionReportsClean) {
+  Env env;
+  sym::Expr e = sym::mul({sym::num(2.0), sym::sym("dt")});
+  codegen::Program prog = codegen::compile(e, env.cenv);
+  EvalContext ctx;
+  ctx.dt = 0.5;
+  codegen::GuardReport report;
+  EXPECT_DOUBLE_EQ(codegen::eval_guarded(prog, ctx, report), 1.0);
+  EXPECT_EQ(report.evals, 1);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.first_instr, -1);
+}
+
+TEST(BytecodeGuard, GuardedMatchesUnguardedOnFuzzedExpressions) {
+  Env env;
+  Gen gen(1234u);
+  codegen::GuardReport report;
+  for (int round = 0; round < 40; ++round) {
+    sym::Expr e = sym::simplify(gen.expr(3));
+    codegen::Program prog = codegen::compile(e, env.cenv);
+    EvalContext ctx;
+    ctx.cell = round % 4;
+    ctx.neighbor = (round + 1) % 4;
+    ctx.dt = 0.25 * (round % 5);
+    ctx.normal = {round % 2 ? 1.0 : -0.5, 0.5, 0.0};
+    ctx.loop_values = {round % 2, round % 3, 0, 0};
+    const double plain = codegen::eval(prog, ctx);
+    const double guarded = codegen::eval_guarded(prog, ctx, report);
+    if (std::isfinite(plain))
+      EXPECT_DOUBLE_EQ(guarded, plain);
+    else
+      EXPECT_FALSE(std::isfinite(guarded));
+  }
+  EXPECT_EQ(report.evals, 40);
+}
