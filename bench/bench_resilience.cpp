@@ -34,8 +34,11 @@ BteScenario small_scenario() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Resilience", "recovery overhead vs transient-fault rate");
+  bench::JsonBench json("bench_resilience");
+  json.set("seed", static_cast<double>(args.seed));
 
   const BteScenario s = small_scenario();
   auto phys = std::make_shared<const BtePhysics>(s.nbands, s.ndirs);
@@ -56,7 +59,7 @@ int main() {
   long long max_rate_faults = 0;
 
   for (const double rate : rates) {
-    rt::FaultInjector inj(4242);
+    rt::FaultInjector inj(args.seed);
     rt::FaultPolicy p;
     p.probability = rate;
     inj.set_policy(rt::FaultKind::DroppedMessage, p);
@@ -88,6 +91,17 @@ int main() {
                 static_cast<long long>(rs.replayed_steps), ph.total() * 1e3,
                 ph.fault_stall * 1e3, overhead * 100.0);
 
+    json.begin_row();
+    json.cell("fault_rate", rate);
+    json.cell("faults_injected", static_cast<double>(inj.stats().total_injected()));
+    json.cell("retries", static_cast<double>(rs.retries));
+    json.cell("rollbacks", static_cast<double>(rs.rollbacks));
+    json.cell("replayed_steps", static_cast<double>(rs.replayed_steps));
+    json.cell("total_s", ph.total());
+    json.cell("fault_stall_s", ph.fault_stall);
+    json.cell("overhead", overhead);
+    json.cell("bit_exact", exact ? 1.0 : 0.0);
+
     max_rate_overhead = overhead;
     max_rate_faults = inj.stats().total_injected();
   }
@@ -96,5 +110,7 @@ int main() {
   bench::check(max_rate_faults > 0, "the highest rate actually injects transient faults");
   bench::check(max_rate_overhead > 0.0,
                "recovery charges visible virtual-time overhead at the highest fault rate");
-  return 0;
+  if (!args.json_path.empty() && !json.write(args.json_path))
+    bench::check(false, "wrote " + args.json_path);
+  return bench::check_failures() > 0 ? 1 : 0;
 }

@@ -7,8 +7,12 @@
 // Absolute times differ from the paper (different machine, simulated GPU and
 // cluster); shapes and ratios are the reproduction target.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "perf/models.hpp"
@@ -28,8 +32,77 @@ inline void print_header(const char* fig, const char* what) {
   std::printf("==============================================================\n");
 }
 
+// Count of failed PAPER-CHECKs in this process; benches that gate CI return
+// it from main() so a broken claim fails the job, not just prints [!!].
+inline int& check_failures() {
+  static int failures = 0;
+  return failures;
+}
+
 inline void check(bool ok, const std::string& claim) {
+  if (!ok) check_failures() += 1;
   std::printf("PAPER-CHECK %-4s %s\n", ok ? "[ok]" : "[!!]", claim.c_str());
+}
+
+// Minimal JSON emitter for the benches' `--json <path>` mode: one document of
+// scalar metadata plus an array of per-configuration rows, machine-readable
+// for plotting/CI without a JSON dependency. Numbers print as %.17g so a
+// series round-trips exactly.
+class JsonBench {
+ public:
+  explicit JsonBench(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& key, double value) { scalars_.emplace_back(key, value); }
+  void begin_row() { rows_.emplace_back(); }
+  void cell(const std::string& key, double value) { rows_.back().emplace_back(key, value); }
+
+  bool write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    auto num = [](double v) {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      return std::string(buf);
+    };
+    os << "{\n  \"bench\": \"" << name_ << "\",\n";
+    os << "  \"checks_failed\": " << check_failures() << ",\n";
+    for (const auto& [k, v] : scalars_) os << "  \"" << k << "\": " << num(v) << ",\n";
+    os << "  \"rows\": [\n";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      os << "    {";
+      for (size_t c = 0; c < rows_[r].size(); ++c) {
+        os << "\"" << rows_[r][c].first << "\": " << num(rows_[r][c].second);
+        if (c + 1 < rows_[r].size()) os << ", ";
+      }
+      os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    os << "  ]\n}\n";
+    return static_cast<bool>(os);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+};
+
+// Shared `--json <path>` / `--seed <n>` argument scan for the resilience
+// benches (unknown arguments are ignored so figure scripts can pass extras).
+struct BenchArgs {
+  std::string json_path;
+  uint64_t seed = 4242;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc)
+      a.json_path = argv[++i];
+    else if (arg == "--seed" && i + 1 < argc)
+      a.seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+  }
+  return a;
 }
 
 inline const std::vector<int>& paper_proc_counts() {

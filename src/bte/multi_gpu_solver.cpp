@@ -39,7 +39,18 @@ MultiGpuSolver::MultiGpuSolver(const BteScenario& scenario, std::shared_ptr<cons
         interior_cells_.push_back(c);
     }
 
-  ranks_.resize(static_cast<size_t>(num_devices));
+  build_topology(num_devices);
+}
+
+// (Re)builds the device topology for `num_devices` devices: contiguous band
+// ranges, fresh SimGpu instances, state at T_init, and the one-time upload of
+// each band slice (the movement plan's upload_once). Called by the constructor
+// and by evict_and_redistribute, which follows it with a checkpoint restore
+// that overwrites the T_init state with the survivors' truth.
+void MultiGpuSolver::build_topology(int num_devices) {
+  const int ncell = nx_ * ny_;
+  ranks_.assign(static_cast<size_t>(num_devices), Rank{});
+  devices_.clear();
   for (int p = 0; p < num_devices; ++p) {
     Rank& r = ranks_[static_cast<size_t>(p)];
     r.b_lo = p * nb_ / num_devices;
@@ -47,6 +58,7 @@ MultiGpuSolver::MultiGpuSolver(const BteScenario& scenario, std::shared_ptr<cons
     const int bl = r.b_hi - r.b_lo;
     devices_.push_back(std::make_unique<rt::SimGpu>(spec_));
     rt::SimGpu& gpu = *devices_.back();
+    if (resilient_) gpu.set_fault_injector(res_.injector);
     r.I.resize(static_cast<size_t>(ncell) * nd_ * bl);
     r.I_new.resize(r.I.size());
     r.Io.resize(static_cast<size_t>(ncell) * bl);
@@ -61,7 +73,6 @@ MultiGpuSolver::MultiGpuSolver(const BteScenario& scenario, std::shared_ptr<cons
         for (int d = 0; d < nd_; ++d) r.I[(static_cast<size_t>(c) * bl + lb) * nd_ + d] = i0;
       }
     }
-    // One-time upload of the band slice (movement plan's upload_once).
     r.dev_I = gpu.allocate(r.I.size());
     r.dev_Iob = gpu.allocate(r.Io.size() + r.beta.size());
     gpu.memcpy_h2d(r.dev_I, r.I);
@@ -273,32 +284,58 @@ void MultiGpuSolver::validate() {
   }
 }
 
-void MultiGpuSolver::take_checkpoint() {
+rt::Snapshot MultiGpuSolver::snapshot() const {
+  const size_t ncell = static_cast<size_t>(nx_) * static_cast<size_t>(ny_);
   rt::Snapshot snap;
   snap.step = step_index_;
-  snap.add("T", T_);
-  for (size_t p = 0; p < ranks_.size(); ++p) {
-    const Rank& r = ranks_[p];
-    const std::string tag = "r" + std::to_string(p);
-    snap.add(tag + ".I", r.I);
-    snap.add(tag + ".Io", r.Io);
-    snap.add(tag + ".beta", r.beta);
+  std::vector<double> Io(ncell * static_cast<size_t>(nb_)), beta(Io.size());
+  for (const Rank& r : ranks_) {
+    const int bl = r.b_hi - r.b_lo;
+    for (int b = r.b_lo; b < r.b_hi; ++b) {
+      const int lb = b - r.b_lo;
+      for (size_t c = 0; c < ncell; ++c) {
+        Io[c * static_cast<size_t>(nb_) + static_cast<size_t>(b)] =
+            r.Io[c * static_cast<size_t>(bl) + static_cast<size_t>(lb)];
+        beta[c * static_cast<size_t>(nb_) + static_cast<size_t>(b)] =
+            r.beta[c * static_cast<size_t>(bl) + static_cast<size_t>(lb)];
+      }
+    }
   }
-  store_.save(snap);
-  rstats_.checkpoints += 1;
+  snap.add("I", gather_intensity());
+  snap.add("T", T_);
+  snap.add("Io", Io);
+  snap.add("beta", beta);
+  return snap;
 }
 
-void MultiGpuSolver::restore_checkpoint() {
-  const rt::Snapshot snap = store_.load_latest();
-  double copy_before = 0;
-  for (const auto& dev : devices_) copy_before += dev->counters().copy_seconds;
-  T_ = snap.field("T");
+void MultiGpuSolver::restore(const rt::Snapshot& snap) {
+  const size_t ncell = static_cast<size_t>(nx_) * static_cast<size_t>(ny_);
+  const auto& I = snap.field("I");
+  const auto& T = snap.field("T");
+  const auto& Io = snap.field("Io");
+  const auto& beta = snap.field("beta");
+  if (I.size() != ncell * static_cast<size_t>(nd_) * static_cast<size_t>(nb_) ||
+      T.size() != ncell || Io.size() != ncell * static_cast<size_t>(nb_) ||
+      beta.size() != Io.size())
+    throw rt::CheckpointError("snapshot does not match problem size");
+  T_ = T;
   for (size_t p = 0; p < ranks_.size(); ++p) {
     Rank& r = ranks_[p];
-    const std::string tag = "r" + std::to_string(p);
-    r.I = snap.field(tag + ".I");
-    r.Io = snap.field(tag + ".Io");
-    r.beta = snap.field(tag + ".beta");
+    const int bl = r.b_hi - r.b_lo;
+    for (int b = r.b_lo; b < r.b_hi; ++b) {
+      const int lb = b - r.b_lo;
+      for (size_t c = 0; c < ncell; ++c) {
+        r.Io[c * static_cast<size_t>(bl) + static_cast<size_t>(lb)] =
+            Io[c * static_cast<size_t>(nb_) + static_cast<size_t>(b)];
+        r.beta[c * static_cast<size_t>(bl) + static_cast<size_t>(lb)] =
+            beta[c * static_cast<size_t>(nb_) + static_cast<size_t>(b)];
+        for (int d = 0; d < nd_; ++d)
+          r.I[(c * static_cast<size_t>(bl) + static_cast<size_t>(lb)) * static_cast<size_t>(nd_) +
+              static_cast<size_t>(d)] =
+              I[c * static_cast<size_t>(nd_) * static_cast<size_t>(nb_) +
+                static_cast<size_t>(d + nd_ * b)];
+      }
+    }
     // Device mirrors must match the restored host truth before replay.
     rt::SimGpu& gpu = *devices_[p];
     gpu.memcpy_h2d(r.dev_I, r.I);
@@ -308,11 +345,66 @@ void MultiGpuSolver::restore_checkpoint() {
               iob_scratch_.begin() + static_cast<std::ptrdiff_t>(r.Io.size()));
     gpu.memcpy_h2d(r.dev_Iob, iob_scratch_);
   }
-  double copy_after = 0;
-  for (const auto& dev : devices_) copy_after += dev->counters().copy_seconds;
-  phases_.recovery += copy_after - copy_before;
-  rstats_.recovery_seconds += copy_after - copy_before;
   step_index_ = snap.step;
+}
+
+std::vector<int32_t> MultiGpuSolver::owner_counts() const {
+  std::vector<int32_t> counts(static_cast<size_t>(nb_), 0);
+  for (const Rank& r : ranks_)
+    for (int b = r.b_lo; b < r.b_hi; ++b) counts[static_cast<size_t>(b)] += 1;
+  return counts;
+}
+
+void MultiGpuSolver::take_checkpoint() {
+  store_.save(snapshot());
+  rstats_.checkpoints += 1;
+}
+
+double MultiGpuSolver::copy_seconds_total() const {
+  double s = 0;
+  for (const auto& dev : devices_) s += dev->counters().copy_seconds;
+  return s;
+}
+
+void MultiGpuSolver::restore_checkpoint() {
+  // The device-mirror refresh is a real H2D cost; on the rollback path it is
+  // part of recovery (the eviction path bills its restore as redistribution).
+  const double copy_before = copy_seconds_total();
+  restore(store_.load_latest());
+  const double spent = copy_seconds_total() - copy_before;
+  phases_.recovery += spent;
+  rstats_.recovery_seconds += spent;
+}
+
+void MultiGpuSolver::kill_device(int32_t device) {
+  if (!resilient_)
+    throw std::logic_error("kill_device: enable_resilience first (eviction needs a checkpoint)");
+  if (device < 0 || device >= num_devices())
+    throw std::invalid_argument("kill_device: device out of range");
+  pending_kill_ = device;
+}
+
+void MultiGpuSolver::evict_and_redistribute(int32_t victim) {
+  if (num_devices() <= 1)
+    throw ResilienceError("device " + std::to_string(victim) + " lost with no survivors");
+  rstats_.faults_detected += 1;
+  // Survivors notice the loss a suspicion timeout after it happens.
+  const double timeout = res_.heartbeat.suspicion_timeout();
+  phases_.recovery += timeout;
+  rstats_.recovery_seconds += timeout;
+
+  // Redistribute the band shards over the M surviving devices and reload the
+  // last global checkpoint; the re-upload of every shard is the (measured)
+  // redistribution cost.
+  const int64_t lost = step_index_ - store_.latest_step();
+  build_topology(num_devices() - 1);
+  const double copy_before = copy_seconds_total();
+  restore(store_.load_latest());
+  const double spent = copy_seconds_total() - copy_before;
+  phases_.redistribution += spent;
+  rstats_.redistribution_seconds += spent;
+  rstats_.evictions += 1;
+  rstats_.replayed_steps += lost;
 }
 
 void MultiGpuSolver::enable_resilience(const ResilienceOptions& options) {
@@ -330,6 +422,18 @@ void MultiGpuSolver::run(int nsteps) {
   const int64_t target = step_index_ + nsteps;
   int rollback_budget = res_.max_rollbacks;
   while (step_index_ < target) {
+    // Permanent losses surface at step boundaries: an explicit kill_device or
+    // an injected DeviceLoss with a deterministically drawn victim.
+    if (pending_kill_ < 0 && res_.injector != nullptr &&
+        res_.injector->should_fault(rt::FaultKind::DeviceLoss, "gpu"))
+      pending_kill_ = static_cast<int32_t>(
+          res_.injector->pick(rt::FaultKind::DeviceLoss, "gpu", static_cast<size_t>(num_devices())));
+    if (pending_kill_ >= 0) {
+      const int32_t victim = pending_kill_;
+      pending_kill_ = -1;
+      evict_and_redistribute(victim);
+      continue;
+    }
     health_ = StepHealth{};
     try {
       step();

@@ -10,6 +10,7 @@
 // H2D/D2H byte counters and roofline-modeled times feeding the same phase
 // breakdown the paper plots.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -37,6 +38,23 @@ class MultiGpuSolver {
   const StepHealth& last_health() const { return health_; }
   int64_t step_index() const { return step_index_; }
 
+  // Elastic shrink: marks `device` as permanently lost (XID/ECC death); at the
+  // next run() step boundary the survivors redistribute the band shards over
+  // M = num_devices()-1 devices and restart from the last (topology-
+  // independent) checkpoint. Requires enable_resilience. DeviceLoss injector
+  // policies drive the same path with a deterministically drawn victim.
+  void kill_device(int32_t device);
+
+  // Canonical-global-layout snapshot/restore (N-to-M restart); images are
+  // interchangeable with the cell-/band-partitioned solvers' snapshots.
+  // restore() also refreshes every device mirror (the H2D re-upload the
+  // eviction path bills as redistribution).
+  rt::Snapshot snapshot() const;
+  void restore(const rt::Snapshot& snap);
+
+  // Per-band owner multiplicity; eviction invariant tests assert all 1.
+  std::vector<int32_t> owner_counts() const;
+
   int num_devices() const { return static_cast<int>(devices_.size()); }
   const rt::SimGpu& device(int i) const { return *devices_[static_cast<size_t>(i)]; }
 
@@ -46,7 +64,10 @@ class MultiGpuSolver {
     double temperature = 0;    // CPU post-step (measured)
     double communication = 0;  // PCIe transfers (modeled)
     double recovery = 0;       // backoff + retransmit + restore (modeled)
-    double total() const { return intensity + temperature + communication + recovery; }
+    double redistribution = 0; // shard re-upload after a device eviction
+    double total() const {
+      return intensity + temperature + communication + recovery + redistribution;
+    }
   };
   const Phases& phases() const { return phases_; }
 
@@ -62,6 +83,9 @@ class MultiGpuSolver {
     std::vector<double> Io, beta;      // [cells * bands_local]
   };
 
+  void build_topology(int num_devices);
+  void evict_and_redistribute(int32_t victim);
+  double copy_seconds_total() const;
   void sweep_cells(Rank& r, const std::vector<int32_t>& cells);
   double wall_temperature(double x) const;
   void launch_with_retry(rt::SimGpu& gpu, const std::string& name, const rt::KernelStats& ks,
@@ -90,6 +114,7 @@ class MultiGpuSolver {
   StepHealth health_;
   rt::CheckpointStore store_;
   int64_t step_index_ = 0;
+  int32_t pending_kill_ = -1;
 };
 
 }  // namespace finch::bte

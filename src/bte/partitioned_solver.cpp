@@ -30,17 +30,29 @@ CellPartitionedSolver::CellPartitionedSolver(const BteScenario& scenario,
     : scen_(scenario),
       phys_(std::move(physics)),
       mesh_(mesh::Mesh::structured_quad(scenario.nx, scenario.ny, scenario.lx, scenario.ly)),
-      nparts_(nparts),
+      method_(method),
       bsp_(nparts < 1 ? 1 : nparts) {
   if (nparts < 1) throw std::invalid_argument("CellPartitionedSolver: nparts >= 1");
   nd_ = phys_->num_dirs();
   nb_ = phys_->num_bands();
   dofs_ = nd_ * nb_;
   dt_ = scen_.dt;
-  part_ = mesh::partition(mesh_, nparts, method);
   g_scratch_.resize(static_cast<size_t>(nb_));
+  build_topology(nparts);
+}
 
-  ranks_.resize(static_cast<size_t>(nparts));
+// (Re)builds the rank layout for `nparts` parts: partition, halos, per-rank
+// storage initialized at T_init, and the per-step communication volume. Used
+// by the constructor and again — with fewer parts — when a rank is evicted;
+// after an eviction the caller restores the last checkpoint over this state.
+void CellPartitionedSolver::build_topology(int nparts) {
+  nparts_ = nparts;
+  part_ = mesh::partition(mesh_, nparts, method_);
+  ranks_.assign(static_cast<size_t>(nparts), Rank{});
+  halo_messages_.clear();
+  comm_.bytes_per_step = 0;
+  comm_.messages_per_step = 0;
+
   for (int32_t p = 0; p < nparts; ++p) {
     Rank& r = ranks_[static_cast<size_t>(p)];
     r.global_to_local.assign(static_cast<size_t>(mesh_.num_cells()), -1);
@@ -248,6 +260,19 @@ void CellPartitionedSolver::run(int nsteps) {
   const int64_t target = step_index_ + nsteps;
   int rollback_budget = res_.max_rollbacks;
   while (step_index_ < target) {
+    // Permanent failures are discovered at step boundaries: an explicit kill
+    // (kill_rank) or an injected RankFailure with a deterministically drawn
+    // victim. Either way the survivors evict, repartition, and restart.
+    if (pending_kill_ < 0 && res_.injector != nullptr &&
+        res_.injector->should_fault(rt::FaultKind::RankFailure, "cell-rank"))
+      pending_kill_ = static_cast<int32_t>(
+          res_.injector->pick(rt::FaultKind::RankFailure, "cell-rank", static_cast<size_t>(nparts_)));
+    if (pending_kill_ >= 0) {
+      const int32_t victim = pending_kill_;
+      pending_kill_ = -1;
+      evict_and_redistribute(victim);
+      continue;
+    }
     health_ = StepHealth{};
     step();
     ++step_index_;
@@ -269,7 +294,36 @@ void CellPartitionedSolver::run(int nsteps) {
 void CellPartitionedSolver::enable_resilience(const ResilienceOptions& options) {
   res_ = options;
   resilient_ = true;
+  bsp_.set_heartbeat(res_.heartbeat);
   take_checkpoint();
+}
+
+void CellPartitionedSolver::kill_rank(int32_t rank) {
+  if (!resilient_)
+    throw std::logic_error("kill_rank: enable_resilience first (eviction needs a checkpoint)");
+  if (rank < 0 || rank >= nparts_) throw std::invalid_argument("kill_rank: rank out of range");
+  pending_kill_ = rank;
+}
+
+void CellPartitionedSolver::evict_and_redistribute(int32_t victim) {
+  if (nparts_ <= 1)
+    throw ResilienceError("rank " + std::to_string(victim) + " failed with no survivors");
+  rstats_.faults_detected += 1;
+  const double rec_before = bsp_.phases().recovery;
+  bsp_.evict_rank(victim);  // charges the heartbeat suspicion timeout
+  rstats_.recovery_seconds += bsp_.phases().recovery - rec_before;
+
+  // Survivors repartition the whole mesh (M parts), rebuild halo plans, and
+  // reload the last global checkpoint — everything moves, so the cost model
+  // charges the full image over the interconnect.
+  const int64_t lost = step_index_ - store_.latest_step();
+  build_topology(nparts_ - 1);
+  restore(store_.load_latest());
+  const double red_before = bsp_.phases().redistribution;
+  bsp_.charge_redistribution(store_.bytes_stored());
+  rstats_.redistribution_seconds += bsp_.phases().redistribution - red_before;
+  rstats_.evictions += 1;
+  rstats_.replayed_steps += lost;
 }
 
 void CellPartitionedSolver::validate() {
@@ -290,33 +344,78 @@ void CellPartitionedSolver::validate() {
   }
 }
 
-void CellPartitionedSolver::take_checkpoint() {
+rt::Snapshot CellPartitionedSolver::snapshot() const {
+  // Canonical global layout (see checkpoint.hpp): no rank structure at all,
+  // so the image restores onto any survivor count.
+  const size_t ncell = static_cast<size_t>(mesh_.num_cells());
   rt::Snapshot snap;
   snap.step = step_index_;
-  for (size_t p = 0; p < ranks_.size(); ++p) {
-    const Rank& r = ranks_[p];
-    const std::string tag = "r" + std::to_string(p);
-    snap.add(tag + ".I", r.I);
-    snap.add(tag + ".Io", r.Io);
-    snap.add(tag + ".beta", r.beta);
-    snap.add(tag + ".T", r.T);
-  }
-  store_.save(snap);
-  rstats_.checkpoints += 1;
+  std::vector<double> Io(ncell * static_cast<size_t>(nb_)), beta(Io.size());
+  for (const Rank& r : ranks_)
+    for (size_t lo = 0; lo < r.owned.size(); ++lo) {
+      const size_t gc = static_cast<size_t>(r.owned[lo]);
+      for (int b = 0; b < nb_; ++b) {
+        Io[gc * static_cast<size_t>(nb_) + static_cast<size_t>(b)] =
+            r.Io[lo * static_cast<size_t>(nb_) + static_cast<size_t>(b)];
+        beta[gc * static_cast<size_t>(nb_) + static_cast<size_t>(b)] =
+            r.beta[lo * static_cast<size_t>(nb_) + static_cast<size_t>(b)];
+      }
+    }
+  snap.add("I", gather_intensity());
+  snap.add("T", gather_temperature());
+  snap.add("Io", Io);
+  snap.add("beta", beta);
+  return snap;
 }
 
-void CellPartitionedSolver::restore_checkpoint() {
-  const rt::Snapshot snap = store_.load_latest();
-  for (size_t p = 0; p < ranks_.size(); ++p) {
-    Rank& r = ranks_[p];
-    const std::string tag = "r" + std::to_string(p);
-    r.I = snap.field(tag + ".I");
-    r.Io = snap.field(tag + ".Io");
-    r.beta = snap.field(tag + ".beta");
-    r.T = snap.field(tag + ".T");
+void CellPartitionedSolver::restore(const rt::Snapshot& snap) {
+  const size_t ncell = static_cast<size_t>(mesh_.num_cells());
+  const auto& I = snap.field("I");
+  const auto& T = snap.field("T");
+  const auto& Io = snap.field("Io");
+  const auto& beta = snap.field("beta");
+  if (I.size() != ncell * static_cast<size_t>(dofs_) || T.size() != ncell ||
+      Io.size() != ncell * static_cast<size_t>(nb_) || beta.size() != Io.size())
+    throw rt::CheckpointError("snapshot does not match problem size");
+  for (Rank& r : ranks_) {
+    // Owned cells take state from the global image; ghosts take the owner's
+    // values too (the first exchange of the next step would refresh them to
+    // exactly these values anyway).
+    auto scatter_cell = [&](size_t lc, size_t gc) {
+      for (int k = 0; k < dofs_; ++k)
+        r.I[lc * static_cast<size_t>(dofs_) + static_cast<size_t>(k)] =
+            I[gc * static_cast<size_t>(dofs_) + static_cast<size_t>(k)];
+    };
+    for (size_t lo = 0; lo < r.owned.size(); ++lo) {
+      const size_t gc = static_cast<size_t>(r.owned[lo]);
+      scatter_cell(lo, gc);
+      r.T[lo] = T[gc];
+      for (int b = 0; b < nb_; ++b) {
+        r.Io[lo * static_cast<size_t>(nb_) + static_cast<size_t>(b)] =
+            Io[gc * static_cast<size_t>(nb_) + static_cast<size_t>(b)];
+        r.beta[lo * static_cast<size_t>(nb_) + static_cast<size_t>(b)] =
+            beta[gc * static_cast<size_t>(nb_) + static_cast<size_t>(b)];
+      }
+    }
+    for (size_t gi = 0; gi < r.ghosts.size(); ++gi)
+      scatter_cell(r.owned.size() + gi, static_cast<size_t>(r.ghosts[gi]));
   }
   step_index_ = snap.step;
 }
+
+std::vector<int32_t> CellPartitionedSolver::owner_counts() const {
+  std::vector<int32_t> counts(static_cast<size_t>(mesh_.num_cells()), 0);
+  for (const Rank& r : ranks_)
+    for (int32_t c : r.owned) counts[static_cast<size_t>(c)] += 1;
+  return counts;
+}
+
+void CellPartitionedSolver::take_checkpoint() {
+  store_.save(snapshot());
+  rstats_.checkpoints += 1;
+}
+
+void CellPartitionedSolver::restore_checkpoint() { restore(store_.load_latest()); }
 
 std::vector<double> CellPartitionedSolver::gather_intensity() const {
   std::vector<double> out(static_cast<size_t>(mesh_.num_cells()) * dofs_);
@@ -341,7 +440,6 @@ BandPartitionedSolver::BandPartitionedSolver(const BteScenario& scenario,
                                              std::shared_ptr<const BtePhysics> physics, int nparts)
     : scen_(scenario),
       phys_(std::move(physics)),
-      nparts_(nparts),
       bsp_(nparts < 1 ? 1 : nparts) {
   if (nparts < 1) throw std::invalid_argument("BandPartitionedSolver: nparts >= 1");
   nx_ = scen_.nx;
@@ -355,8 +453,16 @@ BandPartitionedSolver::BandPartitionedSolver(const BteScenario& scenario,
   const int ncell = nx_ * ny_;
   T_.assign(static_cast<size_t>(ncell), scen_.T_init);
   G_global_.resize(static_cast<size_t>(ncell) * nb_);
+  build_topology(nparts);
+}
 
-  ranks_.resize(static_cast<size_t>(nparts));
+// (Re)builds the contiguous band ownership over `nparts` ranks with storage
+// initialized at T_init; used by the constructor and again — with fewer
+// ranks — when a rank is evicted (the caller then restores the checkpoint).
+void BandPartitionedSolver::build_topology(int nparts) {
+  nparts_ = nparts;
+  const int ncell = nx_ * ny_;
+  ranks_.assign(static_cast<size_t>(nparts), Rank{});
   for (int p = 0; p < nparts; ++p) {
     Rank& r = ranks_[static_cast<size_t>(p)];
     r.b_lo = p * nb_ / nparts;
@@ -536,6 +642,16 @@ void BandPartitionedSolver::run(int nsteps) {
   const int64_t target = step_index_ + nsteps;
   int rollback_budget = res_.max_rollbacks;
   while (step_index_ < target) {
+    if (pending_kill_ < 0 && res_.injector != nullptr &&
+        res_.injector->should_fault(rt::FaultKind::RankFailure, "band-rank"))
+      pending_kill_ = static_cast<int32_t>(
+          res_.injector->pick(rt::FaultKind::RankFailure, "band-rank", static_cast<size_t>(nparts_)));
+    if (pending_kill_ >= 0) {
+      const int32_t victim = pending_kill_;
+      pending_kill_ = -1;
+      evict_and_redistribute(victim);
+      continue;
+    }
     health_ = StepHealth{};
     step();
     ++step_index_;
@@ -557,7 +673,35 @@ void BandPartitionedSolver::run(int nsteps) {
 void BandPartitionedSolver::enable_resilience(const ResilienceOptions& options) {
   res_ = options;
   resilient_ = true;
+  bsp_.set_heartbeat(res_.heartbeat);
   take_checkpoint();
+}
+
+void BandPartitionedSolver::kill_rank(int32_t rank) {
+  if (!resilient_)
+    throw std::logic_error("kill_rank: enable_resilience first (eviction needs a checkpoint)");
+  if (rank < 0 || rank >= nparts_) throw std::invalid_argument("kill_rank: rank out of range");
+  pending_kill_ = rank;
+}
+
+void BandPartitionedSolver::evict_and_redistribute(int32_t victim) {
+  if (nparts_ <= 1)
+    throw ResilienceError("rank " + std::to_string(victim) + " failed with no survivors");
+  rstats_.faults_detected += 1;
+  const double rec_before = bsp_.phases().recovery;
+  bsp_.evict_rank(victim);
+  rstats_.recovery_seconds += bsp_.phases().recovery - rec_before;
+
+  // The survivors take over the victim's bands (contiguous ranges recomputed
+  // over M ranks) and reload the last global checkpoint.
+  const int64_t lost = step_index_ - store_.latest_step();
+  build_topology(nparts_ - 1);
+  restore(store_.load_latest());
+  const double red_before = bsp_.phases().redistribution;
+  bsp_.charge_redistribution(store_.bytes_stored());
+  rstats_.redistribution_seconds += bsp_.phases().redistribution - red_before;
+  rstats_.evictions += 1;
+  rstats_.replayed_steps += lost;
 }
 
 void BandPartitionedSolver::validate() {
@@ -584,33 +728,74 @@ void BandPartitionedSolver::validate() {
   }
 }
 
-void BandPartitionedSolver::take_checkpoint() {
+rt::Snapshot BandPartitionedSolver::snapshot() const {
+  const size_t ncell = static_cast<size_t>(nx_) * static_cast<size_t>(ny_);
   rt::Snapshot snap;
   snap.step = step_index_;
-  snap.add("T", T_);
-  for (size_t p = 0; p < ranks_.size(); ++p) {
-    const Rank& r = ranks_[p];
-    const std::string tag = "r" + std::to_string(p);
-    snap.add(tag + ".I", r.I);
-    snap.add(tag + ".Io", r.Io);
-    snap.add(tag + ".beta", r.beta);
+  std::vector<double> Io(ncell * static_cast<size_t>(nb_)), beta(Io.size());
+  for (const Rank& r : ranks_) {
+    const int bl = r.b_hi - r.b_lo;
+    for (int b = r.b_lo; b < r.b_hi; ++b) {
+      const int lb = b - r.b_lo;
+      for (size_t c = 0; c < ncell; ++c) {
+        Io[c * static_cast<size_t>(nb_) + static_cast<size_t>(b)] =
+            r.Io[c * static_cast<size_t>(bl) + static_cast<size_t>(lb)];
+        beta[c * static_cast<size_t>(nb_) + static_cast<size_t>(b)] =
+            r.beta[c * static_cast<size_t>(bl) + static_cast<size_t>(lb)];
+      }
+    }
   }
-  store_.save(snap);
-  rstats_.checkpoints += 1;
+  snap.add("I", gather_intensity());
+  snap.add("T", T_);
+  snap.add("Io", Io);
+  snap.add("beta", beta);
+  return snap;
 }
 
-void BandPartitionedSolver::restore_checkpoint() {
-  const rt::Snapshot snap = store_.load_latest();
-  T_ = snap.field("T");
-  for (size_t p = 0; p < ranks_.size(); ++p) {
-    Rank& r = ranks_[p];
-    const std::string tag = "r" + std::to_string(p);
-    r.I = snap.field(tag + ".I");
-    r.Io = snap.field(tag + ".Io");
-    r.beta = snap.field(tag + ".beta");
+void BandPartitionedSolver::restore(const rt::Snapshot& snap) {
+  const size_t ncell = static_cast<size_t>(nx_) * static_cast<size_t>(ny_);
+  const auto& I = snap.field("I");
+  const auto& T = snap.field("T");
+  const auto& Io = snap.field("Io");
+  const auto& beta = snap.field("beta");
+  if (I.size() != ncell * static_cast<size_t>(nd_) * static_cast<size_t>(nb_) ||
+      T.size() != ncell || Io.size() != ncell * static_cast<size_t>(nb_) ||
+      beta.size() != Io.size())
+    throw rt::CheckpointError("snapshot does not match problem size");
+  T_ = T;
+  for (Rank& r : ranks_) {
+    const int bl = r.b_hi - r.b_lo;
+    for (int b = r.b_lo; b < r.b_hi; ++b) {
+      const int lb = b - r.b_lo;
+      for (size_t c = 0; c < ncell; ++c) {
+        r.Io[c * static_cast<size_t>(bl) + static_cast<size_t>(lb)] =
+            Io[c * static_cast<size_t>(nb_) + static_cast<size_t>(b)];
+        r.beta[c * static_cast<size_t>(bl) + static_cast<size_t>(lb)] =
+            beta[c * static_cast<size_t>(nb_) + static_cast<size_t>(b)];
+        for (int d = 0; d < nd_; ++d)
+          r.I[(c * static_cast<size_t>(bl) + static_cast<size_t>(lb)) * static_cast<size_t>(nd_) +
+              static_cast<size_t>(d)] =
+              I[c * static_cast<size_t>(nd_) * static_cast<size_t>(nb_) +
+                static_cast<size_t>(d + nd_ * b)];
+      }
+    }
   }
   step_index_ = snap.step;
 }
+
+std::vector<int32_t> BandPartitionedSolver::owner_counts() const {
+  std::vector<int32_t> counts(static_cast<size_t>(nb_), 0);
+  for (const Rank& r : ranks_)
+    for (int b = r.b_lo; b < r.b_hi; ++b) counts[static_cast<size_t>(b)] += 1;
+  return counts;
+}
+
+void BandPartitionedSolver::take_checkpoint() {
+  store_.save(snapshot());
+  rstats_.checkpoints += 1;
+}
+
+void BandPartitionedSolver::restore_checkpoint() { restore(store_.load_latest()); }
 
 std::vector<double> BandPartitionedSolver::gather_intensity() const {
   const int ncell = nx_ * ny_;

@@ -51,6 +51,24 @@ class CellPartitionedSolver {
   const StepHealth& last_health() const { return health_; }
   int64_t step_index() const { return step_index_; }
 
+  // ---- elastic shrink-to-survivors ----------------------------------------
+  // Kills `rank` permanently; the death is discovered (heartbeat suspicion
+  // timeout) at the next run() step boundary, the survivors repartition the
+  // mesh via mesh::partition, rebuild their halo plans, and restart from the
+  // last checkpoint. Requires enable_resilience (eviction needs a rollback
+  // target). RankFailure injector policies drive the same path with a
+  // deterministically drawn victim.
+  void kill_rank(int32_t rank);
+
+  // Topology-independent snapshot in the canonical global layout ("I", "T",
+  // "Io", "beta"); an image taken at N ranks restores onto any M survivors.
+  rt::Snapshot snapshot() const;
+  void restore(const rt::Snapshot& snap);
+
+  // Per-cell owner multiplicity (how many ranks claim each cell); the
+  // eviction invariant tests assert every entry is exactly 1.
+  std::vector<int32_t> owner_counts() const;
+
   int nparts() const { return nparts_; }
   const CommVolume& comm() const { return comm_; }
   // Virtual-time phase breakdown (measured compute, modeled communication).
@@ -73,6 +91,8 @@ class CellPartitionedSolver {
     mesh::HaloPlan halo;
   };
 
+  void build_topology(int nparts);
+  void evict_and_redistribute(int32_t victim);
   void exchange_halos();
   void sweep_rank(Rank& r);
   void temperature_rank(Rank& r);
@@ -84,6 +104,7 @@ class CellPartitionedSolver {
   BteScenario scen_;
   std::shared_ptr<const BtePhysics> phys_;
   mesh::Mesh mesh_;
+  mesh::PartitionMethod method_;
   std::vector<int32_t> part_;
   int nparts_;
   int nd_, nb_, dofs_;
@@ -100,6 +121,7 @@ class CellPartitionedSolver {
   StepHealth health_;
   rt::CheckpointStore store_;
   int64_t step_index_ = 0;
+  int32_t pending_kill_ = -1;
 };
 
 class BandPartitionedSolver {
@@ -120,6 +142,20 @@ class BandPartitionedSolver {
   const StepHealth& last_health() const { return health_; }
   int64_t step_index() const { return step_index_; }
 
+  // Elastic shrink: kills `rank` permanently; at the next run() step boundary
+  // the survivors rebalance the band ownership over M = nparts()-1 ranks and
+  // restart from the last (topology-independent) checkpoint. Requires
+  // enable_resilience. RankFailure injector policies drive the same path.
+  void kill_rank(int32_t rank);
+
+  // Canonical-global-layout snapshot/restore (N-to-M restart); images are
+  // interchangeable with CellPartitionedSolver / MultiGpuSolver snapshots.
+  rt::Snapshot snapshot() const;
+  void restore(const rt::Snapshot& snap);
+
+  // Per-band owner multiplicity; eviction invariant tests assert all 1.
+  std::vector<int32_t> owner_counts() const;
+
   int nparts() const { return nparts_; }
   const CommVolume& comm() const { return comm_; }
   const rt::PhaseTimes& phases() const { return bsp_.phases(); }
@@ -133,6 +169,8 @@ class BandPartitionedSolver {
     std::vector<double> Io, beta;  // [cells * bands_local]
   };
 
+  void build_topology(int nparts);
+  void evict_and_redistribute(int32_t victim);
   void sweep_rank(Rank& r);
   void gather_rank(Rank& r);
   double wall_temperature(double x) const;
@@ -157,6 +195,7 @@ class BandPartitionedSolver {
   StepHealth health_;
   rt::CheckpointStore store_;
   int64_t step_index_ = 0;
+  int32_t pending_kill_ = -1;
 };
 
 }  // namespace finch::bte

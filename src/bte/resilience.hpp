@@ -11,16 +11,26 @@
 //    ▼                                    ▼
 //   CHECKPOINT (periodic policy)       ROLLBACK to last checkpoint, REPLAY
 //
+//   RUN ──rank/device dead (heartbeat)──▶ EVICT + REDISTRIBUTE:
+//     repartition the victim's shard over the survivors, restore the last
+//     (topology-independent) checkpoint at the shrunk size, REPLAY
+//
 // Retries handle transient faults whose failure is visible at the site
 // (kernel launch failure, detected transfer mismatch, dropped halo message);
 // rollback+replay handles corruption that is only visible after the fact
 // (non-finite values that made it into solver state). Both are bounded so a
-// hard fault surfaces as ResilienceError instead of a livelock.
+// hard fault surfaces as ResilienceError instead of a livelock. Permanent
+// faults (RankFailure, DeviceLoss) have no retry path at all: the survivors
+// shrink the topology (N → M ranks/devices), restore from the last global
+// checkpoint, and continue — an eviction with no survivors left is the one
+// permanent fault that still raises ResilienceError.
 //
 // All recovery costs are *virtual* seconds charged to the solver's phase
-// breakdown, so benchmarks can plot recovery overhead vs. fault rate on the
-// same axes as the paper's phase figures.
+// breakdown (detection under `recovery`, state respread under
+// `redistribution`), so benchmarks can plot recovery overhead vs. fault rate
+// on the same axes as the paper's phase figures.
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -42,6 +52,9 @@ struct ResilienceOptions {
   int max_retries = 4;          // per fault site, per step
   int max_rollbacks = 64;       // per run() call
   double backoff_base_s = 50e-6;  // virtual seconds; doubles per attempt
+  double backoff_max_s = 5e-3;    // ceiling on one backoff wait (<= 0: uncapped)
+  // Failure-detection model for permanent faults (rank death, device loss).
+  rt::HeartbeatModel heartbeat;
 };
 
 // Verdict of the per-step validation pass.
@@ -56,16 +69,20 @@ struct StepHealth {
 struct ResilienceStats {
   int64_t retries = 0;          // site-level retry attempts that were needed
   int64_t rollbacks = 0;        // checkpoint restores
-  int64_t replayed_steps = 0;   // steps recomputed after rollbacks
+  int64_t replayed_steps = 0;   // steps recomputed after rollbacks/evictions
   int64_t checkpoints = 0;      // snapshots taken
   int64_t validations = 0;      // StepHealth evaluations
   int64_t faults_detected = 0;  // unhealthy validations + caught TransientFaults
+  int64_t evictions = 0;        // permanent failures survived (ranks/devices)
   double recovery_seconds = 0;  // virtual time spent on backoff/retransmit/replay
+  double redistribution_seconds = 0;  // virtual time respreading shards onto survivors
 };
 
-// Exponential backoff cost for attempt k (0-based): base * 2^k.
+// Exponential backoff cost for attempt k (0-based): base * 2^k, clamped to
+// backoff_max_s so an unlucky retry chain cannot dominate the step time.
 inline double backoff_delay(const ResilienceOptions& opt, int attempt) {
-  return opt.backoff_base_s * std::ldexp(1.0, attempt);
+  const double d = opt.backoff_base_s * std::ldexp(1.0, attempt);
+  return opt.backoff_max_s > 0 ? std::min(d, opt.backoff_max_s) : d;
 }
 
 }  // namespace finch::bte

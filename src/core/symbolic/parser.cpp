@@ -250,8 +250,20 @@ class Parser {
 
 }  // namespace
 
+ParseError ParseError::annotated(const ParseError& err, const std::string& input) {
+  // Clamp: end-of-input errors point one past the last character.
+  const size_t col = err.position < input.size() ? err.position : input.size();
+  std::string what = err.what();
+  what += "\n  " + input + "\n  " + std::string(col, ' ') + "^";
+  return ParseError(Verbatim{}, what, err.position);
+}
+
 Expr parse_expression(const std::string& input, const EntityTable& table) {
-  return Parser(input, table).parse();
+  try {
+    return Parser(input, table).parse();
+  } catch (const ParseError& err) {
+    throw ParseError::annotated(err, input);
+  }
 }
 
 }  // namespace finch::sym

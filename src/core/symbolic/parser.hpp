@@ -20,9 +20,25 @@ class ParseError : public std::runtime_error {
  public:
   ParseError(const std::string& msg, size_t pos)
       : std::runtime_error(msg + " (at offset " + std::to_string(pos) + ")"), position(pos) {}
+
+  // Rebuilds `err` with the offending input rendered under the message and a
+  // caret marking the offset, e.g.
+  //   unexpected character '$' (at offset 2)
+  //     u $ k
+  //       ^
+  // parse_expression applies this to every error it surfaces, so callers see
+  // where in their equation string the parse went wrong.
+  static ParseError annotated(const ParseError& err, const std::string& input);
+
   size_t position;
+
+ private:
+  struct Verbatim {};
+  ParseError(Verbatim, const std::string& what, size_t pos)
+      : std::runtime_error(what), position(pos) {}
 };
 
+// Throws ParseError (caret-annotated) on malformed input.
 Expr parse_expression(const std::string& input, const EntityTable& table);
 
 }  // namespace finch::sym

@@ -1,6 +1,7 @@
 #include "checkpoint.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -107,16 +108,35 @@ Snapshot deserialize(std::span<const std::byte> bytes) {
   return snap;
 }
 
+namespace {
+
+// Crash-safe image write: stream into a `.tmp` sibling, flush, then atomically
+// rename over the destination. A crash mid-write leaves a stray .tmp behind
+// but never a torn (or missing) checkpoint at `path` — the previous complete
+// image survives until the rename commits the new one.
+void write_image_atomic(const std::string& path, std::span<const std::byte> image) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw CheckpointError("cannot open for writing: " + tmp);
+    os.write(reinterpret_cast<const char*>(image.data()),
+             static_cast<std::streamsize>(image.size()));
+    os.flush();
+    if (!os) throw CheckpointError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("cannot commit checkpoint to " + path);
+  }
+}
+
+}  // namespace
+
 void CheckpointStore::save(const Snapshot& snap) {
   image_ = serialize(snap);
   latest_step_ = snap.step;
   saves_ += 1;
-  if (!dir_.empty()) {
-    std::ofstream os(dir_ + "/checkpoint.bin", std::ios::binary | std::ios::trunc);
-    if (!os) throw CheckpointError("cannot write checkpoint to " + dir_);
-    os.write(reinterpret_cast<const char*>(image_.data()),
-             static_cast<std::streamsize>(image_.size()));
-  }
+  if (!dir_.empty()) write_image_atomic(dir_ + "/checkpoint.bin", image_);
 }
 
 Snapshot CheckpointStore::load_latest() const {
@@ -125,10 +145,7 @@ Snapshot CheckpointStore::load_latest() const {
 }
 
 void CheckpointStore::write_file(const std::string& path, const Snapshot& snap) {
-  const auto image = serialize(snap);
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw CheckpointError("cannot open for writing: " + path);
-  os.write(reinterpret_cast<const char*>(image.data()), static_cast<std::streamsize>(image.size()));
+  write_image_atomic(path, serialize(snap));
 }
 
 Snapshot CheckpointStore::read_file(const std::string& path) {

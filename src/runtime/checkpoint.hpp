@@ -9,8 +9,17 @@
 // one failure mode a resilience layer must never have.
 //
 // CheckpointStore keeps the latest image in memory (fast rollback path) and
-// can mirror it to disk for restart across processes. CheckpointPolicy is the
-// periodic-interval schedule the solvers consult.
+// can mirror it to disk for restart across processes. Disk writes go through
+// a .tmp sibling + atomic rename, so a crash mid-write never destroys the
+// previous complete image. CheckpointPolicy is the periodic-interval schedule
+// the solvers consult.
+//
+// Topology independence: snapshots carry no rank/device structure. The
+// distributed solvers serialize their state in a canonical *global* layout
+// ("I" [cells × dirs × bands, dof-major], "T" [cells], "Io"/"beta"
+// [cells × bands]), so an image taken at N ranks restores onto any M
+// survivors — the N-to-M restart behind elastic shrink recovery — and is even
+// interchangeable between the cell-, band- and device-partitioned solvers.
 
 #include <cstddef>
 #include <cstdint>

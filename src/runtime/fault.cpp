@@ -38,8 +38,14 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::TransferCorruption: return "transfer-corruption";
     case FaultKind::DroppedMessage: return "dropped-message";
     case FaultKind::StuckRank: return "stuck-rank";
+    case FaultKind::RankFailure: return "rank-failure";
+    case FaultKind::DeviceLoss: return "device-loss";
   }
   return "unknown-fault";
+}
+
+bool fault_is_permanent(FaultKind kind) {
+  return kind == FaultKind::RankFailure || kind == FaultKind::DeviceLoss;
 }
 
 void FaultInjector::set_policy(FaultKind kind, FaultPolicy policy) {
@@ -101,6 +107,12 @@ size_t FaultInjector::corrupt(std::span<double> data, std::string_view site) {
     default: data[idx] = -std::numeric_limits<double>::infinity(); break;
   }
   return idx;
+}
+
+size_t FaultInjector::pick(FaultKind kind, std::string_view site, size_t n) const {
+  if (n == 0) return 0;
+  const uint64_t bits = draw(kind, site, static_cast<int64_t>(events_.size()), 0x7100ULL);
+  return static_cast<size_t>(bits % n);
 }
 
 void FaultInjector::reset_counters() {

@@ -31,10 +31,28 @@ enum class FaultKind : int {
   TransferCorruption = 1,   // memcpy destination gets a non-finite element
   DroppedMessage = 2,       // exchange message lost; costs timeout + resend
   StuckRank = 3,            // one rank stalls, stretching the superstep
+  // Permanent faults: the victim never comes back. Recovery is not a retry
+  // but an eviction — survivors repartition the dead worker's shard and
+  // restart from the last (topology-independent) checkpoint.
+  RankFailure = 4,          // an MPI rank dies (node crash, OOM kill)
+  DeviceLoss = 5,           // a GPU falls off the bus (XID error, ECC death)
 };
-inline constexpr int kNumFaultKinds = 4;
+inline constexpr int kNumFaultKinds = 6;
+
+// True for faults that kill their victim permanently (no retry can help).
+bool fault_is_permanent(FaultKind kind);
 
 const char* fault_kind_name(FaultKind kind);
+
+// Failure-detection model for permanent faults: every rank/device emits a
+// heartbeat each period_s; miss_threshold consecutive missed beats confirm
+// the suspicion. Survivors therefore notice a death suspicion_timeout()
+// virtual seconds after it happens — charged to the recovery phase.
+struct HeartbeatModel {
+  double period_s = 100e-6;
+  int miss_threshold = 3;
+  double suspicion_timeout() const { return period_s * miss_threshold; }
+};
 
 // Thrown by the runtime when a transient fault fires at a site whose failure
 // mode is an error return (e.g. a kernel launch). Callers retry with backoff.
@@ -95,6 +113,11 @@ class FaultInjector {
   // Deterministically overwrites one element of `data` with NaN or +/-Inf
   // (the corruption a checksum or finite-scan must catch). Returns the index.
   size_t corrupt(std::span<double> data, std::string_view site);
+
+  // Deterministic choice in [0, n): picks the victim of a permanent fault,
+  // keyed like every other draw (seed, kind, site, events so far) so a given
+  // seed always kills the same sequence of ranks/devices.
+  size_t pick(FaultKind kind, std::string_view site, size_t n) const;
 
   // Extra virtual seconds a StuckRank fault adds on top of a step that would
   // have cost `base_seconds`.

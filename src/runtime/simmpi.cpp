@@ -61,6 +61,32 @@ void BspSimulator::exchange(std::span<const Message> messages) {
   phases_.fault_stall += std::min(fault_cost, step);
 }
 
+void BspSimulator::evict_rank(int32_t rank) {
+  if (rank < 0 || rank >= nranks_) throw std::invalid_argument("evict_rank: rank out of range");
+  if (nranks_ <= 1) throw std::invalid_argument("evict_rank: no survivors would remain");
+  // Survivors confirm the death only after miss_threshold missed heartbeats;
+  // that suspicion window is wall time the whole job loses.
+  const double timeout = heartbeat_.suspicion_timeout();
+  clock_ += timeout;
+  phases_.recovery += timeout;
+  nranks_ -= 1;
+  evictions_ += 1;
+}
+
+void BspSimulator::charge_recovery(double seconds) {
+  clock_ += seconds;
+  phases_.recovery += seconds;
+}
+
+void BspSimulator::charge_redistribution(int64_t bytes) {
+  // The survivors re-read the checkpointed state and scatter it into the new
+  // partitioning: one message per survivor plus the full image over the wire.
+  const double step = static_cast<double>(nranks_) * model_.latency_s +
+                      static_cast<double>(bytes) / model_.bandwidth_Bps;
+  clock_ += step;
+  phases_.redistribution += step;
+}
+
 void BspSimulator::charge_fault(double seconds) {
   clock_ += seconds;
   phases_.communication += seconds;

@@ -45,7 +45,13 @@ struct PhaseTimes {
   // Portion of `communication` caused by injected faults (drop timeouts,
   // retransmits, stuck-rank stalls) — already included in the total.
   double fault_stall = 0.0;
-  double total() const { return compute + post_process + communication; }
+  // Permanent-fault handling, charged separately so benchmarks can plot the
+  // shrink-to-survivors cost next to the paper's phase breakdowns:
+  double recovery = 0.0;        // failure detection (suspicion timeout) + waits
+  double redistribution = 0.0;  // respreading the dead worker's shard
+  double total() const {
+    return compute + post_process + communication + recovery + redistribution;
+  }
 };
 
 class BspSimulator {
@@ -85,14 +91,36 @@ class BspSimulator {
   int64_t dropped_messages() const { return dropped_messages_; }
   int64_t stuck_events() const { return stuck_events_; }
 
+  // ---- permanent failures (elastic shrink-to-survivors) --------------------
+  //
+  // A dead rank is noticed by the survivors after the heartbeat model's
+  // suspicion timeout; evict_rank charges that detection latency to the
+  // recovery phase and shrinks the simulator to the survivors. The caller
+  // owns the shard redistribution (repartition + restore) and charges its
+  // data motion through charge_redistribution.
+  void set_heartbeat(HeartbeatModel model) { heartbeat_ = model; }
+  const HeartbeatModel& heartbeat() const { return heartbeat_; }
+  // Shrinks to nranks()-1 survivors. `rank` must be a live rank id; after the
+  // call the caller must re-index its messages/compute spans to [0, nranks()).
+  void evict_rank(int32_t rank);
+  int32_t evictions() const { return evictions_; }
+
+  // Extra virtual seconds of recovery work (replay waits, quiesce barriers).
+  void charge_recovery(double seconds);
+  // Models respreading `bytes` of checkpointed state over the survivors
+  // (scatter through the interconnect), charged to the redistribution phase.
+  void charge_redistribution(int64_t bytes);
+
  private:
   int32_t nranks_;
   CommModel model_;
   FaultInjector* faults_ = nullptr;
+  HeartbeatModel heartbeat_;
   double clock_ = 0.0;
   PhaseTimes phases_;
   int64_t dropped_messages_ = 0;
   int64_t stuck_events_ = 0;
+  int32_t evictions_ = 0;
 };
 
 }  // namespace finch::rt

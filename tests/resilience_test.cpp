@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <span>
 
@@ -157,6 +158,67 @@ TEST(Checkpoint, FileBackendRoundTrips) {
   EXPECT_EQ(back.step, 9);
   EXPECT_EQ(std::memcmp(back.field("f").data(), field.data(), field.size() * sizeof(double)), 0);
   std::remove(path.c_str());
+}
+
+TEST(Checkpoint, DiskWritesAreAtomicAgainstTornWrites) {
+  const std::string path = "resilience_test_atomic.bin";
+  rt::Snapshot snap;
+  snap.step = 21;
+  std::vector<double> field = {4.0, 5.0, 6.0};
+  snap.add("f", field);
+  rt::CheckpointStore::write_file(path, snap);
+
+  // A committed write leaves no .tmp sibling behind.
+  std::ifstream tmp_probe(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp_probe.good());
+
+  // Simulate a crash mid-write of the *next* checkpoint: a torn .tmp sibling
+  // appears, but the committed image at `path` is untouched and still loads.
+  {
+    std::ofstream torn(path + ".tmp", std::ios::binary);
+    torn << "torn";
+  }
+  const rt::Snapshot back = rt::CheckpointStore::read_file(path);
+  EXPECT_EQ(back.step, 21);
+  EXPECT_EQ(back.field("f")[2], 6.0);
+
+  // A torn image at the destination itself (no atomic rename) is the failure
+  // mode the checksum catches: truncate the committed file and load must throw.
+  {
+    std::ofstream trunc(path, std::ios::binary | std::ios::trunc);
+    trunc << "FCNK";  // a prefix of the magic, nothing more
+  }
+  EXPECT_THROW(rt::CheckpointStore::read_file(path), rt::CheckpointError);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(Checkpoint, StoreMirrorsToDiskAtomically) {
+  rt::CheckpointStore store(".");
+  rt::Snapshot snap;
+  snap.step = 3;
+  std::vector<double> f = {1.5, 2.5};
+  snap.add("f", f);
+  store.save(snap);
+  const rt::Snapshot back = rt::CheckpointStore::read_file("./checkpoint.bin");
+  EXPECT_EQ(back.step, 3);
+  EXPECT_EQ(back.field("f")[1], 2.5);
+  std::ifstream tmp_probe("./checkpoint.bin.tmp", std::ios::binary);
+  EXPECT_FALSE(tmp_probe.good());
+  std::remove("./checkpoint.bin");
+}
+
+TEST(Resilience, BackoffIsCappedAtConfiguredCeiling) {
+  ResilienceOptions opt;
+  opt.backoff_base_s = 50e-6;
+  opt.backoff_max_s = 300e-6;
+  EXPECT_DOUBLE_EQ(backoff_delay(opt, 0), 50e-6);
+  EXPECT_DOUBLE_EQ(backoff_delay(opt, 1), 100e-6);
+  EXPECT_DOUBLE_EQ(backoff_delay(opt, 2), 200e-6);
+  EXPECT_DOUBLE_EQ(backoff_delay(opt, 3), 300e-6);   // 400us clamped
+  EXPECT_DOUBLE_EQ(backoff_delay(opt, 20), 300e-6);  // stays clamped
+  opt.backoff_max_s = 0;                             // <= 0: uncapped
+  EXPECT_DOUBLE_EQ(backoff_delay(opt, 6), 50e-6 * 64);
 }
 
 TEST(Checkpoint, StoreKeepsLatest) {

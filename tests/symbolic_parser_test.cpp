@@ -111,6 +111,56 @@ TEST(ParserErrors, EmptyExpression) {
   EXPECT_THROW(sym::parse_expression("", table), sym::ParseError);
 }
 
+// Golden caret diagnostics: the full what() renders the offending input with
+// a '^' under the exact offset, so a user can see where their equation string
+// broke without counting characters.
+TEST(ParserErrors, CaretDiagnosticForBadCharacter) {
+  auto table = bte_table();
+  std::string what;
+  try {
+    sym::parse_expression("u $ k", table);
+    FAIL() << "expected ParseError";
+  } catch (const sym::ParseError& e) {
+    what = e.what();
+    EXPECT_EQ(e.position, 2u);
+  }
+  EXPECT_EQ(what,
+            "unexpected character '$' (at offset 2)\n"
+            "  u $ k\n"
+            "    ^");
+}
+
+TEST(ParserErrors, CaretDiagnosticForTrailingInput) {
+  auto table = bte_table();
+  std::string what;
+  try {
+    sym::parse_expression("u + k)", table);
+    FAIL() << "expected ParseError";
+  } catch (const sym::ParseError& e) {
+    what = e.what();
+    EXPECT_EQ(e.position, 5u);
+  }
+  EXPECT_EQ(what,
+            "trailing input (at offset 5)\n"
+            "  u + k)\n"
+            "       ^");
+}
+
+TEST(ParserErrors, CaretClampsAtEndOfInput) {
+  auto table = bte_table();
+  try {
+    sym::parse_expression("(u + k", table);
+    FAIL() << "expected ParseError";
+  } catch (const sym::ParseError& e) {
+    // Missing ')' points one past the last character; the caret clamps there
+    // instead of running off the rendered line.
+    EXPECT_EQ(std::string(e.what()),
+              "expected ')' (at offset 6)\n"
+              "  (u + k\n"
+              "        ^");
+  }
+}
+
 TEST(Parser, WhitespaceInsensitive) {
   EXPECT_EQ(parse_str("  -k  *\tu "), parse_str("-k*u"));
 }
