@@ -26,28 +26,8 @@
 using namespace finch;
 using namespace finch::bte;
 
-namespace {
-
-BteScenario small_scenario() {
-  BteScenario s;
-  s.nx = 16;
-  s.ny = 12;
-  s.lx = s.ly = 50e-6;
-  s.hot_w = 20e-6;
-  s.ndirs = 8;
-  s.nbands = 8;
-  s.dt = 1e-12;
-  return s;
-}
-
-bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i)
-    if (a[i] != b[i]) return false;
-  return true;
-}
-
-}  // namespace
+using bench::bitwise_equal;
+using bench::small_scenario;
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_bench_args(argc, argv);

@@ -18,21 +18,7 @@
 using namespace finch;
 using namespace finch::bte;
 
-namespace {
-
-BteScenario small_scenario() {
-  BteScenario s;
-  s.nx = 16;
-  s.ny = 12;
-  s.lx = s.ly = 50e-6;
-  s.hot_w = 20e-6;
-  s.ndirs = 8;
-  s.nbands = 8;
-  s.dt = 1e-12;
-  return s;
-}
-
-}  // namespace
+using bench::small_scenario;
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
@@ -80,9 +66,7 @@ int main(int argc, char** argv) {
     const double overhead =
         baseline > 0 ? (ph.fault_stall + ph.communication - baseline) / baseline : 0.0;
 
-    const auto got_T = part.gather_temperature();
-    bool exact = got_T.size() == truth_T.size();
-    for (size_t i = 0; exact && i < got_T.size(); ++i) exact = got_T[i] == truth_T[i];
+    const bool exact = bench::bitwise_equal(part.gather_temperature(), truth_T);
     all_exact = all_exact && exact;
 
     std::printf("%-10.3g %12lld %9lld %9lld %9lld %12.4f %12.4f %8.1f%%\n", rate,

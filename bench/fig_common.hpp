@@ -15,9 +15,34 @@
 #include <utility>
 #include <vector>
 
+#include "bte/bte_problem.hpp"
 #include "perf/models.hpp"
 
 namespace finch::bench {
+
+// Small but structurally complete scenario shared by the resilience-family
+// benches (bench_resilience / bench_elastic / bench_sdc): large enough for
+// real halos and several bands, small enough to run many fault configurations.
+inline bte::BteScenario small_scenario() {
+  bte::BteScenario s;
+  s.nx = 16;
+  s.ny = 12;
+  s.lx = s.ly = 50e-6;
+  s.hot_w = 20e-6;
+  s.ndirs = 8;
+  s.nbands = 8;
+  s.dt = 1e-12;
+  return s;
+}
+
+// Exact comparison — the resilience benches' correctness bar is bit-identity
+// with the fault-free serial run, not a tolerance.
+inline bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
 
 inline perf::CalibratedCosts calibrated_costs() {
   // One real measurement per process; set FINCH_BENCH_FAST=1 to skip the

@@ -1,7 +1,10 @@
 #include "multi_gpu_solver.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <span>
 #include <stdexcept>
 
 namespace finch::bte {
@@ -87,6 +90,15 @@ double MultiGpuSolver::wall_temperature(double x) const {
 }
 
 void MultiGpuSolver::sweep_cells(Rank& r, const std::vector<int32_t>& cells) {
+  sweep_cells_into(r, cells, r.I, r.I_new);
+}
+
+// The sweep parameterized over source/destination so the SDC repair path can
+// recompute a cell sub-range from the previous state (I_src = the shadow in
+// I_new after the swap) directly into the live array. Per-cell results depend
+// only on I_src, Io, beta, so any subset recomputes bit-identically.
+void MultiGpuSolver::sweep_cells_into(Rank& r, const std::vector<int32_t>& cells,
+                                      const std::vector<double>& I_src, std::vector<double>& out) {
   const int bl = r.b_hi - r.b_lo;
   const double ax = dt_ / hx_, ay = dt_ / hy_;
   for (int b = r.b_lo; b < r.b_hi; ++b) {
@@ -101,36 +113,36 @@ void MultiGpuSolver::sweep_cells(Rank& r, const std::vector<int32_t>& cells) {
         auto idx = [&](int cc, int dd) {
           return (static_cast<size_t>(cc) * bl + lb) * nd_ + static_cast<size_t>(dd);
         };
-        const double Ic = r.I[idx(c, d)];
+        const double Ic = I_src[idx(c, d)];
         const size_t cb = static_cast<size_t>(c) * bl + lb;
         double val = Ic + dt_ * (r.Io[cb] - Ic) * r.beta[cb];
 
         double Iw;
         if (i > 0)
-          Iw = -vx > 0 ? Ic : r.I[idx(c - 1, d)];
+          Iw = -vx > 0 ? Ic : I_src[idx(c - 1, d)];
         else
-          Iw = -vx > 0 ? Ic : r.I[idx(c, rx)];
+          Iw = -vx > 0 ? Ic : I_src[idx(c, rx)];
         val -= ax * (-vx) * Iw;
         double Ie;
         if (i < nx_ - 1)
-          Ie = vx > 0 ? Ic : r.I[idx(c + 1, d)];
+          Ie = vx > 0 ? Ic : I_src[idx(c + 1, d)];
         else
-          Ie = vx > 0 ? Ic : r.I[idx(c, rx)];
+          Ie = vx > 0 ? Ic : I_src[idx(c, rx)];
         val -= ax * vx * Ie;
         double Is;
         if (j > 0)
-          Is = -vy > 0 ? Ic : r.I[idx(c - nx_, d)];
+          Is = -vy > 0 ? Ic : I_src[idx(c - nx_, d)];
         else
           Is = -vy > 0 ? Ic : phys_->table.I0(b, scen_.T_cold);
         val -= ay * (-vy) * Is;
         double In;
         if (j < ny_ - 1)
-          In = vy > 0 ? Ic : r.I[idx(c + nx_, d)];
+          In = vy > 0 ? Ic : I_src[idx(c + nx_, d)];
         else
           In = vy > 0 ? Ic : phys_->table.I0(b, wall_temperature((i + 0.5) * hx_));
         val -= ay * vy * In;
 
-        r.I_new[idx(c, d)] = val;
+        out[idx(c, d)] = val;
       }
     }
   }
@@ -166,8 +178,14 @@ void MultiGpuSolver::step() {
 
     // Refresh the device mirror with the interior results (what the real
     // kernel would have produced in place), then D2H the band slice for the
-    // CPU post-step — the movement plan's per-step download.
-    roundtrip_with_guard(p);
+    // CPU post-step — the movement plan's per-step download. With the SDC
+    // defense armed, the round trip additionally maintains the ABFT block
+    // ledger, adopts the (possibly silently decayed) device copy, and heals
+    // any corrupted block before the temperature update can consume it.
+    if (resilient_ && res_.sdc.enabled)
+      sdc_roundtrip(p);
+    else
+      roundtrip_with_guard(p);
     comm = std::max(comm, gpu.counters().copy_seconds - copy_before);
     max_intensity = std::max(max_intensity, std::max(kernel_seconds, cpu_boundary));
   }
@@ -267,8 +285,169 @@ void MultiGpuSolver::roundtrip_with_guard(size_t p) {
   }
 }
 
+// ---- silent-data-corruption defense ------------------------------------------
+
+// SDC variant of the per-step round trip. Sequence, per rank:
+//   1. refresh the ABFT block ledger from the swept host truth,
+//   2. upload; let the device storage decay (possible injected silent flip),
+//   3. download and *adopt* the device copy — the device is authoritative for
+//      its band slice, so a flip there would otherwise reach the answer,
+//   4. verify the adopted slice against the ledger; every mismatching block
+//      is recomputed from the previous state (sub-range re-execution) rather
+//      than rolling the whole run back,
+//   5. run the redundant sentinel-cell audit (cross-checks even the blocks
+//      whose checksums matched).
+// Ledger upkeep + verification + sentinels are charged to the audit phase;
+// block recomputes to recovery.
+void MultiGpuSolver::sdc_roundtrip(size_t p) {
+  Rank& r = ranks_[p];
+  rt::SimGpu& gpu = *devices_[p];
+  const int bl = r.b_hi - r.b_lo;
+  const size_t stride = static_cast<size_t>(bl) * static_cast<size_t>(nd_);
+
+  auto a0 = Clock::now();
+  if (r.ledger.size() != r.I.size()) {
+    const size_t block = static_cast<size_t>(std::max(1, res_.sdc.block_cells)) * stride;
+    r.ledger = rt::BlockLedger(r.I.size(), block);
+  }
+  r.ledger.update(r.I);
+  double audit_s = seconds_since(a0);
+
+  const int64_t flips_before = gpu.counters().silent_flips;
+  gpu.memcpy_h2d(r.dev_I, r.I);
+  gpu.decay(r.dev_I, "dev_I");
+  host_back_.resize(r.I.size());
+  gpu.memcpy_d2h(host_back_, r.dev_I);
+  std::copy(host_back_.begin(), host_back_.end(), r.I.begin());
+  if (gpu.counters().silent_flips > flips_before && flip_step_ < 0) flip_step_ = step_index_;
+
+  a0 = Clock::now();
+  const std::vector<size_t> bad = r.ledger.verify(r.I);
+  audit_s += seconds_since(a0);
+  for (size_t blk : bad) {
+    note_sdc_detection();
+    const auto r0 = Clock::now();
+    const bool healed = repair_block(p, blk);
+    const double repair_s = seconds_since(r0);
+    phases_.recovery += repair_s;
+    rstats_.recovery_seconds += repair_s;
+    if (!healed) {
+      health_.sdc_ok = false;
+      health_.detail = "device " + std::to_string(p) + " block " + std::to_string(blk) +
+                       " failed twice; falling back to rollback";
+    }
+  }
+
+  a0 = Clock::now();
+  audit_sentinels(p);
+  audit_s += seconds_since(a0);
+  phases_.audit += audit_s;
+  rstats_.audit_seconds += audit_s;
+}
+
+void MultiGpuSolver::note_sdc_detection() {
+  rstats_.sdc_detections += 1;
+  // Injection and audit happen in the same step, so the observed latency is
+  // one step; the stat records the bound actually achieved.
+  const int64_t now = step_index_ + 1;
+  const int64_t latency = flip_step_ >= 0 ? now - flip_step_ : 1;
+  rstats_.max_detection_latency_steps = std::max(rstats_.max_detection_latency_steps, latency);
+  flip_step_ = -1;
+}
+
+// Localized repair: recompute one block's step from the previous state (the
+// shadow that I_new holds after the swap) straight into the live array. The
+// ledger's blocks align to whole cells, so the recompute is the exact
+// computation the sweep performed originally — bit-identical by construction.
+// Returns false when the block still mismatches afterwards (the "same block
+// failed twice" case the caller escalates to checkpoint rollback).
+bool MultiGpuSolver::repair_block(size_t p, size_t block) {
+  Rank& r = ranks_[p];
+  const int bl = r.b_hi - r.b_lo;
+  const size_t stride = static_cast<size_t>(bl) * static_cast<size_t>(nd_);
+  const rt::BlockLedger::Range range = r.ledger.range(block);
+  repair_cells_.clear();
+  for (size_t c = range.begin / stride; c * stride < range.end; ++c)
+    repair_cells_.push_back(static_cast<int32_t>(c));
+  sweep_cells_into(r, repair_cells_, r.I_new, r.I);
+  // A repair hit by its own silent fault (site "repair") models the same
+  // block failing twice — the localized path gives up and the run() loop
+  // falls back to the PR 1 checkpoint rollback.
+  if (res_.injector != nullptr &&
+      res_.injector->should_fault(rt::FaultKind::BitFlipDeviceArray, "repair"))
+    res_.injector->flip_bit(
+        std::span<double>(r.I).subspan(range.begin, range.end - range.begin),
+        rt::FaultKind::BitFlipDeviceArray, "repair");
+  const rt::BlockChecksum now = rt::block_checksum(
+      std::span<const double>(r.I).subspan(range.begin, range.end - range.begin));
+  if (!now.matches(r.ledger.checksum(block))) {
+    rstats_.repair_failures += 1;
+    return false;
+  }
+  rstats_.block_repairs += 1;
+  return true;
+}
+
+// Redundant sentinel cells: a deterministic handful of cells recomputed from
+// the previous state and compared bit-exactly against the live array. This is
+// the cross-rank redundancy audit of the design (in a real MPI deployment the
+// sentinels of neighbouring ranks ride the halo messages): it catches
+// corruption even on paths the checksums do not cover, bounding detection
+// latency to one step.
+void MultiGpuSolver::audit_sentinels(size_t p) {
+  if (res_.sdc.sentinel_cells <= 0) return;
+  Rank& r = ranks_[p];
+  const int bl = r.b_hi - r.b_lo;
+  const size_t stride = static_cast<size_t>(bl) * static_cast<size_t>(nd_);
+  const int ncell = nx_ * ny_;
+  if (sentinel_cells_.empty()) {
+    const int n = std::min(res_.sdc.sentinel_cells, ncell);
+    for (int k = 0; k < n; ++k)
+      sentinel_cells_.push_back(static_cast<int32_t>((static_cast<int64_t>(k) + 1) * ncell / (n + 1)));
+  }
+  sentinel_scratch_.resize(r.I.size());
+  sweep_cells_into(r, sentinel_cells_, r.I_new, sentinel_scratch_);
+  for (int32_t c : sentinel_cells_) {
+    rstats_.sentinel_checks += 1;
+    const size_t off = static_cast<size_t>(c) * stride;
+    if (std::memcmp(&r.I[off], &sentinel_scratch_[off], stride * sizeof(double)) == 0) continue;
+    note_sdc_detection();
+    const auto r0 = Clock::now();
+    const bool healed = repair_block(p, r.ledger.block_of(off));
+    const double repair_s = seconds_since(r0);
+    phases_.recovery += repair_s;
+    rstats_.recovery_seconds += repair_s;
+    if (!healed) {
+      health_.sdc_ok = false;
+      health_.detail = "device " + std::to_string(p) + " sentinel cell " + std::to_string(c) +
+                       " repair failed";
+    }
+  }
+}
+
+// Energy-balance tripwire: the total intensity energy (the ledgers' Kahan
+// sums, already paid for) must not jump by more than the configured relative
+// tolerance in one step. A single flip is caught by the checksums long before
+// it moves this needle; the invariant exists to flag *systematic* corruption
+// (a wrong kernel, a stuck coefficient upload) and is recorded, not
+// health-failing — bit-exact detection stays the checksums' job.
+void MultiGpuSolver::audit_energy_invariant() {
+  rt::KahanSum e;
+  for (const Rank& r : ranks_) {
+    if (r.ledger.size() != r.I.size()) return;  // ledger not armed yet
+    for (size_t b = 0; b < r.ledger.num_blocks(); ++b) e.add(r.ledger.checksum(b).sum);
+  }
+  if (have_prev_energy_) {
+    const double drift = std::abs(e.sum - prev_energy_) / std::max(std::abs(prev_energy_), 1e-300);
+    if (drift > res_.sdc.energy_drift_tol) rstats_.invariant_violations += 1;
+  }
+  prev_energy_ = e.sum;
+  have_prev_energy_ = true;
+}
+
 void MultiGpuSolver::validate() {
   rstats_.validations += 1;
+  if (resilient_ && res_.sdc.enabled) audit_energy_invariant();
   size_t bad = 0;
   for (size_t p = 0; p < ranks_.size(); ++p) {
     if (!rt::all_finite(ranks_[p].I, &bad)) {
@@ -346,6 +525,9 @@ void MultiGpuSolver::restore(const rt::Snapshot& snap) {
     gpu.memcpy_h2d(r.dev_Iob, iob_scratch_);
   }
   step_index_ = snap.step;
+  // Restored state invalidates the step-to-step SDC bookkeeping.
+  have_prev_energy_ = false;
+  flip_step_ = -1;
 }
 
 std::vector<int32_t> MultiGpuSolver::owner_counts() const {

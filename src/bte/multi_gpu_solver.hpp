@@ -16,6 +16,7 @@
 
 #include "bte_problem.hpp"
 #include "resilience.hpp"
+#include "runtime/abft.hpp"
 #include "runtime/simgpu.hpp"
 
 namespace finch::bte {
@@ -65,8 +66,9 @@ class MultiGpuSolver {
     double communication = 0;  // PCIe transfers (modeled)
     double recovery = 0;       // backoff + retransmit + restore (modeled)
     double redistribution = 0; // shard re-upload after a device eviction
+    double audit = 0;          // ABFT ledger upkeep + verify + sentinels
     double total() const {
-      return intensity + temperature + communication + recovery + redistribution;
+      return intensity + temperature + communication + recovery + redistribution + audit;
     }
   };
   const Phases& phases() const { return phases_; }
@@ -81,16 +83,27 @@ class MultiGpuSolver {
     rt::DeviceBuffer dev_Iob;          // device mirror of Io+beta
     std::vector<double> I, I_new;      // [cells * nd * bands_local]
     std::vector<double> Io, beta;      // [cells * bands_local]
+    // ABFT block ledger over I (blocks = cell ranges x this rank's bands).
+    // Note: after step()'s I.swap(I_new), I_new holds the *previous* step's
+    // intensities — the shadow state the localized repair recomputes from.
+    rt::BlockLedger ledger;
   };
 
   void build_topology(int num_devices);
   void evict_and_redistribute(int32_t victim);
   double copy_seconds_total() const;
   void sweep_cells(Rank& r, const std::vector<int32_t>& cells);
+  void sweep_cells_into(Rank& r, const std::vector<int32_t>& cells,
+                        const std::vector<double>& I_src, std::vector<double>& out);
   double wall_temperature(double x) const;
   void launch_with_retry(rt::SimGpu& gpu, const std::string& name, const rt::KernelStats& ks,
                          const std::function<void()>& body);
   void roundtrip_with_guard(size_t p);
+  void sdc_roundtrip(size_t p);
+  bool repair_block(size_t p, size_t block);
+  void audit_sentinels(size_t p);
+  void note_sdc_detection();
+  void audit_energy_invariant();
   void validate();
   void take_checkpoint();
   void restore_checkpoint();
@@ -115,6 +128,14 @@ class MultiGpuSolver {
   rt::CheckpointStore store_;
   int64_t step_index_ = 0;
   int32_t pending_kill_ = -1;
+
+  // ---- SDC defense state ----
+  std::vector<int32_t> sentinel_cells_;     // redundant-recompute audit cells
+  std::vector<int32_t> repair_cells_;       // scratch: cell list of one block
+  std::vector<double> sentinel_scratch_;    // recompute target for sentinels
+  int64_t flip_step_ = -1;                  // step of the oldest undetected flip
+  double prev_energy_ = 0.0;                // last step's total intensity energy
+  bool have_prev_energy_ = false;
 };
 
 }  // namespace finch::bte

@@ -1,7 +1,10 @@
 #include "partitioned_solver.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <span>
 #include <stdexcept>
 
 namespace finch::bte {
@@ -69,6 +72,8 @@ void CellPartitionedSolver::build_topology(int nparts) {
         r.ghosts.push_back(c);
       }
     const size_t nloc = r.owned.size() + r.ghosts.size();
+    r.all_owned.resize(r.owned.size());
+    for (size_t lo = 0; lo < r.owned.size(); ++lo) r.all_owned[lo] = lo;
     r.I.resize(nloc * static_cast<size_t>(dofs_));
     r.I_new.resize(r.owned.size() * static_cast<size_t>(dofs_));
     r.Io.resize(r.owned.size() * static_cast<size_t>(nb_));
@@ -138,6 +143,51 @@ void CellPartitionedSolver::exchange_halos() {
           r.I[static_cast<size_t>(dst) * dofs_ + static_cast<size_t>(k)] =
               peer.I[static_cast<size_t>(src) * dofs_ + static_cast<size_t>(k)];
       }
+      if (resilient_ && res_.sdc.enabled && !recv.cells.empty()) {
+        // ABFT sidecar: the sender checksums the payload before it goes on
+        // the wire; the receiver verifies on receipt. The ghost cells of one
+        // recv are contiguous local indices (appended in recv order by
+        // build_topology), so the delivered message is one span of r.I.
+        const auto t0 = Clock::now();
+        const size_t base =
+            static_cast<size_t>(r.global_to_local[static_cast<size_t>(recv.cells[0])]) *
+            static_cast<size_t>(dofs_);
+        const size_t len = recv.cells.size() * static_cast<size_t>(dofs_);
+        std::span<double> ghost(r.I.data() + base, len);
+        const rt::BlockChecksum sidecar = rt::block_checksum(ghost);
+        if (fi != nullptr && fi->should_fault(rt::FaultKind::BitFlipMessage, "halo"))
+          fi->flip_bit(ghost, rt::FaultKind::BitFlipMessage, "halo");
+        if (!rt::block_checksum(ghost).matches(sidecar)) {
+          note_sdc_detection();
+          // Localized repair: re-pull just this message from the peer's
+          // (intact) owned values, priced as one extra message.
+          const double resend =
+              bsp_.comm_model().per_message(static_cast<int64_t>(len) * 8);
+          bsp_.charge_recovery(resend);
+          rstats_.recovery_seconds += resend;
+          for (int32_t gc : recv.cells) {
+            const int32_t src = peer.global_to_local[static_cast<size_t>(gc)];
+            const int32_t dst = r.global_to_local[static_cast<size_t>(gc)];
+            for (int k = 0; k < dofs_; ++k)
+              r.I[static_cast<size_t>(dst) * dofs_ + static_cast<size_t>(k)] =
+                  peer.I[static_cast<size_t>(src) * dofs_ + static_cast<size_t>(k)];
+          }
+          // A repair that fails too (the retransmission is hit as well)
+          // exhausts the localized path: fall back to rollback + replay.
+          if (fi != nullptr && fi->should_fault(rt::FaultKind::BitFlipMessage, "halo-repair"))
+            fi->flip_bit(ghost, rt::FaultKind::BitFlipMessage, "halo-repair");
+          if (rt::block_checksum(ghost).matches(sidecar)) {
+            rstats_.block_repairs += 1;
+          } else {
+            rstats_.repair_failures += 1;
+            health_.sdc_ok = false;
+            health_.detail = "halo message checksum failed twice; falling back to rollback";
+          }
+        }
+        const double audit = seconds_since(t0);
+        bsp_.charge_audit(audit);
+        rstats_.audit_seconds += audit;
+      }
       if (fi != nullptr && !recv.cells.empty() &&
           fi->should_fault(rt::FaultKind::TransferCorruption, "halo")) {
         // In-flight corruption of this message's payload: lands in the ghost
@@ -155,6 +205,14 @@ void CellPartitionedSolver::exchange_halos() {
 }
 
 void CellPartitionedSolver::sweep_rank(Rank& r) {
+  sweep_owned_subset(r, r.all_owned, r.I_new);
+}
+
+// Sweep body parameterized over the owned-cell subset and the output array:
+// per-cell results depend only on r.I/r.Io/r.beta, so recomputing any subset
+// (sentinel audit, block repair) reproduces the full sweep bit-identically.
+void CellPartitionedSolver::sweep_owned_subset(Rank& r, const std::vector<size_t>& cells,
+                                               std::vector<double>& out) {
   const int nx = scen_.nx, ny = scen_.ny;
   const double hx = scen_.lx / nx, hy = scen_.ly / ny;
   const double ax = dt_ / hx, ay = dt_ / hy;
@@ -168,7 +226,7 @@ void CellPartitionedSolver::sweep_rank(Rank& r) {
       const double vy = vg * phys_->directions.s[static_cast<size_t>(d)].y;
       const int rx = phys_->directions.reflect_x[static_cast<size_t>(d)];
       const int dof = d + nd_ * b;
-      for (size_t lo = 0; lo < r.owned.size(); ++lo) {
+      for (size_t lo : cells) {
         const int32_t c = r.owned[lo];
         const int i = static_cast<int>(c % nx), j = static_cast<int>(c / nx);
         const size_t ci = lo * static_cast<size_t>(dofs_) + static_cast<size_t>(dof);
@@ -204,7 +262,7 @@ void CellPartitionedSolver::sweep_rank(Rank& r) {
           In = vy > 0 ? Ic : phys_->table.I0(b, wall_temperature((i + 0.5) * hx));
         val -= ay * vy * In;
 
-        r.I_new[ci] = val;
+        out[ci] = val;
       }
     }
   }
@@ -237,6 +295,7 @@ void CellPartitionedSolver::step() {
     rank_seconds[p] = seconds_since(t0);
   }
   bsp_.compute_step(rank_seconds, rt::BspSimulator::Phase::Compute);
+  if (resilient_ && res_.sdc.enabled) audit_sentinels();
   for (Rank& r : ranks_) {
     // Commit owned values; ghosts refresh at the next exchange.
     for (size_t lo = 0; lo < r.owned.size(); ++lo)
@@ -326,8 +385,75 @@ void CellPartitionedSolver::evict_and_redistribute(int32_t victim) {
   rstats_.replayed_steps += lost;
 }
 
+// ---- silent-data-corruption defense (cell partitioning) ---------------------
+
+void CellPartitionedSolver::note_sdc_detection() {
+  rstats_.sdc_detections += 1;
+  // The audit runs every step, so a flip is caught at most one step after it
+  // lands; the stat records the bound.
+  rstats_.max_detection_latency_steps =
+      std::max<int64_t>(rstats_.max_detection_latency_steps, 1);
+}
+
+// Redundant recomputation of a few spread-out cells: each sentinel's sweep
+// result is recomputed from the same sources and compared bit-for-bit against
+// I_new before the commit, catching corruption that lands in freshly computed
+// state — an audit channel independent of the message checksums.
+void CellPartitionedSolver::audit_sentinels() {
+  const auto t0 = Clock::now();
+  if (sentinel_cells_.empty()) {
+    const int32_t ncell = mesh_.num_cells();
+    const int n = std::min(res_.sdc.sentinel_cells, static_cast<int>(ncell));
+    for (int k = 0; k < n; ++k)
+      sentinel_cells_.push_back(
+          static_cast<int32_t>(static_cast<int64_t>(k + 1) * ncell / (n + 1)));
+  }
+  for (Rank& r : ranks_) {
+    sentinel_subset_.clear();
+    for (int32_t gc : sentinel_cells_) {
+      const int32_t lo = r.global_to_local[static_cast<size_t>(gc)];
+      if (lo >= 0 && static_cast<size_t>(lo) < r.owned.size())
+        sentinel_subset_.push_back(static_cast<size_t>(lo));
+    }
+    if (sentinel_subset_.empty()) continue;
+    sentinel_scratch_.resize(r.I_new.size());
+    sweep_owned_subset(r, sentinel_subset_, sentinel_scratch_);
+    for (size_t lo : sentinel_subset_) {
+      rstats_.sentinel_checks += 1;
+      const size_t off = lo * static_cast<size_t>(dofs_);
+      if (std::memcmp(sentinel_scratch_.data() + off, r.I_new.data() + off,
+                      static_cast<size_t>(dofs_) * sizeof(double)) != 0) {
+        note_sdc_detection();
+        // The redundant recompute is itself the repair: adopt its result.
+        std::copy_n(sentinel_scratch_.data() + off, static_cast<size_t>(dofs_),
+                    r.I_new.data() + off);
+        rstats_.block_repairs += 1;
+      }
+    }
+  }
+  const double audit = seconds_since(t0);
+  bsp_.charge_audit(audit);
+  rstats_.audit_seconds += audit;
+}
+
 void CellPartitionedSolver::validate() {
   rstats_.validations += 1;
+  if (resilient_ && res_.sdc.enabled) {
+    // Energy-balance tripwire: per-step drift of the Kahan-summed intensity
+    // beyond the tolerance is recorded, not health-failing (see SdcOptions).
+    rt::KahanSum e;
+    for (const Rank& r : ranks_) {
+      const size_t owned_len = r.owned.size() * static_cast<size_t>(dofs_);
+      for (size_t i = 0; i < owned_len; ++i) e.add(r.I[i]);
+    }
+    if (have_prev_energy_) {
+      const double drift =
+          std::abs(e.sum - prev_energy_) / std::max(std::abs(prev_energy_), 1e-300);
+      if (drift > res_.sdc.energy_drift_tol) rstats_.invariant_violations += 1;
+    }
+    prev_energy_ = e.sum;
+    have_prev_energy_ = true;
+  }
   size_t bad = 0;
   for (size_t p = 0; p < ranks_.size(); ++p) {
     const Rank& r = ranks_[p];
@@ -400,6 +526,7 @@ void CellPartitionedSolver::restore(const rt::Snapshot& snap) {
     for (size_t gi = 0; gi < r.ghosts.size(); ++gi)
       scatter_cell(r.owned.size() + gi, static_cast<size_t>(r.ghosts[gi]));
   }
+  have_prev_energy_ = false;
   step_index_ = snap.step;
 }
 
@@ -550,13 +677,27 @@ void BandPartitionedSolver::sweep_rank(Rank& r) {
   r.I.swap(r.I_new);
 }
 
+// Recompute payload entries [begin, end) from r.I — the reduction's inputs —
+// with the same weights in the same order, so the repair is bit-identical to
+// an uncorrupted pack (payload index idx reduces exactly r.I[idx*nd + d]).
+void BandPartitionedSolver::reduce_block(Rank& r, size_t begin, size_t end) {
+  for (size_t idx = begin; idx < end; ++idx) {
+    double g = 0.0;
+    for (int d = 0; d < nd_; ++d)
+      g += phys_->directions.weight[static_cast<size_t>(d)] *
+           r.I[idx * static_cast<size_t>(nd_) + static_cast<size_t>(d)];
+    r.payload[idx] = g;
+  }
+}
+
 void BandPartitionedSolver::gather_rank(Rank& r) {
   // One rank's contribution to the allgather of per-cell band sums (the only
   // cross-rank coupling): pack the slice into a contiguous payload — what a
   // real MPI_Allgatherv would put on the wire — then scatter into G_global_.
   const int ncell = nx_ * ny_;
   const int bl = r.b_hi - r.b_lo;
-  std::vector<double> payload(static_cast<size_t>(ncell) * static_cast<size_t>(bl));
+  r.payload.resize(static_cast<size_t>(ncell) * static_cast<size_t>(bl));
+  std::vector<double>& payload = r.payload;
   for (int b = r.b_lo; b < r.b_hi; ++b) {
     const int lb = b - r.b_lo;
     for (int c = 0; c < ncell; ++c) {
@@ -566,6 +707,21 @@ void BandPartitionedSolver::gather_rank(Rank& r) {
              r.I[(static_cast<size_t>(c) * bl + lb) * nd_ + static_cast<size_t>(d)];
       payload[static_cast<size_t>(c) * bl + lb] = g;
     }
+  }
+
+  const bool sdc = resilient_ && res_.sdc.enabled;
+  if (sdc) {
+    // Checksum the contribution before it goes on the wire; blocks align to
+    // whole cells (cell-major payload) so a bad block maps to a cell range.
+    const auto t0 = Clock::now();
+    const size_t block = static_cast<size_t>(std::max(1, res_.sdc.block_cells)) *
+                         static_cast<size_t>(bl);
+    if (r.gledger.size() != payload.size() || r.gledger.block_size() != block)
+      r.gledger = rt::BlockLedger(payload.size(), block);
+    r.gledger.update(payload);
+    const double audit = seconds_since(t0);
+    bsp_.charge_audit(audit);
+    rstats_.audit_seconds += audit;
   }
 
   rt::FaultInjector* fi = resilient_ ? res_.injector : nullptr;
@@ -590,6 +746,36 @@ void BandPartitionedSolver::gather_rank(Rank& r) {
     if (!delivered) return;
     if (fi->should_fault(rt::FaultKind::TransferCorruption, "gather"))
       fi->corrupt(payload, "gather");
+    if (sdc && fi->should_fault(rt::FaultKind::BitFlipReduction, "gather"))
+      fi->flip_bit(payload, rt::FaultKind::BitFlipReduction, "gather");
+  }
+
+  if (sdc) {
+    // Verify the in-flight contribution against the sender's ledger; a bad
+    // block is re-reduced from r.I (the reduction's intact inputs) instead of
+    // rolling the whole run back.
+    const auto t0 = Clock::now();
+    for (size_t blk : r.gledger.verify(payload)) {
+      note_sdc_detection();
+      const auto range = r.gledger.range(blk);
+      reduce_block(r, range.begin, range.end);
+      if (fi != nullptr && fi->should_fault(rt::FaultKind::BitFlipReduction, "gather-repair"))
+        fi->flip_bit(std::span<double>(payload).subspan(range.begin, range.end - range.begin),
+                     rt::FaultKind::BitFlipReduction, "gather-repair");
+      if (rt::block_checksum(std::span<const double>(payload)
+                                 .subspan(range.begin, range.end - range.begin))
+              .matches(r.gledger.checksum(blk))) {
+        rstats_.block_repairs += 1;
+      } else {
+        rstats_.repair_failures += 1;
+        health_.sdc_ok = false;
+        health_.detail = "gather block " + std::to_string(blk) +
+                         " checksum failed twice; falling back to rollback";
+      }
+    }
+    const double audit = seconds_since(t0);
+    bsp_.charge_audit(audit);
+    rstats_.audit_seconds += audit;
   }
 
   for (int b = r.b_lo; b < r.b_hi; ++b) {
@@ -612,6 +798,7 @@ void BandPartitionedSolver::step() {
   for (Rank& r : ranks_) gather_rank(r);
   comm_.total_bytes += comm_.bytes_per_step;
   bsp_.gather(comm_.bytes_per_step / (nparts_ > 0 ? nparts_ : 1));
+  if (resilient_ && res_.sdc.enabled) audit_sentinels();
 
   // Every rank solves the (replicated) temperature and refreshes its own
   // bands' Io/beta — executed once here since the result is identical.
@@ -704,8 +891,69 @@ void BandPartitionedSolver::evict_and_redistribute(int32_t victim) {
   rstats_.replayed_steps += lost;
 }
 
+// ---- silent-data-corruption defense (band partitioning) ---------------------
+
+void BandPartitionedSolver::note_sdc_detection() {
+  rstats_.sdc_detections += 1;
+  rstats_.max_detection_latency_steps =
+      std::max<int64_t>(rstats_.max_detection_latency_steps, 1);
+}
+
+// Cross-rank redundancy on the gathered sums: a few spread-out cells' full G
+// rows are re-reduced from every owner rank's intensities and compared
+// bit-for-bit against G_global_ before the temperature solve — this audits
+// the scatter as well as the wire, independently of the per-rank ledgers.
+void BandPartitionedSolver::audit_sentinels() {
+  const auto t0 = Clock::now();
+  const int ncell = nx_ * ny_;
+  if (sentinel_cells_.empty()) {
+    const int n = std::min(res_.sdc.sentinel_cells, ncell);
+    for (int k = 0; k < n; ++k)
+      sentinel_cells_.push_back(
+          static_cast<int32_t>(static_cast<int64_t>(k + 1) * ncell / (n + 1)));
+  }
+  for (int32_t c : sentinel_cells_) {
+    rstats_.sentinel_checks += 1;
+    for (Rank& r : ranks_) {
+      const int bl = r.b_hi - r.b_lo;
+      for (int b = r.b_lo; b < r.b_hi; ++b) {
+        const int lb = b - r.b_lo;
+        const size_t idx = static_cast<size_t>(c) * static_cast<size_t>(bl) +
+                           static_cast<size_t>(lb);
+        double g = 0.0;
+        for (int d = 0; d < nd_; ++d)
+          g += phys_->directions.weight[static_cast<size_t>(d)] *
+               r.I[idx * static_cast<size_t>(nd_) + static_cast<size_t>(d)];
+        double& dst = G_global_[static_cast<size_t>(c) * nb_ + static_cast<size_t>(b)];
+        if (std::memcmp(&g, &dst, sizeof(double)) != 0) {
+          note_sdc_detection();
+          // The re-reduction is the repair: adopt the redundant result.
+          dst = g;
+          rstats_.block_repairs += 1;
+        }
+      }
+    }
+  }
+  const double audit = seconds_since(t0);
+  bsp_.charge_audit(audit);
+  rstats_.audit_seconds += audit;
+}
+
 void BandPartitionedSolver::validate() {
   rstats_.validations += 1;
+  if (resilient_ && res_.sdc.enabled) {
+    // Energy-balance tripwire over the gathered band sums (see SdcOptions:
+    // recorded, not health-failing).
+    rt::KahanSum e;
+    for (double g : G_global_) e.add(g);
+    if (have_prev_energy_) {
+      const double drift =
+          std::abs(e.sum - prev_energy_) / std::max(std::abs(prev_energy_), 1e-300);
+      if (drift > res_.sdc.energy_drift_tol) rstats_.invariant_violations += 1;
+    }
+    prev_energy_ = e.sum;
+    have_prev_energy_ = true;
+  }
   size_t bad = 0;
   for (size_t p = 0; p < ranks_.size(); ++p) {
     if (!rt::all_finite(ranks_[p].I, &bad)) {
@@ -780,6 +1028,7 @@ void BandPartitionedSolver::restore(const rt::Snapshot& snap) {
       }
     }
   }
+  have_prev_energy_ = false;
   step_index_ = snap.step;
 }
 

@@ -23,6 +23,7 @@
 #include "bte_problem.hpp"
 #include "mesh/partition.hpp"
 #include "resilience.hpp"
+#include "runtime/abft.hpp"
 #include "runtime/simmpi.hpp"
 
 namespace finch::bte {
@@ -89,14 +90,18 @@ class CellPartitionedSolver {
     std::vector<double> Io, beta;          // [owned * nbands]
     std::vector<double> T;                 // [owned]
     mesh::HaloPlan halo;
+    std::vector<size_t> all_owned;         // 0..owned.size()-1 (sweep subset arg)
   };
 
   void build_topology(int nparts);
   void evict_and_redistribute(int32_t victim);
   void exchange_halos();
   void sweep_rank(Rank& r);
+  void sweep_owned_subset(Rank& r, const std::vector<size_t>& cells, std::vector<double>& out);
   void temperature_rank(Rank& r);
   double wall_temperature(double x) const;
+  void audit_sentinels();
+  void note_sdc_detection();
   void validate();
   void take_checkpoint();
   void restore_checkpoint();
@@ -122,6 +127,13 @@ class CellPartitionedSolver {
   rt::CheckpointStore store_;
   int64_t step_index_ = 0;
   int32_t pending_kill_ = -1;
+
+  // ---- SDC defense state ----
+  std::vector<int32_t> sentinel_cells_;   // global cell ids, redundant recompute
+  std::vector<double> sentinel_scratch_;  // recompute target ([owned * dofs])
+  std::vector<size_t> sentinel_subset_;   // per-rank local indices, reused
+  double prev_energy_ = 0.0;
+  bool have_prev_energy_ = false;
 };
 
 class BandPartitionedSolver {
@@ -167,12 +179,19 @@ class BandPartitionedSolver {
     int b_lo = 0, b_hi = 0;        // owned band range [b_lo, b_hi)
     std::vector<double> I, I_new;  // [cells * dofs_local]
     std::vector<double> Io, beta;  // [cells * bands_local]
+    // ABFT ledger over this rank's gather payload (blocks = cell ranges x
+    // the rank's band slice) and the payload buffer itself, reused per step.
+    rt::BlockLedger gledger;
+    std::vector<double> payload;
   };
 
   void build_topology(int nparts);
   void evict_and_redistribute(int32_t victim);
   void sweep_rank(Rank& r);
   void gather_rank(Rank& r);
+  void reduce_block(Rank& r, size_t begin, size_t end);
+  void audit_sentinels();
+  void note_sdc_detection();
   double wall_temperature(double x) const;
   void validate();
   void take_checkpoint();
@@ -196,6 +215,11 @@ class BandPartitionedSolver {
   rt::CheckpointStore store_;
   int64_t step_index_ = 0;
   int32_t pending_kill_ = -1;
+
+  // ---- SDC defense state ----
+  std::vector<int32_t> sentinel_cells_;  // cell ids whose G row is re-reduced
+  double prev_energy_ = 0.0;
+  bool have_prev_energy_ = false;
 };
 
 }  // namespace finch::bte

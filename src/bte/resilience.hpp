@@ -46,6 +46,28 @@ class ResilienceError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Silent-data-corruption (SDC) defense knobs. Off by default: the ABFT
+// checksums, sentinel audits, and localized repair run only when a solver is
+// explicitly asked to pay for them, so fault-free runs stay bit-identical to
+// the unguarded path with zero audit time.
+struct SdcOptions {
+  bool enabled = false;
+  // Elements (cells for ledgers over per-rank intensity arrays) per ABFT
+  // block: the granularity of both detection and localized repair.
+  int block_cells = 16;
+  // Redundant sentinel cells recomputed each step from the previous state —
+  // the cross-rank "did my neighbor's update agree with mine" audit that
+  // bounds detection latency to one step even off the transfer paths.
+  int sentinel_cells = 4;
+  // Relative per-step drift tolerance for the energy-balance invariant. The
+  // explicit scheme changes total energy a little every step (boundary
+  // heating), so the tolerance is generous; violations are recorded
+  // (ResilienceStats::invariant_violations), not health-failing — the
+  // invariant is a tripwire for systematic corruption, while bit-exact
+  // detection is the checksums' job.
+  double energy_drift_tol = 0.05;
+};
+
 struct ResilienceOptions {
   rt::FaultInjector* injector = nullptr;  // null: no injection (guards still run)
   rt::CheckpointPolicy checkpoint{/*interval=*/8};
@@ -55,15 +77,18 @@ struct ResilienceOptions {
   double backoff_max_s = 5e-3;    // ceiling on one backoff wait (<= 0: uncapped)
   // Failure-detection model for permanent faults (rank death, device loss).
   rt::HeartbeatModel heartbeat;
+  // Silent-corruption defense (ABFT checksums + invariants + block repair).
+  SdcOptions sdc;
 };
 
 // Verdict of the per-step validation pass.
 struct StepHealth {
   bool finite_ok = true;    // no NaN/Inf in updated fields
   bool transfer_ok = true;  // round-trip / message checksums matched
+  bool sdc_ok = true;       // ABFT block audit clean (or repaired in place)
   int64_t nonfinite_values = 0;
   std::string detail;  // first offending field/site, for diagnostics
-  bool ok() const { return finite_ok && transfer_ok; }
+  bool ok() const { return finite_ok && transfer_ok && sdc_ok; }
 };
 
 struct ResilienceStats {
@@ -76,6 +101,16 @@ struct ResilienceStats {
   int64_t evictions = 0;        // permanent failures survived (ranks/devices)
   double recovery_seconds = 0;  // virtual time spent on backoff/retransmit/replay
   double redistribution_seconds = 0;  // virtual time respreading shards onto survivors
+  // ---- silent-corruption defense -----------------------------------------
+  int64_t sdc_detections = 0;     // ABFT mismatches caught (blocks or sidecars)
+  int64_t block_repairs = 0;      // blocks healed by sub-range recompute/repull
+  int64_t repair_failures = 0;    // localized repair failed -> rollback path
+  int64_t sentinel_checks = 0;    // redundant sentinel-cell comparisons run
+  int64_t invariant_violations = 0;  // energy-balance drift beyond tolerance
+  double audit_seconds = 0;       // virtual time in the audit phase
+  // Steps between injection and detection, maximized over detections. The
+  // per-step audit bounds this to 1 by construction; the stat proves it.
+  int64_t max_detection_latency_steps = 0;
 };
 
 // Exponential backoff cost for attempt k (0-based): base * 2^k, clamped to

@@ -342,6 +342,12 @@ double eval_guarded(const Program& p, const EvalContext& ctx, GuardReport& repor
   return eval_impl<true>(p, ctx, &report);
 }
 
+double eval_audited(const Program& p, const EvalContext& ctx, rt::BlockChecksum& audit) {
+  const double v = eval_impl<false>(p, ctx, nullptr);
+  audit.fold(v);
+  return v;
+}
+
 Program::Stats Program::analyze() const {
   Stats s;
   // FMA detection: a Mul whose destination feeds exactly the next Add.

@@ -22,6 +22,7 @@
 #include "core/symbolic/entities.hpp"
 #include "core/symbolic/expr.hpp"
 #include "fvm/field.hpp"
+#include "runtime/abft.hpp"
 
 namespace finch::codegen {
 
@@ -157,6 +158,13 @@ struct GuardReport {
 };
 
 double eval_guarded(const Program& p, const EvalContext& ctx, GuardReport& report);
+
+// ABFT hook: same interpreter, but every result the VM produces is folded
+// incrementally into the caller's block checksum (Fletcher lanes + Kahan sum,
+// see rt::BlockChecksum). A solver that sweeps a block through eval_audited
+// therefore gets the block's ABFT signature for free as a by-product of the
+// sweep — the signature any later copy of that block must still match.
+double eval_audited(const Program& p, const EvalContext& ctx, rt::BlockChecksum& audit);
 
 // Disassembly for debugging and source-golden tests.
 std::string disassemble(const Program& p);

@@ -124,7 +124,7 @@ class GpuSolver final : public dsl::Solver {
     const double cpu_boundary_seconds = seconds_since(t0);
 
     // 3. Synchronize and bring results back per the movement plan; commit.
-    for (const auto& t : plan_.per_step_d2h) charge_d2h(t.array);
+    for (auto& t : plan_.per_step_d2h) charge_d2h(t);
     for (size_t e = 0; e < eqs_.size(); ++e) {
       std::span<const double> src = scratch_[e].data();
       std::span<double> dst = eqs_[e].field->data();
@@ -138,7 +138,7 @@ class GpuSolver final : public dsl::Solver {
     phases_.post_process += seconds_since(t0);
 
     // 5. Send CPU-updated variables to the device.
-    for (const auto& t : plan_.per_step_h2d) charge_h2d(t.array);
+    for (auto& t : plan_.per_step_h2d) charge_h2d(t);
     phases_.communication += gpu_->counters().copy_seconds - copy_before;
 
     time_ += p_.dt();
@@ -281,17 +281,31 @@ class GpuSolver final : public dsl::Solver {
     }
   }
 
-  void charge_d2h(const std::string& array) {
-    auto it = device_.find(array);
-    if (it == device_.end() || !p_.fields().has(array)) return;
+  // Per-step transfers seal an ABFT sidecar from the source payload and
+  // verify the destination against it; a mismatch (corrupted link) redoes
+  // the copy, so silent transport damage never reaches the consumer side.
+  void charge_d2h(MovementPlan::Transfer& t) {
+    auto it = device_.find(t.array);
+    if (it == device_.end() || !p_.fields().has(t.array)) return;
     host_scratch_.resize(it->second.size());
+    t.seal({it->second.device_data(), it->second.size()});
     gpu_->memcpy_d2h(host_scratch_, it->second, kernel_stream_);
+    if (!t.verify(host_scratch_)) {
+      transfer_audit_failures_ += 1;
+      gpu_->memcpy_d2h(host_scratch_, it->second, kernel_stream_);
+    }
   }
 
-  void charge_h2d(const std::string& array) {
-    auto it = device_.find(array);
-    if (it == device_.end() || !p_.fields().has(array)) return;
-    gpu_->memcpy_h2d(it->second, p_.fields().get(array).data(), kernel_stream_);
+  void charge_h2d(MovementPlan::Transfer& t) {
+    auto it = device_.find(t.array);
+    if (it == device_.end() || !p_.fields().has(t.array)) return;
+    std::span<const double> src = p_.fields().get(t.array).data();
+    t.seal(src);
+    gpu_->memcpy_h2d(it->second, src, kernel_stream_);
+    if (!t.verify({it->second.device_data(), src.size()})) {
+      transfer_audit_failures_ += 1;
+      gpu_->memcpy_h2d(it->second, src, kernel_stream_);
+    }
   }
 
   dsl::Problem& p_;
@@ -305,6 +319,7 @@ class GpuSolver final : public dsl::Solver {
   std::vector<double> host_scratch_;
   int kernel_stream_ = 0;
   double upload_comm_ = 0.0;
+  int64_t transfer_audit_failures_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,42 @@
+#include "abft.hpp"
+
+namespace finch::rt {
+
+BlockChecksum block_checksum(std::span<const double> data) {
+  BlockChecksum c;
+  for (double v : data) c.fold(v);
+  return c;
+}
+
+BlockLedger::BlockLedger(size_t n, size_t block_size)
+    : n_(n), block_(block_size == 0 ? (n == 0 ? 1 : n) : block_size) {
+  sums_.resize(n_ == 0 ? 0 : (n_ + block_ - 1) / block_);
+}
+
+BlockLedger::Range BlockLedger::range(size_t block_index) const {
+  Range r;
+  r.begin = block_index * block_;
+  r.end = r.begin + block_ < n_ ? r.begin + block_ : n_;
+  return r;
+}
+
+void BlockLedger::update(std::span<const double> data) {
+  for (size_t b = 0; b < sums_.size(); ++b) update_block(b, data);
+}
+
+void BlockLedger::update_block(size_t block_index, std::span<const double> data) {
+  const Range r = range(block_index);
+  sums_[block_index] = block_checksum(data.subspan(r.begin, r.end - r.begin));
+}
+
+std::vector<size_t> BlockLedger::verify(std::span<const double> data) const {
+  std::vector<size_t> bad;
+  for (size_t b = 0; b < sums_.size(); ++b) {
+    const Range r = range(b);
+    const BlockChecksum now = block_checksum(data.subspan(r.begin, r.end - r.begin));
+    if (!now.matches(sums_[b])) bad.push_back(b);
+  }
+  return bad;
+}
+
+}  // namespace finch::rt

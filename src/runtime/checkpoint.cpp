@@ -5,6 +5,12 @@
 #include <cstring>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define FINCH_HAVE_FSYNC 1
+#endif
+
 namespace finch::rt {
 
 namespace {
@@ -94,12 +100,14 @@ Snapshot deserialize(std::span<const std::byte> bytes) {
   snap.fields.reserve(nfields);
   for (uint64_t f = 0; f < nfields; ++f) {
     const uint64_t name_len = get_u64(bytes, off);
-    if (off + name_len > bytes.size()) throw CheckpointError("checkpoint truncated");
+    if (name_len > bytes.size() - off) throw CheckpointError("checkpoint truncated");
     std::string name(name_len, '\0');
     std::memcpy(name.data(), bytes.data() + off, name_len);
     off += name_len;
     const uint64_t count = get_u64(bytes, off);
-    if (off + count * sizeof(double) > bytes.size()) throw CheckpointError("checkpoint truncated");
+    // Division avoids the count*8 overflow a hand-crafted header could use to
+    // slip past the bound and read out of the buffer.
+    if (count > (bytes.size() - off) / sizeof(double)) throw CheckpointError("checkpoint truncated");
     std::vector<double> data(count);
     std::memcpy(data.data(), bytes.data() + off, count * sizeof(double));
     off += count * sizeof(double);
@@ -110,10 +118,32 @@ Snapshot deserialize(std::span<const std::byte> bytes) {
 
 namespace {
 
-// Crash-safe image write: stream into a `.tmp` sibling, flush, then atomically
-// rename over the destination. A crash mid-write leaves a stray .tmp behind
-// but never a torn (or missing) checkpoint at `path` — the previous complete
-// image survives until the rename commits the new one.
+#ifdef FINCH_HAVE_FSYNC
+// Flushes a file's (or directory's) kernel buffers to stable storage. The
+// directory fsync is what makes the rename itself durable: without it a power
+// loss can roll the directory entry back to the old image even though the new
+// file's data reached the disk.
+void fsync_path(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) {
+    if (directory) return;  // fs without directory fds (or path is "."-less); best effort
+    throw CheckpointError("cannot reopen for fsync: " + path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !directory) throw CheckpointError("fsync failed: " + path);
+}
+
+std::string parent_dir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+#endif
+
+// Crash-safe image write: stream into a `.tmp` sibling, flush + fsync it, then
+// atomically rename over the destination and fsync the parent directory so
+// the rename is durable too. A crash at any point leaves either the previous
+// complete image or the new one at `path` — never a torn or missing file.
 void write_image_atomic(const std::string& path, std::span<const std::byte> image) {
   const std::string tmp = path + ".tmp";
   {
@@ -124,10 +154,16 @@ void write_image_atomic(const std::string& path, std::span<const std::byte> imag
     os.flush();
     if (!os) throw CheckpointError("short write to " + tmp);
   }
+#ifdef FINCH_HAVE_FSYNC
+  fsync_path(tmp, /*directory=*/false);
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw CheckpointError("cannot commit checkpoint to " + path);
   }
+#ifdef FINCH_HAVE_FSYNC
+  fsync_path(parent_dir(path), /*directory=*/true);
+#endif
 }
 
 }  // namespace

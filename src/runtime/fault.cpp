@@ -1,6 +1,7 @@
 #include "fault.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 namespace finch::rt {
@@ -40,12 +41,20 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::StuckRank: return "stuck-rank";
     case FaultKind::RankFailure: return "rank-failure";
     case FaultKind::DeviceLoss: return "device-loss";
+    case FaultKind::BitFlipDeviceArray: return "bitflip-device-array";
+    case FaultKind::BitFlipMessage: return "bitflip-message";
+    case FaultKind::BitFlipReduction: return "bitflip-reduction";
   }
   return "unknown-fault";
 }
 
 bool fault_is_permanent(FaultKind kind) {
   return kind == FaultKind::RankFailure || kind == FaultKind::DeviceLoss;
+}
+
+bool fault_is_silent(FaultKind kind) {
+  return kind == FaultKind::BitFlipDeviceArray || kind == FaultKind::BitFlipMessage ||
+         kind == FaultKind::BitFlipReduction;
 }
 
 void FaultInjector::set_policy(FaultKind kind, FaultPolicy policy) {
@@ -106,6 +115,20 @@ size_t FaultInjector::corrupt(std::span<double> data, std::string_view site) {
     case 1: data[idx] = std::numeric_limits<double>::infinity(); break;
     default: data[idx] = -std::numeric_limits<double>::infinity(); break;
   }
+  return idx;
+}
+
+size_t FaultInjector::flip_bit(std::span<double> data, FaultKind kind, std::string_view site) {
+  if (data.empty()) return 0;
+  const uint64_t bits = draw(kind, site, static_cast<int64_t>(events_.size()), 0xf11bULL);
+  const size_t idx = static_cast<size_t>(bits % data.size());
+  // Flip one of the 52 mantissa bits: the exponent is untouched, so a finite
+  // value stays finite — the flip is invisible to every NaN/Inf guard.
+  const int bit = static_cast<int>((bits >> 32) % 52);
+  uint64_t pattern;
+  std::memcpy(&pattern, &data[idx], sizeof(pattern));
+  pattern ^= (1ULL << bit);
+  std::memcpy(&data[idx], &pattern, sizeof(pattern));
   return idx;
 }
 

@@ -36,11 +36,21 @@ enum class FaultKind : int {
   // restart from the last (topology-independent) checkpoint.
   RankFailure = 4,          // an MPI rank dies (node crash, OOM kill)
   DeviceLoss = 5,           // a GPU falls off the bus (XID error, ECC death)
+  // Silent faults: a single bit flips inside a *finite* value — no NaN, no
+  // Inf, no error code. The loud-fault guards above cannot see these; only
+  // the ABFT checksum layer (abft.hpp) and physics invariants can.
+  BitFlipDeviceArray = 6,   // flip in device-resident array storage
+  BitFlipMessage = 7,       // flip in an in-flight halo / exchange payload
+  BitFlipReduction = 8,     // flip in a reduction (gather) contribution
 };
-inline constexpr int kNumFaultKinds = 6;
+inline constexpr int kNumFaultKinds = 9;
 
 // True for faults that kill their victim permanently (no retry can help).
 bool fault_is_permanent(FaultKind kind);
+
+// True for faults that corrupt data without any error signal (bit flips in
+// finite values). Detection requires checksums / invariants, not NaN scans.
+bool fault_is_silent(FaultKind kind);
 
 const char* fault_kind_name(FaultKind kind);
 
@@ -113,6 +123,12 @@ class FaultInjector {
   // Deterministically overwrites one element of `data` with NaN or +/-Inf
   // (the corruption a checksum or finite-scan must catch). Returns the index.
   size_t corrupt(std::span<double> data, std::string_view site);
+
+  // Silent corruption: flips one of the low 52 (mantissa) bits of one element
+  // of `data`, keyed like every other draw. The value stays finite, so NaN
+  // scans cannot see the damage — only an ABFT checksum can. Returns the
+  // flipped element's index (0 if `data` is empty; nothing is written then).
+  size_t flip_bit(std::span<double> data, FaultKind kind, std::string_view site);
 
   // Deterministic choice in [0, n): picks the victim of a permanent fault,
   // keyed like every other draw (seed, kind, site, events so far) so a given

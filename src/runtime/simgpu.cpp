@@ -69,6 +69,15 @@ void SimGpu::memcpy_d2h(std::span<double> dst, const DeviceBuffer& src, int stre
   }
 }
 
+bool SimGpu::decay(DeviceBuffer& buf, std::string_view site) {
+  if (faults_ == nullptr || buf.size() == 0) return false;
+  if (!faults_->should_fault(FaultKind::BitFlipDeviceArray, site)) return false;
+  faults_->flip_bit(std::span<double>(buf.data_.data(), buf.size()),
+                    FaultKind::BitFlipDeviceArray, site);
+  counters_.silent_flips += 1;
+  return true;
+}
+
 double SimGpu::model_sm_utilization(const KernelStats& s) const {
   if (s.threads <= 0) return 0.0;
   const double per_wave = static_cast<double>(spec_.sm_count) * spec_.max_threads_per_sm;

@@ -87,6 +87,9 @@ struct GpuCounters {
   int64_t launch_failures = 0;
   int64_t transfer_corruptions = 0;
   double fault_seconds = 0;
+  // Silent bit flips injected into device-resident storage (no time cost —
+  // silent corruption is free for the hardware, expensive for the answer).
+  int64_t silent_flips = 0;
 };
 
 class SimGpu {
@@ -109,6 +112,12 @@ class SimGpu {
   // pageable memory); their *cost* is charged to the stream's clock.
   void memcpy_h2d(DeviceBuffer& dst, std::span<const double> src, int stream = 0);
   void memcpy_d2h(std::span<double> dst, const DeviceBuffer& src, int stream = 0);
+
+  // Consults the injector for a *silent* BitFlipDeviceArray fault and, when
+  // one fires, flips a single mantissa bit of one element of `buf` in place.
+  // No exception, no time charge, no NaN — exactly the ECC-escape failure
+  // mode only an ABFT checksum can catch. Returns true iff a flip landed.
+  bool decay(DeviceBuffer& buf, std::string_view site);
 
   // Launches `body` (the real computation over device buffers) and charges
   // the modeled kernel time to the stream.

@@ -19,6 +19,7 @@ void BspSimulator::compute_step(std::span<const double> seconds, Phase phase) {
     case Phase::Compute: phases_.compute += step; break;
     case Phase::PostProcess: phases_.post_process += step; break;
     case Phase::Communication: phases_.communication += step; break;
+    case Phase::Audit: phases_.audit += step; break;
   }
 }
 
@@ -61,6 +62,15 @@ void BspSimulator::exchange(std::span<const Message> messages) {
   phases_.fault_stall += std::min(fault_cost, step);
 }
 
+BlockChecksum BspSimulator::transmit(std::span<double> payload, std::string_view site) {
+  const BlockChecksum sidecar = block_checksum(payload);
+  if (faults_ != nullptr && faults_->should_fault(FaultKind::BitFlipMessage, site)) {
+    faults_->flip_bit(payload, FaultKind::BitFlipMessage, site);
+    silent_flips_ += 1;
+  }
+  return sidecar;
+}
+
 void BspSimulator::evict_rank(int32_t rank) {
   if (rank < 0 || rank >= nranks_) throw std::invalid_argument("evict_rank: rank out of range");
   if (nranks_ <= 1) throw std::invalid_argument("evict_rank: no survivors would remain");
@@ -85,6 +95,11 @@ void BspSimulator::charge_redistribution(int64_t bytes) {
                       static_cast<double>(bytes) / model_.bandwidth_Bps;
   clock_ += step;
   phases_.redistribution += step;
+}
+
+void BspSimulator::charge_audit(double seconds) {
+  clock_ += seconds;
+  phases_.audit += seconds;
 }
 
 void BspSimulator::charge_fault(double seconds) {

@@ -16,8 +16,10 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
+#include "abft.hpp"
 #include "fault.hpp"
 
 namespace finch::rt {
@@ -49,8 +51,12 @@ struct PhaseTimes {
   // shrink-to-survivors cost next to the paper's phase breakdowns:
   double recovery = 0.0;        // failure detection (suspicion timeout) + waits
   double redistribution = 0.0;  // respreading the dead worker's shard
+  // ABFT verification cost: checksum maintenance, sidecar verification on
+  // receipt, sentinel recomputation. Separate from compute so the silent-
+  // corruption defense's overhead is visible in the breakdown figures.
+  double audit = 0.0;
   double total() const {
-    return compute + post_process + communication + recovery + redistribution;
+    return compute + post_process + communication + recovery + redistribution + audit;
   }
 };
 
@@ -62,7 +68,7 @@ class BspSimulator {
 
   // Advances the clock by a compute phase: every rank busy for seconds[r].
   // `phase` routes the elapsed max-time into the matching PhaseTimes slot.
-  enum class Phase { Compute, PostProcess, Communication };
+  enum class Phase { Compute, PostProcess, Communication, Audit };
   void compute_step(std::span<const double> seconds, Phase phase = Phase::Compute);
   // Convenience: all ranks take the same time.
   void uniform_compute(double seconds, Phase phase = Phase::Compute);
@@ -70,6 +76,14 @@ class BspSimulator {
   // Point-to-point exchange: each rank pays alpha per message plus bytes/bw
   // for everything it sends and receives; the step costs the max over ranks.
   void exchange(std::span<const Message> messages);
+
+  // Delivers one message payload over the (simulated) wire. The sender-side
+  // ABFT sidecar is computed *before* the injector is consulted for a silent
+  // BitFlipMessage fault on the in-flight data, so the receiver can verify
+  // the payload against the returned sidecar and catch the flip. Timing is
+  // charged by the surrounding exchange(); this handles only data + sidecar.
+  BlockChecksum transmit(std::span<double> payload, std::string_view site);
+  int64_t silent_flips() const { return silent_flips_; }
 
   // Charges fault-recovery time (backoff waits, retransmits, replays driven
   // by a caller's recovery logic) to the clock and the communication phase,
@@ -110,6 +124,13 @@ class BspSimulator {
   // Models respreading `bytes` of checkpointed state over the survivors
   // (scatter through the interconnect), charged to the redistribution phase.
   void charge_redistribution(int64_t bytes);
+  // ABFT verification work (checksum folds, sidecar checks, sentinel
+  // recomputation), charged to the audit phase.
+  void charge_audit(double seconds);
+
+  // The alpha-beta communication model, exposed so callers can price their
+  // own repair traffic (e.g. re-pulling one corrupted halo message).
+  const CommModel& comm_model() const { return model_; }
 
  private:
   int32_t nranks_;
@@ -120,6 +141,7 @@ class BspSimulator {
   PhaseTimes phases_;
   int64_t dropped_messages_ = 0;
   int64_t stuck_events_ = 0;
+  int64_t silent_flips_ = 0;
   int32_t evictions_ = 0;
 };
 

@@ -193,6 +193,86 @@ TEST(Checkpoint, DiskWritesAreAtomicAgainstTornWrites) {
   std::remove((path + ".tmp").c_str());
 }
 
+namespace {
+
+// Patch helpers for the negative-path tests: overwrite a little-endian u64 at
+// `off` and recompute the trailing FNV-1a so only the *targeted* defect (bad
+// version, bogus count) is exercised — not the checksum that would otherwise
+// mask it.
+void put_u64_at(std::vector<std::byte>& bytes, size_t off, uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes[off + static_cast<size_t>(i)] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+}
+
+void reseal(std::vector<std::byte>& bytes) {
+  const uint64_t h =
+      rt::fnv1a64(std::span<const std::byte>(bytes).subspan(0, bytes.size() - 8));
+  put_u64_at(bytes, bytes.size() - 8, h);
+}
+
+std::string thrown_message(const std::vector<std::byte>& bytes) {
+  try {
+    rt::deserialize(bytes);
+  } catch (const rt::CheckpointError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+}  // namespace
+
+TEST(Checkpoint, VersionMismatchIsRejected) {
+  rt::Snapshot snap;
+  snap.step = 4;
+  std::vector<double> f = {1.0, 2.0};
+  snap.add("f", f);
+  auto bytes = rt::serialize(snap);
+  // Image layout: magic @0, version @8. A future-versioned image must be
+  // refused outright, not half-parsed.
+  put_u64_at(bytes, 8, 999);
+  reseal(bytes);
+  EXPECT_NE(thrown_message(bytes).find("version"), std::string::npos);
+}
+
+TEST(Checkpoint, BogusFieldCountIsRejectedWithoutOverread) {
+  rt::Snapshot snap;
+  snap.step = 4;
+  std::vector<double> f = {1.0, 2.0, 3.0};
+  snap.add("f", f);
+  auto bytes = rt::serialize(snap);
+  // Element count of field 0 lives after magic/version/step/nfields (8*4)
+  // plus name_len (8) + name ("f": 1 byte). A count chosen so count*8
+  // overflows to something small must still be caught by the bound check.
+  const size_t count_off = 8 * 4 + 8 + 1;
+  auto huge = bytes;
+  put_u64_at(huge, count_off, ~0ULL / 4);
+  reseal(huge);
+  EXPECT_NE(thrown_message(huge).find("truncated"), std::string::npos);
+  // Same for a merely-too-large (non-overflowing) count: short read.
+  auto shortread = bytes;
+  put_u64_at(shortread, count_off, 1000);
+  reseal(shortread);
+  EXPECT_NE(thrown_message(shortread).find("truncated"), std::string::npos);
+}
+
+TEST(Checkpoint, TruncatedFileOnDiskIsRejected) {
+  const std::string path = "resilience_test_truncated.bin";
+  rt::Snapshot snap;
+  snap.step = 12;
+  std::vector<double> f(64, 1.25);
+  snap.add("f", f);
+  const auto bytes = rt::serialize(snap);
+  // A file that lost its tail (crash before the last block hit the disk,
+  // pre-fsync) must fail the load, whatever prefix survived.
+  for (const size_t keep : {bytes.size() - 1, bytes.size() / 2, size_t{12}, size_t{0}}) {
+    {
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      os.write(reinterpret_cast<const char*>(bytes.data()), static_cast<std::streamsize>(keep));
+    }
+    EXPECT_THROW(rt::CheckpointStore::read_file(path), rt::CheckpointError) << "keep=" << keep;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, StoreMirrorsToDiskAtomically) {
   rt::CheckpointStore store(".");
   rt::Snapshot snap;
