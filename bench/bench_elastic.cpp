@@ -42,8 +42,7 @@ int main(int argc, char** argv) {
   serial.run(nsteps);
   const auto& truth_T = serial.temperature();
 
-  bench::JsonBench json("bench_elastic");
-  json.set("seed", static_cast<double>(args.seed));
+  bench::JsonBench json = bench::bench_json("bench_elastic", args);
   json.set("nparts", nparts);
   json.set("nsteps", nsteps);
 
@@ -158,7 +157,5 @@ int main(int argc, char** argv) {
   bench::check(survivors_match, "k injected deaths leave exactly nparts-k survivors");
   bench::check(monotone, "the modeled elastic bill grows with every additional failure");
   bench::check(elastic_bill_at_max > 0.0, "surviving 3 failures charges visible virtual time");
-  if (!args.json_path.empty() && !json.write(args.json_path))
-    bench::check(false, "wrote " + args.json_path);
-  return bench::check_failures() > 0 ? 1 : 0;
+  return bench::finish_bench(json, args);
 }

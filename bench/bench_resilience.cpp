@@ -23,8 +23,7 @@ using bench::small_scenario;
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("Resilience", "recovery overhead vs transient-fault rate");
-  bench::JsonBench json("bench_resilience");
-  json.set("seed", static_cast<double>(args.seed));
+  bench::JsonBench json = bench::bench_json("bench_resilience", args);
 
   const BteScenario s = small_scenario();
   auto phys = std::make_shared<const BtePhysics>(s.nbands, s.ndirs);
@@ -94,7 +93,5 @@ int main(int argc, char** argv) {
   bench::check(max_rate_faults > 0, "the highest rate actually injects transient faults");
   bench::check(max_rate_overhead > 0.0,
                "recovery charges visible virtual-time overhead at the highest fault rate");
-  if (!args.json_path.empty() && !json.write(args.json_path))
-    bench::check(false, "wrote " + args.json_path);
-  return bench::check_failures() > 0 ? 1 : 0;
+  return bench::finish_bench(json, args);
 }

@@ -29,8 +29,7 @@ using bench::small_scenario;
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::print_header("SDC", "silent-corruption defense: detection, audit cost, repair vs rollback");
-  bench::JsonBench json("bench_sdc");
-  json.set("seed", static_cast<double>(args.seed));
+  bench::JsonBench json = bench::bench_json("bench_sdc", args);
 
   const BteScenario s = small_scenario();
   auto phys = std::make_shared<const BtePhysics>(s.nbands, s.ndirs);
@@ -214,7 +213,5 @@ int main(int argc, char** argv) {
   bench::check(replay_repair == 0 && replay_rollback > 0 && esc_exact,
                "repair replays nothing; the twice-failed-block fallback replays steps — and both stay exact");
 
-  if (!args.json_path.empty() && !json.write(args.json_path))
-    std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
-  return bench::check_failures();
+  return bench::finish_bench(json, args);
 }

@@ -130,6 +130,23 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
   return a;
 }
 
+// Shared prologue for the fault-family benches: the parsed seed lands in the
+// JSON document so a sweep's artifacts are self-describing.
+inline JsonBench bench_json(const char* name, const BenchArgs& args) {
+  JsonBench json(name);
+  json.set("seed", static_cast<double>(args.seed));
+  return json;
+}
+
+// Shared epilogue: write the JSON document when asked (a failed write is a
+// failed check, not a silent no-op) and fold the PAPER-CHECK tally into the
+// exit status so CI sweeps gate on every claim.
+inline int finish_bench(const JsonBench& json, const BenchArgs& args) {
+  if (!args.json_path.empty() && !json.write(args.json_path))
+    check(false, "wrote " + args.json_path);
+  return check_failures() > 0 ? 1 : 0;
+}
+
 inline const std::vector<int>& paper_proc_counts() {
   static const std::vector<int> p = {1, 2, 5, 10, 20, 40, 80, 160, 320};
   return p;

@@ -51,17 +51,27 @@ MultiGpuSolver::MultiGpuSolver(const BteScenario& scenario, std::shared_ptr<cons
 // and by evict_and_redistribute, which follows it with a checkpoint restore
 // that overwrites the T_init state with the survivors' truth.
 void MultiGpuSolver::build_topology(int num_devices) {
-  const int ncell = nx_ * ny_;
-  ranks_.assign(static_cast<size_t>(num_devices), Rank{});
   devices_.clear();
   for (int p = 0; p < num_devices; ++p) {
-    Rank& r = ranks_[static_cast<size_t>(p)];
-    r.b_lo = p * nb_ / num_devices;
-    r.b_hi = (p + 1) * nb_ / num_devices;
-    const int bl = r.b_hi - r.b_lo;
     devices_.push_back(std::make_unique<rt::SimGpu>(spec_));
-    rt::SimGpu& gpu = *devices_.back();
-    if (resilient_) gpu.set_fault_injector(res_.injector);
+    if (resilient_) devices_.back()->set_fault_injector(res_.injector);
+  }
+  std::vector<std::pair<int, int>> ranges(static_cast<size_t>(num_devices));
+  for (int p = 0; p < num_devices; ++p)
+    ranges[static_cast<size_t>(p)] = {p * nb_ / num_devices, (p + 1) * nb_ / num_devices};
+  apply_band_layout(ranges);
+  detector_.resize(num_devices);
+}
+
+void MultiGpuSolver::apply_band_layout(const std::vector<std::pair<int, int>>& ranges) {
+  const int ncell = nx_ * ny_;
+  ranks_.assign(ranges.size(), Rank{});
+  for (size_t p = 0; p < ranges.size(); ++p) {
+    Rank& r = ranks_[p];
+    r.b_lo = ranges[p].first;
+    r.b_hi = ranges[p].second;
+    const int bl = r.b_hi - r.b_lo;
+    rt::SimGpu& gpu = *devices_[p];
     r.I.resize(static_cast<size_t>(ncell) * nd_ * bl);
     r.I_new.resize(r.I.size());
     r.Io.resize(static_cast<size_t>(ncell) * bl);
@@ -150,7 +160,8 @@ void MultiGpuSolver::sweep_cells_into(Rank& r, const std::vector<int32_t>& cells
 
 void MultiGpuSolver::step() {
   const int ncell = nx_ * ny_;
-  double max_intensity = 0, comm = 0;
+  double comm = 0;
+  dev_seconds_.assign(ranks_.size(), 0.0);
 
   for (size_t p = 0; p < ranks_.size(); ++p) {
     Rank& r = ranks_[p];
@@ -187,9 +198,38 @@ void MultiGpuSolver::step() {
     else
       roundtrip_with_guard(p);
     comm = std::max(comm, gpu.counters().copy_seconds - copy_before);
-    max_intensity = std::max(max_intensity, std::max(kernel_seconds, cpu_boundary));
+    dev_seconds_[p] = std::max(kernel_seconds, cpu_boundary);
   }
-  phases_.intensity += max_intensity;
+
+  // Straggler defense: the detector sees the raw (pre-mitigation) per-device
+  // times — feeding it mitigated numbers would mask the straggler and make
+  // the chronic verdict flap. Speculation then duplicates the chronic
+  // straggler's shard on the least-loaded device: whichever copy finishes
+  // first wins (results are bit-identical — both ran the same sweep), so the
+  // step closes at min(victim, helper+shard). The helper's extra busy time is
+  // the speculation charge.
+  double spec_extra = 0.0;
+  const bool strag = resilient_ && res_.straggler.enabled;
+  if (strag) detector_.observe(dev_seconds_);
+  if (strag && res_.straggler.speculation && num_devices() > 1) {
+    const int32_t victim = detector_.chronic_straggler();
+    const int32_t helper = victim >= 0 ? detector_.least_loaded(victim) : -1;
+    if (victim >= 0 && helper >= 0) {
+      const size_t v = static_cast<size_t>(victim), h = static_cast<size_t>(helper);
+      const double helper_total = dev_seconds_[h] + detector_.fleet_median();
+      const double eff_victim = std::min(dev_seconds_[v], helper_total);
+      const double helper_busy = std::min(helper_total, std::max(dev_seconds_[h], eff_victim));
+      spec_extra = helper_busy - dev_seconds_[h];
+      dev_seconds_[v] = eff_victim;
+      dev_seconds_[h] = helper_busy;
+      rstats_.speculations += 1;
+      rstats_.speculation_seconds += spec_extra;
+    }
+  }
+  const double max_intensity = *std::max_element(dev_seconds_.begin(), dev_seconds_.end());
+  const double spec_charge = std::min(spec_extra, max_intensity);
+  phases_.intensity += max_intensity - spec_charge;
+  phases_.speculation += spec_charge;
   phases_.communication += comm;
 
   // Gather band sums, temperature update on the CPU (replicated).
@@ -589,10 +629,56 @@ void MultiGpuSolver::evict_and_redistribute(int32_t victim) {
   rstats_.replayed_steps += lost;
 }
 
+void MultiGpuSolver::inject_slow_device(int32_t device, double factor) {
+  if (device < 0 || device >= num_devices())
+    throw std::invalid_argument("inject_slow_device: device out of range");
+  devices_[static_cast<size_t>(device)]->set_slow(factor);
+}
+
+void MultiGpuSolver::maybe_mitigate_stragglers() {
+  if (!resilient_ || !res_.straggler.enabled || !res_.straggler.rebalance) return;
+  if (num_devices() <= 1 || rstats_.rebalances >= res_.straggler.max_rebalances) return;
+  const int32_t victim = detector_.chronic_straggler();
+  if (victim >= 0) rebalance_away(victim);
+}
+
+void MultiGpuSolver::rebalance_away(int32_t victim) {
+  // Weighted contiguous split: the victim's share shrinks by its observed
+  // slowdown; everyone else keeps weight 1. The devices are reused — the slow
+  // hardware stays slow, it just owns fewer bands.
+  std::vector<double> w(static_cast<size_t>(num_devices()), 1.0);
+  w[static_cast<size_t>(victim)] = 1.0 / detector_.slowdown(victim);
+  double total = 0.0;
+  for (double x : w) total += x;
+  std::vector<std::pair<int, int>> ranges(w.size());
+  double cum = 0.0;
+  int lo = 0;
+  for (size_t p = 0; p < w.size(); ++p) {
+    cum += w[p];
+    int hi = p + 1 == w.size()
+                 ? nb_
+                 : static_cast<int>(std::lround(static_cast<double>(nb_) * cum / total));
+    hi = std::clamp(hi, lo, nb_);
+    ranges[p] = {lo, hi};
+    lo = hi;
+  }
+  const rt::Snapshot live = snapshot();
+  apply_band_layout(ranges);
+  const double copy_before = copy_seconds_total();
+  restore(live);
+  const double spent = copy_seconds_total() - copy_before;
+  phases_.rebalance += spent;
+  rstats_.rebalance_seconds += spent;
+  rstats_.rebalances += 1;
+  detector_.resize(num_devices());
+}
+
 void MultiGpuSolver::enable_resilience(const ResilienceOptions& options) {
+  validate_resilience_options(options);
   res_ = options;
   resilient_ = true;
   for (auto& dev : devices_) dev->set_fault_injector(res_.injector);
+  if (res_.straggler.enabled) detector_ = rt::StragglerDetector(num_devices(), res_.straggler);
   take_checkpoint();  // rollback target before any resilient step runs
 }
 
@@ -616,6 +702,9 @@ void MultiGpuSolver::run(int nsteps) {
       evict_and_redistribute(victim);
       continue;
     }
+    // Chronic stragglers are mitigated at the step boundary, never evicted:
+    // the device is alive and correct, just slow.
+    maybe_mitigate_stragglers();
     health_ = StepHealth{};
     try {
       step();
@@ -639,6 +728,16 @@ void MultiGpuSolver::run(int nsteps) {
     rstats_.rollbacks += 1;
     rstats_.replayed_steps += lost;
   }
+  // Mirror the per-device performance-fault counters into the run stats.
+  // Evictions recreate devices, so this is a floor, not an exact total.
+  int64_t jitter = 0;
+  int64_t slow = 0;
+  for (const auto& dev : devices_) {
+    jitter += dev->counters().jitter_events;
+    if (dev->is_slow()) slow += 1;
+  }
+  rstats_.jitter_events = jitter;
+  rstats_.slow_steps = std::max(rstats_.slow_steps, slow);
 }
 
 std::vector<double> MultiGpuSolver::gather_intensity() const {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bte_problem.hpp"
@@ -46,6 +47,11 @@ class MultiGpuSolver {
   // policies drive the same path with a deterministically drawn victim.
   void kill_device(int32_t device);
 
+  // Explicit deterministic performance fault: every launch on `device` models
+  // `factor`x slower from now on (SlowRank with a hand-placed victim). The
+  // kernel's computed result is untouched.
+  void inject_slow_device(int32_t device, double factor);
+
   // Canonical-global-layout snapshot/restore (N-to-M restart); images are
   // interchangeable with the cell-/band-partitioned solvers' snapshots.
   // restore() also refreshes every device mirror (the H2D re-upload the
@@ -67,8 +73,11 @@ class MultiGpuSolver {
     double recovery = 0;       // backoff + retransmit + restore (modeled)
     double redistribution = 0; // shard re-upload after a device eviction
     double audit = 0;          // ABFT ledger upkeep + verify + sentinels
+    double speculation = 0;    // duplicated straggler work on the critical path
+    double rebalance = 0;      // shard re-upload of a dynamic derate
     double total() const {
-      return intensity + temperature + communication + recovery + redistribution + audit;
+      return intensity + temperature + communication + recovery + redistribution + audit +
+             speculation + rebalance;
     }
   };
   const Phases& phases() const { return phases_; }
@@ -90,7 +99,18 @@ class MultiGpuSolver {
   };
 
   void build_topology(int num_devices);
+  // Assigns explicit contiguous band ranges to the *existing* devices —
+  // build_topology recreates devices then applies the equal split; the
+  // weighted rebalance reuses the devices (the slow hardware must stay slow)
+  // and only changes the assignment.
+  void apply_band_layout(const std::vector<std::pair<int, int>>& ranges);
   void evict_and_redistribute(int32_t victim);
+  // Dynamic derate: the chronic straggler keeps a band share inversely
+  // proportional to its observed slowdown; survivors absorb the rest. State
+  // moves via a live snapshot (bit-exact, no replay); the re-upload is the
+  // rebalance cost.
+  void rebalance_away(int32_t victim);
+  void maybe_mitigate_stragglers();
   double copy_seconds_total() const;
   void sweep_cells(Rank& r, const std::vector<int32_t>& cells);
   void sweep_cells_into(Rank& r, const std::vector<int32_t>& cells,
@@ -120,6 +140,9 @@ class MultiGpuSolver {
   std::vector<double> G_global_;
   std::vector<double> host_back_, iob_scratch_;
   Phases phases_;
+  // Straggler defense: per-device step-time telemetry feeds the detector.
+  rt::StragglerDetector detector_;
+  std::vector<double> dev_seconds_;
 
   bool resilient_ = false;
   ResilienceOptions res_;

@@ -294,6 +294,7 @@ void CellPartitionedSolver::step() {
     sweep_rank(ranks_[p]);
     rank_seconds[p] = seconds_since(t0);
   }
+  arm_speculation_if_chronic();
   bsp_.compute_step(rank_seconds, rt::BspSimulator::Phase::Compute);
   if (resilient_ && res_.sdc.enabled) audit_sentinels();
   for (Rank& r : ranks_) {
@@ -320,8 +321,13 @@ void CellPartitionedSolver::run(int nsteps) {
   int rollback_budget = res_.max_rollbacks;
   while (step_index_ < target) {
     // Permanent failures are discovered at step boundaries: an explicit kill
-    // (kill_rank) or an injected RankFailure with a deterministically drawn
-    // victim. Either way the survivors evict, repartition, and restart.
+    // (kill_rank), an injected RankFailure with a deterministically drawn
+    // victim, or a hung exchange the watchdog escalated to a Dead verdict.
+    if (pending_kill_ < 0 && res_.straggler.enabled && bsp_.hang_suspect() >= 0) {
+      pending_kill_ = bsp_.hang_suspect();
+      bsp_.clear_hang_suspect();
+      rstats_.hang_escalations += 1;
+    }
     if (pending_kill_ < 0 && res_.injector != nullptr &&
         res_.injector->should_fault(rt::FaultKind::RankFailure, "cell-rank"))
       pending_kill_ = static_cast<int32_t>(
@@ -332,6 +338,7 @@ void CellPartitionedSolver::run(int nsteps) {
       evict_and_redistribute(victim);
       continue;
     }
+    maybe_mitigate_stragglers();
     health_ = StepHealth{};
     step();
     ++step_index_;
@@ -348,13 +355,63 @@ void CellPartitionedSolver::run(int nsteps) {
     rstats_.rollbacks += 1;
     rstats_.replayed_steps += lost;
   }
+  sync_straggler_stats();
 }
 
 void CellPartitionedSolver::enable_resilience(const ResilienceOptions& options) {
+  validate_resilience_options(options);
   res_ = options;
   resilient_ = true;
+  bsp_.set_fault_injector(res_.injector);
   bsp_.set_heartbeat(res_.heartbeat);
+  if (res_.straggler.enabled) bsp_.set_straggler(res_.straggler);
   take_checkpoint();
+}
+
+void CellPartitionedSolver::inject_slow_rank(int32_t rank, double factor) {
+  bsp_.set_slow_rank(rank, factor);
+}
+
+// Arms a one-shot speculative duplicate of the chronic straggler's shard on
+// the least-loaded survivor, just before the compute superstep it covers.
+void CellPartitionedSolver::arm_speculation_if_chronic() {
+  if (!resilient_ || !res_.straggler.enabled || !res_.straggler.speculation) return;
+  const int32_t victim = bsp_.straggler().chronic_straggler();
+  if (victim < 0) return;
+  const int32_t helper = bsp_.straggler().least_loaded(victim);
+  if (helper < 0) return;
+  bsp_.arm_speculation(victim, helper);
+  rstats_.speculations += 1;
+}
+
+void CellPartitionedSolver::maybe_mitigate_stragglers() {
+  if (!res_.straggler.enabled || !res_.straggler.rebalance || nparts_ <= 1) return;
+  if (rstats_.rebalances >= res_.straggler.max_rebalances) return;
+  const int32_t victim = bsp_.straggler().chronic_straggler();
+  if (victim >= 0) rebalance_away(victim);
+}
+
+void CellPartitionedSolver::rebalance_away(int32_t victim) {
+  const rt::Snapshot live = snapshot();
+  int64_t bytes = 0;
+  for (const auto& f : live.fields) bytes += static_cast<int64_t>(f.second.size()) * 8;
+  bsp_.retire_rank(victim);
+  build_topology(nparts_ - 1);
+  restore(live);
+  const double reb_before = bsp_.phases().rebalance;
+  bsp_.charge_rebalance(bytes);
+  rstats_.rebalance_seconds += bsp_.phases().rebalance - reb_before;
+  rstats_.rebalances += 1;
+}
+
+// Mirrors the BSP simulator's performance-fault telemetry into the solver's
+// stats block so benches read one struct.
+void CellPartitionedSolver::sync_straggler_stats() {
+  rstats_.slow_steps = bsp_.slow_steps();
+  rstats_.jitter_events = bsp_.jitter_events();
+  rstats_.hang_events = bsp_.hang_events();
+  rstats_.hang_timeouts = bsp_.watchdog_timeouts();
+  rstats_.speculation_seconds = bsp_.phases().speculation;
 }
 
 void CellPartitionedSolver::kill_rank(int32_t rank) {
@@ -587,13 +644,21 @@ BandPartitionedSolver::BandPartitionedSolver(const BteScenario& scenario,
 // initialized at T_init; used by the constructor and again — with fewer
 // ranks — when a rank is evicted (the caller then restores the checkpoint).
 void BandPartitionedSolver::build_topology(int nparts) {
+  std::vector<std::pair<int, int>> ranges(static_cast<size_t>(nparts));
+  for (int p = 0; p < nparts; ++p)
+    ranges[static_cast<size_t>(p)] = {p * nb_ / nparts, (p + 1) * nb_ / nparts};
+  rebuild_ranks(ranges);
+}
+
+void BandPartitionedSolver::rebuild_ranks(const std::vector<std::pair<int, int>>& ranges) {
+  const int nparts = static_cast<int>(ranges.size());
   nparts_ = nparts;
   const int ncell = nx_ * ny_;
   ranks_.assign(static_cast<size_t>(nparts), Rank{});
   for (int p = 0; p < nparts; ++p) {
     Rank& r = ranks_[static_cast<size_t>(p)];
-    r.b_lo = p * nb_ / nparts;
-    r.b_hi = (p + 1) * nb_ / nparts;
+    r.b_lo = ranges[static_cast<size_t>(p)].first;
+    r.b_hi = ranges[static_cast<size_t>(p)].second;
     const int bl = r.b_hi - r.b_lo;
     r.I.resize(static_cast<size_t>(ncell) * nd_ * bl);
     r.I_new.resize(r.I.size());
@@ -793,6 +858,7 @@ void BandPartitionedSolver::step() {
     sweep_rank(ranks_[p]);
     rank_seconds[p] = seconds_since(t0);
   }
+  arm_speculation_if_chronic();
   bsp_.compute_step(rank_seconds, rt::BspSimulator::Phase::Compute);
 
   for (Rank& r : ranks_) gather_rank(r);
@@ -829,6 +895,11 @@ void BandPartitionedSolver::run(int nsteps) {
   const int64_t target = step_index_ + nsteps;
   int rollback_budget = res_.max_rollbacks;
   while (step_index_ < target) {
+    if (pending_kill_ < 0 && res_.straggler.enabled && bsp_.hang_suspect() >= 0) {
+      pending_kill_ = bsp_.hang_suspect();
+      bsp_.clear_hang_suspect();
+      rstats_.hang_escalations += 1;
+    }
     if (pending_kill_ < 0 && res_.injector != nullptr &&
         res_.injector->should_fault(rt::FaultKind::RankFailure, "band-rank"))
       pending_kill_ = static_cast<int32_t>(
@@ -839,6 +910,7 @@ void BandPartitionedSolver::run(int nsteps) {
       evict_and_redistribute(victim);
       continue;
     }
+    maybe_mitigate_stragglers();
     health_ = StepHealth{};
     step();
     ++step_index_;
@@ -855,13 +927,82 @@ void BandPartitionedSolver::run(int nsteps) {
     rstats_.rollbacks += 1;
     rstats_.replayed_steps += lost;
   }
+  sync_straggler_stats();
 }
 
 void BandPartitionedSolver::enable_resilience(const ResilienceOptions& options) {
+  validate_resilience_options(options);
   res_ = options;
   resilient_ = true;
+  bsp_.set_fault_injector(res_.injector);
   bsp_.set_heartbeat(res_.heartbeat);
+  if (res_.straggler.enabled) bsp_.set_straggler(res_.straggler);
   take_checkpoint();
+}
+
+void BandPartitionedSolver::inject_slow_rank(int32_t rank, double factor) {
+  bsp_.set_slow_rank(rank, factor);
+}
+
+void BandPartitionedSolver::arm_speculation_if_chronic() {
+  if (!resilient_ || !res_.straggler.enabled || !res_.straggler.speculation) return;
+  const int32_t victim = bsp_.straggler().chronic_straggler();
+  if (victim < 0) return;
+  const int32_t helper = bsp_.straggler().least_loaded(victim);
+  if (helper < 0) return;
+  bsp_.arm_speculation(victim, helper);
+  rstats_.speculations += 1;
+}
+
+void BandPartitionedSolver::maybe_mitigate_stragglers() {
+  if (!res_.straggler.enabled || !res_.straggler.rebalance || nparts_ <= 1) return;
+  if (rstats_.rebalances >= res_.straggler.max_rebalances) return;
+  const int32_t victim = bsp_.straggler().chronic_straggler();
+  if (victim >= 0) rebalance_away(victim);
+}
+
+// Derate, not drain: bands are divisible, so the victim keeps a share of the
+// spectrum inversely proportional to its observed slowdown and the survivors
+// absorb the rest. The fleet keeps its rank count (unlike the cell solver's
+// drain) because the slow hardware still contributes usefully at a reduced
+// share — the cost is the live-state motion, charged to the rebalance phase.
+void BandPartitionedSolver::rebalance_away(int32_t victim) {
+  std::vector<double> w(static_cast<size_t>(nparts_), 1.0);
+  w[static_cast<size_t>(victim)] = 1.0 / bsp_.straggler().slowdown(victim);
+  double total = 0.0;
+  for (double x : w) total += x;
+  std::vector<std::pair<int, int>> ranges(static_cast<size_t>(nparts_));
+  double cum = 0.0;
+  int lo = 0;
+  for (size_t p = 0; p < w.size(); ++p) {
+    cum += w[p];
+    int hi = p + 1 == w.size()
+                 ? nb_
+                 : static_cast<int>(std::lround(static_cast<double>(nb_) * cum / total));
+    hi = std::clamp(hi, lo, nb_);
+    ranges[p] = {lo, hi};
+    lo = hi;
+  }
+
+  const rt::Snapshot live = snapshot();
+  int64_t bytes = 0;
+  for (const auto& f : live.fields) bytes += static_cast<int64_t>(f.second.size()) * 8;
+  rebuild_ranks(ranges);
+  restore(live);
+  const double reb_before = bsp_.phases().rebalance;
+  bsp_.charge_rebalance(bytes);
+  rstats_.rebalance_seconds += bsp_.phases().rebalance - reb_before;
+  rstats_.rebalances += 1;
+  // Old per-rank timing history does not describe the new shares.
+  bsp_.straggler().resize(nparts_);
+}
+
+void BandPartitionedSolver::sync_straggler_stats() {
+  rstats_.slow_steps = bsp_.slow_steps();
+  rstats_.jitter_events = bsp_.jitter_events();
+  rstats_.hang_events = bsp_.hang_events();
+  rstats_.hang_timeouts = bsp_.watchdog_timeouts();
+  rstats_.speculation_seconds = bsp_.phases().speculation;
 }
 
 void BandPartitionedSolver::kill_rank(int32_t rank) {

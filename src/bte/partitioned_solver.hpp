@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "bte_problem.hpp"
@@ -61,6 +62,11 @@ class CellPartitionedSolver {
   // deterministically drawn victim.
   void kill_rank(int32_t rank);
 
+  // Explicit deterministic performance fault: `rank` computes `factor`x
+  // slower from now on (the SlowRank fault with a hand-placed victim). The
+  // numerics are untouched — only the virtual clock feels it.
+  void inject_slow_rank(int32_t rank, double factor);
+
   // Topology-independent snapshot in the canonical global layout ("I", "T",
   // "Io", "beta"); an image taken at N ranks restores onto any M survivors.
   rt::Snapshot snapshot() const;
@@ -95,6 +101,15 @@ class CellPartitionedSolver {
 
   void build_topology(int nparts);
   void evict_and_redistribute(int32_t victim);
+  // Dynamic rebalance away from a chronically slow (but alive) rank: the cell
+  // partitioner has no weighted mode, so the victim is *drained* — its whole
+  // shard moves to the survivors via the same repartition machinery as an
+  // eviction, but from a live snapshot: no suspicion timeout, no rollback, no
+  // replayed steps. Charged to the rebalance phase.
+  void rebalance_away(int32_t victim);
+  void maybe_mitigate_stragglers();
+  void arm_speculation_if_chronic();
+  void sync_straggler_stats();
   void exchange_halos();
   void sweep_rank(Rank& r);
   void sweep_owned_subset(Rank& r, const std::vector<size_t>& cells, std::vector<double>& out);
@@ -160,6 +175,10 @@ class BandPartitionedSolver {
   // enable_resilience. RankFailure injector policies drive the same path.
   void kill_rank(int32_t rank);
 
+  // Explicit deterministic performance fault: `rank` computes `factor`x
+  // slower from now on (SlowRank with a hand-placed victim).
+  void inject_slow_rank(int32_t rank, double factor);
+
   // Canonical-global-layout snapshot/restore (N-to-M restart); images are
   // interchangeable with CellPartitionedSolver / MultiGpuSolver snapshots.
   rt::Snapshot snapshot() const;
@@ -186,7 +205,18 @@ class BandPartitionedSolver {
   };
 
   void build_topology(int nparts);
+  // Rebuilds per-rank storage for explicit contiguous band ranges (ranges[p]
+  // = [b_lo, b_hi)); build_topology computes the equal split, the weighted
+  // rebalance a derated one. The caller restores state afterwards.
+  void rebuild_ranks(const std::vector<std::pair<int, int>>& ranges);
   void evict_and_redistribute(int32_t victim);
+  // Dynamic rebalance: the chronic straggler keeps a band share inversely
+  // proportional to its observed slowdown; survivors absorb the rest. State
+  // moves via a live snapshot (bit-exact, no replay), charged to rebalance.
+  void rebalance_away(int32_t victim);
+  void maybe_mitigate_stragglers();
+  void arm_speculation_if_chronic();
+  void sync_straggler_stats();
   void sweep_rank(Rank& r);
   void gather_rank(Rank& r);
   void reduce_block(Rank& r, size_t begin, size_t end);

@@ -37,6 +37,7 @@
 
 #include "runtime/checkpoint.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/straggler.hpp"
 
 namespace finch::bte {
 
@@ -79,6 +80,9 @@ struct ResilienceOptions {
   rt::HeartbeatModel heartbeat;
   // Silent-corruption defense (ABFT checksums + invariants + block repair).
   SdcOptions sdc;
+  // Fail-slow defense (straggler detection, exchange watchdog, speculative
+  // re-execution, dynamic rebalancing). Off by default like the SDC layer.
+  rt::StragglerOptions straggler;
 };
 
 // Verdict of the per-step validation pass.
@@ -111,6 +115,16 @@ struct ResilienceStats {
   // Steps between injection and detection, maximized over detections. The
   // per-step audit bounds this to 1 by construction; the stat proves it.
   int64_t max_detection_latency_steps = 0;
+  // ---- fail-slow defense ---------------------------------------------------
+  int64_t slow_steps = 0;         // compute supersteps stretched by a SlowRank
+  int64_t jitter_events = 0;      // JitterKernel fires observed
+  int64_t hang_events = 0;        // HangExchange fires observed
+  int64_t hang_timeouts = 0;      // watchdog deadline expiries (bounded waits)
+  int64_t hang_escalations = 0;   // persistent hangs escalated to eviction
+  int64_t speculations = 0;       // supersteps with a speculative duplicate armed
+  int64_t rebalances = 0;         // dynamic migrations away from a straggler
+  double speculation_seconds = 0; // duplicated work on the critical path
+  double rebalance_seconds = 0;   // shard motion of dynamic rebalances
 };
 
 // Exponential backoff cost for attempt k (0-based): base * 2^k, clamped to
@@ -118,6 +132,53 @@ struct ResilienceStats {
 inline double backoff_delay(const ResilienceOptions& opt, int attempt) {
   const double d = opt.backoff_base_s * std::ldexp(1.0, attempt);
   return opt.backoff_max_s > 0 ? std::min(d, opt.backoff_max_s) : d;
+}
+
+// Rejects a nonsensical options bundle before a solver arms itself with it,
+// naming the offending field and value — a misconfigured defense must fail
+// loudly at enable_resilience() instead of silently misbehaving mid-run.
+inline void validate_resilience_options(const ResilienceOptions& opt) {
+  const auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("ResilienceOptions: " + msg);
+  };
+  if (opt.max_retries < 0)
+    fail("max_retries must be >= 0 (got " + std::to_string(opt.max_retries) + ")");
+  if (opt.max_rollbacks < 0)
+    fail("max_rollbacks must be >= 0 (got " + std::to_string(opt.max_rollbacks) + ")");
+  if (opt.backoff_base_s < 0)
+    fail("backoff_base_s must be >= 0 (got " + std::to_string(opt.backoff_base_s) + ")");
+  if (!(opt.heartbeat.period_s > 0))
+    fail("heartbeat.period_s must be > 0, a zero heartbeat interval detects nothing (got " +
+         std::to_string(opt.heartbeat.period_s) + ")");
+  if (opt.heartbeat.miss_threshold < 1)
+    fail("heartbeat.miss_threshold must be >= 1 (got " +
+         std::to_string(opt.heartbeat.miss_threshold) + ")");
+  if (opt.heartbeat.suspect_after < 1 || opt.heartbeat.suspect_after > opt.heartbeat.miss_threshold)
+    fail("heartbeat.suspect_after must be in [1, miss_threshold] (got " +
+         std::to_string(opt.heartbeat.suspect_after) + ")");
+  if (opt.sdc.block_cells < 1)
+    fail("sdc.block_cells must be >= 1 (got " + std::to_string(opt.sdc.block_cells) + ")");
+  if (opt.sdc.sentinel_cells < 0)
+    fail("sdc.sentinel_cells must be >= 0 (got " + std::to_string(opt.sdc.sentinel_cells) + ")");
+  if (opt.sdc.energy_drift_tol < 0)
+    fail("sdc.energy_drift_tol must be >= 0 (got " +
+         std::to_string(opt.sdc.energy_drift_tol) + ")");
+  const rt::StragglerOptions& st = opt.straggler;
+  if (!(st.ewma_alpha > 0.0) || st.ewma_alpha > 1.0)
+    fail("straggler.ewma_alpha must be in (0, 1] (got " + std::to_string(st.ewma_alpha) + ")");
+  if (!(st.slow_ratio > 1.0))
+    fail("straggler.slow_ratio must be > 1 (got " + std::to_string(st.slow_ratio) + ")");
+  if (!(st.clip_ratio > st.slow_ratio))
+    fail("straggler.clip_ratio must exceed slow_ratio or winsorizing would hide every "
+         "straggler (got clip " + std::to_string(st.clip_ratio) + " vs slow " +
+         std::to_string(st.slow_ratio) + ")");
+  if (st.chronic_steps < 1)
+    fail("straggler.chronic_steps must be >= 1 (got " + std::to_string(st.chronic_steps) + ")");
+  if (!(st.deadline_factor > 1.0))
+    fail("straggler.deadline_factor must be > 1, the watchdog would expire before the "
+         "exchange it guards (got " + std::to_string(st.deadline_factor) + ")");
+  if (st.max_rebalances < 1)
+    fail("straggler.max_rebalances must be >= 1 (got " + std::to_string(st.max_rebalances) + ")");
 }
 
 }  // namespace finch::bte

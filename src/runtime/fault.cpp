@@ -44,6 +44,9 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::BitFlipDeviceArray: return "bitflip-device-array";
     case FaultKind::BitFlipMessage: return "bitflip-message";
     case FaultKind::BitFlipReduction: return "bitflip-reduction";
+    case FaultKind::SlowRank: return "slow-rank";
+    case FaultKind::JitterKernel: return "jitter-kernel";
+    case FaultKind::HangExchange: return "hang-exchange";
   }
   return "unknown-fault";
 }
@@ -55,6 +58,11 @@ bool fault_is_permanent(FaultKind kind) {
 bool fault_is_silent(FaultKind kind) {
   return kind == FaultKind::BitFlipDeviceArray || kind == FaultKind::BitFlipMessage ||
          kind == FaultKind::BitFlipReduction;
+}
+
+bool fault_is_performance(FaultKind kind) {
+  return kind == FaultKind::StuckRank || kind == FaultKind::SlowRank ||
+         kind == FaultKind::JitterKernel || kind == FaultKind::HangExchange;
 }
 
 void FaultInjector::set_policy(FaultKind kind, FaultPolicy policy) {
@@ -130,6 +138,13 @@ size_t FaultInjector::flip_bit(std::span<double> data, FaultKind kind, std::stri
   pattern ^= (1ULL << bit);
   std::memcpy(&data[idx], &pattern, sizeof(pattern));
   return idx;
+}
+
+double FaultInjector::jitter_factor(std::string_view site) const {
+  if (jitter_max_ <= 1.0) return 1.0;
+  const uint64_t bits = draw(FaultKind::JitterKernel, site,
+                             static_cast<int64_t>(events_.size()), 0x717eULL);
+  return 1.0 + (jitter_max_ - 1.0) * to_unit(bits);
 }
 
 size_t FaultInjector::pick(FaultKind kind, std::string_view site, size_t n) const {

@@ -42,8 +42,16 @@ enum class FaultKind : int {
   BitFlipDeviceArray = 6,   // flip in device-resident array storage
   BitFlipMessage = 7,       // flip in an in-flight halo / exchange payload
   BitFlipReduction = 8,     // flip in a reduction (gather) contribution
+  // Performance faults: nothing crashes and no data is wrong — the victim is
+  // just *slow*, which under a bulk-synchronous model taxes every rank. These
+  // are invisible to error codes, NaN scans and checksums alike; only timing
+  // telemetry (StragglerDetector) and deadlines (the exchange watchdog) see
+  // them.
+  SlowRank = 9,             // persistent multiplicative slowdown of one rank/device
+  JitterKernel = 10,        // random per-step slowdown (OS noise, clock throttle)
+  HangExchange = 11,        // an exchange stalls indefinitely; only a timeout cures it
 };
-inline constexpr int kNumFaultKinds = 9;
+inline constexpr int kNumFaultKinds = 12;
 
 // True for faults that kill their victim permanently (no retry can help).
 bool fault_is_permanent(FaultKind kind);
@@ -51,6 +59,10 @@ bool fault_is_permanent(FaultKind kind);
 // True for faults that corrupt data without any error signal (bit flips in
 // finite values). Detection requires checksums / invariants, not NaN scans.
 bool fault_is_silent(FaultKind kind);
+
+// True for faults that cost only time (stalls, slowdowns, hangs): the numerics
+// stay correct, so the defense is detection + mitigation, never rollback.
+bool fault_is_performance(FaultKind kind);
 
 const char* fault_kind_name(FaultKind kind);
 
@@ -61,7 +73,28 @@ const char* fault_kind_name(FaultKind kind);
 struct HeartbeatModel {
   double period_s = 100e-6;
   int miss_threshold = 3;
+  int suspect_after = 1;  // missed beats before a rank is merely *suspected*
   double suspicion_timeout() const { return period_s * miss_threshold; }
+
+  // Three-state verdict: below suspect_after a rank is Alive, at or above
+  // miss_threshold it is declared Dead (eviction), and in between it is
+  // Suspect — late but possibly just slow, so the defense retries/mitigates
+  // instead of evicting. This is the fail-slow gap a two-state detector has.
+  enum class Verdict { Alive, Suspect, Dead };
+  Verdict classify(int missed_beats) const {
+    if (missed_beats >= miss_threshold) return Verdict::Dead;
+    if (missed_beats >= suspect_after) return Verdict::Suspect;
+    return Verdict::Alive;
+  }
+
+  // Beats a rank running `slowdown`x slower appears to miss: its heartbeats
+  // still arrive, just stretched by the same factor, so the longest gap looks
+  // like floor(slowdown) - 1 missed periods. A 2x-slow rank misses 1 beat —
+  // Suspect under the defaults, never Dead.
+  int misses_for_slowdown(double slowdown) const {
+    if (!(slowdown > 1.0)) return 0;
+    return static_cast<int>(slowdown) - 1;
+  }
 };
 
 // Thrown by the runtime when a transient fault fires at a site whose failure
@@ -140,6 +173,23 @@ class FaultInjector {
   double stall_seconds(double base_seconds) const { return stall_factor_ * base_seconds; }
   void set_stall_factor(double factor) { stall_factor_ = factor; }
 
+  // Multiplicative slowdown a SlowRank victim applies to all of its compute —
+  // the fail-slow analogue of stall_factor (thermal throttling, a failing DIMM
+  // retrying ECC, a neighbor hammering shared cache).
+  double slow_factor() const { return slow_factor_; }
+  void set_slow_factor(double factor) { slow_factor_ = factor; }
+
+  // Random per-fire slowdown for JitterKernel: a factor drawn deterministically
+  // in [1, jitter_max], keyed like every other draw.
+  double jitter_factor(std::string_view site) const;
+  void set_jitter_max(double factor) { jitter_max_ = factor; }
+
+  // Virtual seconds an *unwatched* HangExchange stalls the superstep — the
+  // stall clears only when this (huge, relative to a step) timeout elapses.
+  // The exchange watchdog exists to replace this with bounded deadlines.
+  double hang_seconds() const { return hang_seconds_; }
+  void set_hang_seconds(double seconds) { hang_seconds_ = seconds; }
+
   const FaultStats& stats() const { return stats_; }
   const std::vector<FaultEvent>& events() const { return events_; }
   void reset_counters();
@@ -150,6 +200,9 @@ class FaultInjector {
 
   uint64_t seed_ = 0;
   double stall_factor_ = 10.0;
+  double slow_factor_ = 4.0;
+  double jitter_max_ = 3.0;
+  double hang_seconds_ = 10e-3;
   std::array<FaultPolicy, kNumFaultKinds> global_{};
   std::array<bool, kNumFaultKinds> has_global_{};
   std::map<std::pair<int, std::string>, FaultPolicy, std::less<>> site_policies_;

@@ -112,7 +112,23 @@ void SimGpu::launch(const std::string& kernel_name, const KernelStats& stats,
     throw TransientFault(FaultKind::KernelLaunchFailure, kernel_name);
   }
   if (body) body();  // the generated kernel really executes on device buffers
-  const double t = model_kernel_seconds(stats);
+  double t = model_kernel_seconds(stats);
+  // Performance faults stretch the modeled time; the computed result is
+  // untouched, so the damage is purely schedule-level.
+  if (faults_ != nullptr) {
+    if (slow_factor_ <= 1.0 && faults_->should_fault(FaultKind::SlowRank, "launch"))
+      slow_factor_ = faults_->slow_factor();  // sticky: the device stays slow
+    if (faults_->should_fault(FaultKind::JitterKernel, "launch")) {
+      const double jitter = faults_->jitter_factor("launch");
+      counters_.straggler_seconds += t * (jitter - 1.0);
+      counters_.jitter_events += 1;
+      t *= jitter;
+    }
+  }
+  if (slow_factor_ > 1.0) {
+    counters_.straggler_seconds += t * (slow_factor_ - 1.0);
+    t *= slow_factor_;
+  }
   stream_clocks_.at(static_cast<size_t>(stream)) += t;
   counters_.kernel_seconds += t;
   counters_.kernel_launches += 1;
@@ -129,6 +145,11 @@ void SimGpu::launch(const std::string& kernel_name, const KernelStats& stats,
   counters_.sm_utilization = weighted_sm_ / counters_.kernel_seconds;
   counters_.flop_fraction = weighted_flopfrac_ / counters_.kernel_seconds;
   counters_.mem_fraction = weighted_memfrac_ / counters_.kernel_seconds;
+}
+
+void SimGpu::set_slow(double factor) {
+  if (!(factor >= 1.0)) throw std::invalid_argument("SimGpu::set_slow: factor must be >= 1");
+  slow_factor_ = factor;
 }
 
 double SimGpu::synchronize() {

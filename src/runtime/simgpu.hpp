@@ -90,6 +90,11 @@ struct GpuCounters {
   // Silent bit flips injected into device-resident storage (no time cost —
   // silent corruption is free for the hardware, expensive for the answer).
   int64_t silent_flips = 0;
+  // Performance-fault accounting: JitterKernel fires and the extra kernel
+  // seconds slow/jitter factors added on top of the modeled time (a subset of
+  // kernel_seconds — the work is correct, just late).
+  int64_t jitter_events = 0;
+  double straggler_seconds = 0;
 };
 
 class SimGpu {
@@ -138,6 +143,14 @@ class SimGpu {
   double model_sm_utilization(const KernelStats& s) const;
   double model_kernel_seconds(const KernelStats& s) const;
 
+  // Explicit deterministic injection of a persistent SlowRank fault on this
+  // device: every subsequent launch's modeled time is multiplied by `factor`
+  // (thermal throttling, a flaky VRM). A SlowRank fault fired by the injector
+  // at the "launch" site sets the same state.
+  void set_slow(double factor);
+  bool is_slow() const { return slow_factor_ > 1.0; }
+  double slow_factor() const { return slow_factor_; }
+
  private:
   GpuSpec spec_;
   FaultInjector* faults_ = nullptr;
@@ -145,6 +158,7 @@ class SimGpu {
   std::map<std::string, double> kernel_times_;
   std::vector<double> stream_clocks_{0.0};
   double weighted_sm_ = 0, weighted_flopfrac_ = 0, weighted_memfrac_ = 0;
+  double slow_factor_ = 1.0;
 };
 
 }  // namespace finch::rt

@@ -13,14 +13,62 @@ BspSimulator::BspSimulator(int32_t nranks, CommModel model) : nranks_(nranks), m
 void BspSimulator::compute_step(std::span<const double> seconds, Phase phase) {
   if (static_cast<int32_t>(seconds.size()) != nranks_)
     throw std::invalid_argument("compute_step: one entry per rank required");
-  double step = *std::max_element(seconds.begin(), seconds.end());
-  clock_ += step;
-  switch (phase) {
-    case Phase::Compute: phases_.compute += step; break;
-    case Phase::PostProcess: phases_.post_process += step; break;
-    case Phase::Communication: phases_.communication += step; break;
-    case Phase::Audit: phases_.audit += step; break;
+  scratch_.assign(seconds.begin(), seconds.end());
+
+  // Performance faults stretch individual ranks *before* the superstep max.
+  if (faults_ != nullptr) {
+    if (slow_rank_ < 0 && faults_->should_fault(FaultKind::SlowRank, "compute")) {
+      // The fault is sticky: the victim's hardware stays slow until the rank
+      // is drained or evicted (one slow rank at a time).
+      slow_rank_ = static_cast<int32_t>(
+          faults_->pick(FaultKind::SlowRank, "compute", static_cast<size_t>(nranks_)));
+      slow_factor_ = faults_->slow_factor();
+    }
+    if (faults_->should_fault(FaultKind::JitterKernel, "compute")) {
+      const size_t victim =
+          faults_->pick(FaultKind::JitterKernel, "compute", static_cast<size_t>(nranks_));
+      scratch_[victim] *= faults_->jitter_factor("compute");
+      jitter_events_ += 1;
+    }
   }
+  if (slow_rank_ >= 0 && slow_rank_ < nranks_) {
+    scratch_[static_cast<size_t>(slow_rank_)] *= slow_factor_;
+    if (phase == Phase::Compute) slow_steps_ += 1;
+  }
+
+  // The detector sees the effective (faulted, pre-mitigation) timings: feeding
+  // it mitigated numbers would mask the straggler and make the verdict flap.
+  if (stragopt_.enabled && phase == Phase::Compute) detector_.observe(scratch_);
+
+  // One-shot speculative re-execution, if armed: the helper re-runs the
+  // victim's shard at nominal speed (seconds[victim], the unfaulted cost)
+  // after its own work, and the first finisher wins.
+  double spec_extra = 0.0;
+  if (spec_victim_ >= 0 && spec_victim_ < nranks_ && spec_helper_ >= 0 &&
+      spec_helper_ < nranks_) {
+    const size_t v = static_cast<size_t>(spec_victim_);
+    const size_t h = static_cast<size_t>(spec_helper_);
+    const double helper_total = scratch_[h] + seconds[v];
+    const double effective_victim = std::min(scratch_[v], helper_total);
+    const double helper_busy =
+        std::min(helper_total, std::max(scratch_[h], effective_victim));
+    spec_extra = helper_busy - scratch_[h];
+    scratch_[v] = effective_victim;
+    scratch_[h] = helper_busy;
+  }
+  spec_victim_ = spec_helper_ = -1;
+
+  const double step = *std::max_element(scratch_.begin(), scratch_.end());
+  clock_ += step;
+  const double spec_charge = std::min(spec_extra, step);
+  switch (phase) {
+    case Phase::Compute: phases_.compute += step - spec_charge; break;
+    case Phase::PostProcess: phases_.post_process += step - spec_charge; break;
+    case Phase::Communication: phases_.communication += step - spec_charge; break;
+    case Phase::Audit: phases_.audit += step - spec_charge; break;
+  }
+  phases_.speculation += spec_charge;
+  rank_seconds_by_phase_[static_cast<size_t>(phase)] = scratch_;
 }
 
 void BspSimulator::uniform_compute(double seconds, Phase phase) {
@@ -57,9 +105,46 @@ void BspSimulator::exchange(std::span<const Message> messages) {
     fault_cost += stall;
     stuck_events_ += 1;
   }
+  if (faults_ != nullptr) {
+    const double stall = hang_penalty(step);
+    step += stall;
+    fault_cost += stall;
+  }
   clock_ += step;
   phases_.communication += step;
   phases_.fault_stall += std::min(fault_cost, step);
+}
+
+double BspSimulator::hang_penalty(double nominal) {
+  if (faults_ == nullptr || !faults_->should_fault(FaultKind::HangExchange, "exchange"))
+    return 0.0;
+  hang_events_ += 1;
+  if (!stragopt_.enabled) {
+    // Unwatched hang: the job blocks until the (huge) stall clears on its own.
+    return faults_->hang_seconds();
+  }
+  // Deadline watchdog: each attempt is bounded by deadline_factor x the
+  // nominal exchange cost, and each expiry counts as a missed heartbeat.
+  // Suspect verdicts retry (a transient hang clears and the retry goes
+  // through); a Dead verdict — miss_threshold consecutive expiries — escalates
+  // to the eviction path via hang_suspect().
+  const double deadline =
+      stragopt_.deadline_factor * std::max(nominal, model_.latency_s);
+  double stall = 0.0;
+  int misses = 0;
+  for (;;) {
+    misses += 1;
+    watchdog_timeouts_ += 1;
+    stall += deadline;
+    if (heartbeat_.classify(misses) == HeartbeatModel::Verdict::Dead) {
+      hang_suspect_ = static_cast<int32_t>(
+          faults_->pick(FaultKind::HangExchange, "exchange", static_cast<size_t>(nranks_)));
+      break;
+    }
+    if (!faults_->should_fault(FaultKind::HangExchange, "exchange-retry")) break;
+    hang_events_ += 1;
+  }
+  return stall;
 }
 
 BlockChecksum BspSimulator::transmit(std::span<double> payload, std::string_view site) {
@@ -81,6 +166,64 @@ void BspSimulator::evict_rank(int32_t rank) {
   phases_.recovery += timeout;
   nranks_ -= 1;
   evictions_ += 1;
+  shrink_bookkeeping(rank);
+}
+
+void BspSimulator::set_straggler(StragglerOptions opt) {
+  stragopt_ = opt;
+  detector_ = StragglerDetector(nranks_, opt);
+}
+
+void BspSimulator::set_slow_rank(int32_t rank, double factor) {
+  if (rank < 0 || rank >= nranks_)
+    throw std::invalid_argument("set_slow_rank: rank out of range");
+  if (!(factor >= 1.0)) throw std::invalid_argument("set_slow_rank: factor must be >= 1");
+  slow_rank_ = rank;
+  slow_factor_ = factor;
+}
+
+void BspSimulator::arm_speculation(int32_t victim, int32_t helper) {
+  if (victim < 0 || victim >= nranks_ || helper < 0 || helper >= nranks_)
+    throw std::invalid_argument("arm_speculation: rank out of range");
+  if (victim == helper) throw std::invalid_argument("arm_speculation: victim == helper");
+  spec_victim_ = victim;
+  spec_helper_ = helper;
+}
+
+void BspSimulator::retire_rank(int32_t rank) {
+  if (rank < 0 || rank >= nranks_) throw std::invalid_argument("retire_rank: rank out of range");
+  if (nranks_ <= 1) throw std::invalid_argument("retire_rank: no survivors would remain");
+  // No suspicion timeout: the rank is alive and drained deliberately. The
+  // only cost is the shard motion the caller bills via charge_rebalance.
+  nranks_ -= 1;
+  retirements_ += 1;
+  shrink_bookkeeping(rank);
+}
+
+void BspSimulator::shrink_bookkeeping(int32_t removed_rank) {
+  if (slow_rank_ == removed_rank) {
+    slow_rank_ = -1;
+    slow_factor_ = 1.0;
+  } else if (slow_rank_ > removed_rank) {
+    slow_rank_ -= 1;
+  }
+  spec_victim_ = spec_helper_ = -1;
+  hang_suspect_ = -1;
+  if (stragopt_.enabled) detector_.resize(nranks_);
+}
+
+void BspSimulator::charge_rebalance(int64_t bytes) {
+  // Same scatter model as charge_redistribution, but the motion is a
+  // scheduling decision (derating a straggler), not failure recovery — so it
+  // lands in its own phase.
+  const double step = static_cast<double>(nranks_) * model_.latency_s +
+                      static_cast<double>(bytes) / model_.bandwidth_Bps;
+  clock_ += step;
+  phases_.rebalance += step;
+}
+
+const std::vector<double>& BspSimulator::last_rank_seconds(Phase phase) const {
+  return rank_seconds_by_phase_[static_cast<size_t>(phase)];
 }
 
 void BspSimulator::charge_recovery(double seconds) {
@@ -123,9 +266,18 @@ void BspSimulator::gather(int64_t bytes_per_rank) {
   // total data through the root is (p-1)*bytes.
   const double rounds = std::ceil(std::log2(static_cast<double>(nranks_)));
   const double volume = static_cast<double>(bytes_per_rank) * (nranks_ - 1);
-  const double step = rounds * model_.latency_s + volume / model_.bandwidth_Bps;
+  double step = rounds * model_.latency_s + volume / model_.bandwidth_Bps;
+  double fault_cost = 0.0;
+  if (faults_ != nullptr) {
+    // A collective can hang just like a point-to-point exchange (one late
+    // contributor blocks the tree), so it runs under the same watchdog.
+    const double stall = hang_penalty(step);
+    step += stall;
+    fault_cost += stall;
+  }
   clock_ += step;
   phases_.communication += step;
+  phases_.fault_stall += std::min(fault_cost, step);
 }
 
 }  // namespace finch::rt

@@ -21,6 +21,7 @@
 
 #include "abft.hpp"
 #include "fault.hpp"
+#include "straggler.hpp"
 
 namespace finch::rt {
 
@@ -55,8 +56,15 @@ struct PhaseTimes {
   // receipt, sentinel recomputation. Separate from compute so the silent-
   // corruption defense's overhead is visible in the breakdown figures.
   double audit = 0.0;
+  // Straggler-mitigation cost, again separate so the fail-slow defense's
+  // overhead sits next to the paper's breakdowns: the duplicated work a
+  // speculative helper put on the critical path, and the data motion of a
+  // dynamic rebalance away from a chronically slow rank.
+  double speculation = 0.0;
+  double rebalance = 0.0;
   double total() const {
-    return compute + post_process + communication + recovery + redistribution + audit;
+    return compute + post_process + communication + recovery + redistribution + audit +
+           speculation + rebalance;
   }
 };
 
@@ -128,11 +136,70 @@ class BspSimulator {
   // recomputation), charged to the audit phase.
   void charge_audit(double seconds);
 
+  // ---- performance faults (straggler / hang resilience) --------------------
+  //
+  // Arms the straggler defense: compute supersteps feed the detector with
+  // per-rank effective seconds, and exchanges run under a deadline watchdog
+  // instead of waiting out an injected hang. Off (the default) the simulator
+  // behaves exactly as before and charges nothing to the new phases.
+  void set_straggler(StragglerOptions opt);
+  const StragglerOptions& straggler_options() const { return stragopt_; }
+  StragglerDetector& straggler() { return detector_; }
+  const StragglerDetector& straggler() const { return detector_; }
+
+  // Explicit deterministic injection: `rank` computes `factor`x slower from
+  // now on (the SlowRank fault without consulting the injector's roulette).
+  void set_slow_rank(int32_t rank, double factor);
+  int32_t slow_rank() const { return slow_rank_; }
+
+  // One-shot speculative re-execution, armed by the caller just before the
+  // compute superstep: `helper` re-executes `victim`'s shard at nominal speed
+  // after finishing its own, and the first finisher wins. The duplicated
+  // seconds the helper adds to the critical path are charged to the
+  // speculation phase; the numerics are untouched (both replicas compute the
+  // same shard), so the result stays bit-exact by construction.
+  void arm_speculation(int32_t victim, int32_t helper);
+
+  // Drains a live-but-chronically-slow rank: shrinks to nranks()-1 without
+  // the suspicion timeout an eviction charges (the rank is alive — draining
+  // it is a scheduling decision, not a failure detection). The caller owns
+  // the shard motion and bills it through charge_rebalance.
+  void retire_rank(int32_t rank);
+  // Models migrating `bytes` of live state between ranks during a dynamic
+  // rebalance, charged to the rebalance phase.
+  void charge_rebalance(int64_t bytes);
+
+  // Set when the exchange watchdog escalated a persistent hang to a Dead
+  // verdict: the rank the injector picked as hung. The caller routes it into
+  // its eviction path and clears the flag.
+  int32_t hang_suspect() const { return hang_suspect_; }
+  void clear_hang_suspect() { hang_suspect_ = -1; }
+
+  // Telemetry counters for the performance-fault taxonomy.
+  int64_t slow_steps() const { return slow_steps_; }
+  int64_t jitter_events() const { return jitter_events_; }
+  int64_t hang_events() const { return hang_events_; }
+  int64_t watchdog_timeouts() const { return watchdog_timeouts_; }
+  int64_t retirements() const { return retirements_; }
+  // Effective per-rank seconds of the most recent compute_step in `phase`
+  // (faults applied, speculation applied) — the per-rank, per-phase telemetry
+  // the detector and tests consume. Empty until that phase first runs.
+  const std::vector<double>& last_rank_seconds(Phase phase) const;
+
   // The alpha-beta communication model, exposed so callers can price their
   // own repair traffic (e.g. re-pulling one corrupted halo message).
   const CommModel& comm_model() const { return model_; }
 
  private:
+  // Shared by evict_rank and retire_rank: remaps the sticky slow-rank index,
+  // disarms any pending speculation, and restarts the detector cold.
+  void shrink_bookkeeping(int32_t removed_rank);
+  // Consults the injector for a HangExchange on a superstep of `nominal`
+  // seconds; returns the extra stall. Without the defense the full
+  // hang_seconds() timeout is paid; with it the watchdog charges one deadline
+  // per attempt and escalates a persistent hang to hang_suspect_.
+  double hang_penalty(double nominal);
+
   int32_t nranks_;
   CommModel model_;
   FaultInjector* faults_ = nullptr;
@@ -143,6 +210,21 @@ class BspSimulator {
   int64_t stuck_events_ = 0;
   int64_t silent_flips_ = 0;
   int32_t evictions_ = 0;
+  // Straggler defense state.
+  StragglerOptions stragopt_;
+  StragglerDetector detector_;
+  int32_t slow_rank_ = -1;
+  double slow_factor_ = 1.0;
+  int32_t spec_victim_ = -1;
+  int32_t spec_helper_ = -1;
+  int32_t hang_suspect_ = -1;
+  int64_t slow_steps_ = 0;
+  int64_t jitter_events_ = 0;
+  int64_t hang_events_ = 0;
+  int64_t watchdog_timeouts_ = 0;
+  int32_t retirements_ = 0;
+  std::vector<std::vector<double>> rank_seconds_by_phase_{4};
+  std::vector<double> scratch_;
 };
 
 }  // namespace finch::rt

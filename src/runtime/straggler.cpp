@@ -1,0 +1,94 @@
+#include "straggler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace finch::rt {
+
+StragglerDetector::StragglerDetector(int32_t nranks, StragglerOptions opt) : opt_(opt) {
+  if (nranks < 0) throw std::invalid_argument("StragglerDetector: negative rank count");
+  ewma_.assign(static_cast<size_t>(nranks), 0.0);
+  streak_.assign(static_cast<size_t>(nranks), 0);
+}
+
+void StragglerDetector::observe(std::span<const double> rank_seconds) {
+  if (rank_seconds.size() != ewma_.size())
+    throw std::invalid_argument("StragglerDetector::observe: rank count mismatch");
+  if (ewma_.empty()) return;
+  // Winsorize against the raw step median: measured telemetry carries OS
+  // scheduling spikes that are huge but transient, and an unclipped spike
+  // keeps the EWMA above the suspect line long enough to fake a chronic
+  // straggler. A real straggler re-earns its slowdown every step, so the clip
+  // costs detection nothing.
+  std::vector<double> sorted(rank_seconds.begin(), rank_seconds.end());
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  const double raw_median =
+      n % 2 == 1 ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  const double cap = raw_median > 0.0 ? opt_.clip_ratio * raw_median
+                                      : std::numeric_limits<double>::infinity();
+  for (size_t r = 0; r < ewma_.size(); ++r) {
+    const double x = std::min(rank_seconds[r], cap);
+    ewma_[r] = observations_ == 0 ? x : (1.0 - opt_.ewma_alpha) * ewma_[r] + opt_.ewma_alpha * x;
+  }
+  observations_ += 1;
+  const double median = fleet_median();
+  for (size_t r = 0; r < ewma_.size(); ++r) {
+    const bool slow = median > 0.0 && ewma_[r] > opt_.slow_ratio * median;
+    streak_[r] = slow ? streak_[r] + 1 : 0;
+  }
+}
+
+void StragglerDetector::resize(int32_t nranks) {
+  if (nranks < 0) throw std::invalid_argument("StragglerDetector::resize: negative rank count");
+  ewma_.assign(static_cast<size_t>(nranks), 0.0);
+  streak_.assign(static_cast<size_t>(nranks), 0);
+  observations_ = 0;
+}
+
+double StragglerDetector::ewma(int32_t rank) const {
+  return ewma_.at(static_cast<size_t>(rank));
+}
+
+double StragglerDetector::fleet_median() const {
+  if (ewma_.empty() || observations_ == 0) return 0.0;
+  std::vector<double> sorted(ewma_);
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  return n % 2 == 1 ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double StragglerDetector::slowdown(int32_t rank) const {
+  const double median = fleet_median();
+  if (median <= 0.0) return 1.0;
+  return std::max(1.0, ewma_.at(static_cast<size_t>(rank)) / median);
+}
+
+bool StragglerDetector::suspect(int32_t rank) const {
+  return streak_.at(static_cast<size_t>(rank)) >= 1;
+}
+
+bool StragglerDetector::chronic(int32_t rank) const {
+  return streak_.at(static_cast<size_t>(rank)) >= opt_.chronic_steps;
+}
+
+int32_t StragglerDetector::chronic_straggler() const {
+  int32_t worst = -1;
+  for (int32_t r = 0; r < nranks(); ++r) {
+    if (!chronic(r)) continue;
+    if (worst < 0 || ewma_[static_cast<size_t>(r)] > ewma_[static_cast<size_t>(worst)]) worst = r;
+  }
+  return worst;
+}
+
+int32_t StragglerDetector::least_loaded(int32_t exclude) const {
+  int32_t best = -1;
+  for (int32_t r = 0; r < nranks(); ++r) {
+    if (r == exclude) continue;
+    if (best < 0 || ewma_[static_cast<size_t>(r)] < ewma_[static_cast<size_t>(best)]) best = r;
+  }
+  return best;
+}
+
+}  // namespace finch::rt

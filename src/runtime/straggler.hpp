@@ -1,0 +1,85 @@
+#pragma once
+// Straggler detection for the simulated distributed runtime.
+//
+// Under a bulk-synchronous model every superstep costs max over ranks, so one
+// slow rank taxes the whole fleet — the fail-slow gap that crash/corruption
+// defenses (PRs 1-3) cannot see, because nothing errors and no data is wrong.
+// The detector consumes the per-rank, per-phase timing telemetry BspSimulator
+// already produces for its virtual clock: each compute superstep it folds each
+// rank's effective seconds into an EWMA and compares it against the fleet
+// median. A rank whose EWMA exceeds slow_ratio x median is *suspect*; suspect
+// for chronic_steps consecutive observations makes it *chronic* — only then do
+// the mitigations (speculative re-execution, dynamic rebalancing) engage, so
+// one noisy step never triggers a migration and a merely-late rank is never
+// evicted.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace finch::rt {
+
+// Knobs for the straggler defense, carried inside bte::ResilienceOptions.
+// `enabled` is the master switch: off means no telemetry is folded, no
+// exchange watchdog is armed, and zero overhead is charged anywhere.
+struct StragglerOptions {
+  bool enabled = false;
+  bool speculation = true;   // duplicate a chronic straggler's shard on a survivor
+  bool rebalance = true;     // migrate work away from a chronic straggler
+  double ewma_alpha = 0.4;   // weight of the newest observation, in (0, 1]
+  double slow_ratio = 2.0;   // suspect when EWMA > slow_ratio x fleet median (> 1)
+  double clip_ratio = 6.0;   // winsorize observations at clip_ratio x the raw
+                             // step median (> slow_ratio): a genuine straggler
+                             // sustains its slowdown, an OS preemption spike
+                             // does not, so clipping bounds how long one
+                             // outlier sample can keep a rank suspect
+  int chronic_steps = 3;     // consecutive suspect steps before mitigating (>= 1)
+  double deadline_factor = 4.0;  // exchange watchdog deadline multiplier (> 1)
+  int max_rebalances = 4;    // cap on dynamic migrations per run (>= 1)
+};
+
+class StragglerDetector {
+ public:
+  StragglerDetector() = default;
+  StragglerDetector(int32_t nranks, StragglerOptions opt);
+
+  // Folds one superstep's effective per-rank seconds (faults applied, before
+  // any mitigation — mitigated timings would mask the straggler and make the
+  // verdict flap). Updates EWMAs and suspect streaks.
+  void observe(std::span<const double> rank_seconds);
+
+  // Topology changed (eviction, drain, rebalance): old per-rank history no
+  // longer maps to the new indices, so the detector restarts cold.
+  void resize(int32_t nranks);
+
+  int32_t nranks() const { return static_cast<int32_t>(ewma_.size()); }
+  int64_t observations() const { return observations_; }
+
+  double ewma(int32_t rank) const;
+  double fleet_median() const;
+
+  // EWMA relative to the fleet median; 1.0 while cold or for a healthy rank.
+  double slowdown(int32_t rank) const;
+
+  // Instantaneous verdict: slower than slow_ratio x median right now.
+  bool suspect(int32_t rank) const;
+
+  // Sustained verdict: suspect for >= chronic_steps consecutive observations.
+  // Mitigation triggers only on this.
+  bool chronic(int32_t rank) const;
+
+  // Worst chronic rank (largest EWMA), or -1 when none.
+  int32_t chronic_straggler() const;
+
+  // Rank with the smallest EWMA, excluding `exclude` — the natural speculation
+  // helper. Returns -1 when no candidate exists (fleet of one).
+  int32_t least_loaded(int32_t exclude) const;
+
+ private:
+  StragglerOptions opt_{};
+  std::vector<double> ewma_;
+  std::vector<int> streak_;
+  int64_t observations_ = 0;
+};
+
+}  // namespace finch::rt
