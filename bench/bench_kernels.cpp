@@ -1,6 +1,7 @@
 // Micro-benchmarks (google-benchmark): costs of the building blocks — the
 // bytecode interpreter, the hand-written direct solver, the per-cell
-// temperature solve, the partitioners and the thread-pool dispatch.
+// temperature solve, the partitioners, the thread-pool dispatch, and the
+// observability layer's disabled-path overhead.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -11,7 +12,9 @@
 #include "core/symbolic/parser.hpp"
 #include "core/symbolic/simplify.hpp"
 #include "mesh/partition.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/trace.hpp"
 
 using namespace finch;
 
@@ -132,6 +135,42 @@ static void BM_PartitionGreedy(benchmark::State& state) {
         mesh::partition(m, static_cast<int>(state.range(0)), mesh::PartitionMethod::GreedyGraph));
 }
 BENCHMARK(BM_PartitionGreedy)->Arg(8)->Arg(64);
+
+// Observability acceptance bar: with tracing disabled (the default), a span
+// costs one relaxed atomic load — compare against BM_BytecodeVolumeEval
+// (~tens of ns) to verify the instrumented hot paths pay <1%.
+static void BM_TraceSpanDisabled(benchmark::State& state) {
+  rt::Tracer::global().configure(rt::TraceConfig{});  // enabled = false
+  for (auto _ : state) {
+    rt::TraceSpan span("bench.disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+// Enabled-path span cost, for the capture-cost table in OBSERVABILITY.md
+// (two clock reads + one lock-free slot append).
+static void BM_TraceSpanEnabled(benchmark::State& state) {
+  rt::TraceConfig cfg;
+  cfg.enabled = true;
+  rt::Tracer::global().configure(cfg);
+  for (auto _ : state) {
+    rt::TraceSpan span("bench.enabled");
+    benchmark::ClobberMemory();
+  }
+  rt::Tracer::global().configure(rt::TraceConfig{});
+  rt::Tracer::global().clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+// Counter add: one CAS loop on an uncontended atomic — the cost of each
+// metrics hook on the instrumented paths (batched, never per-eval).
+static void BM_MetricsCounterAdd(benchmark::State& state) {
+  rt::Counter& c = rt::MetricsRegistry::global().counter("bench.counter");
+  for (auto _ : state) c.add(1.0);
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_MetricsCounterAdd);
 
 static void BM_ThreadPoolDispatch(benchmark::State& state) {
   rt::ThreadPool pool(2);

@@ -25,6 +25,7 @@
 #include "bte/resilience.hpp"
 #include "fig_common.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/trace.hpp"
 
 using namespace finch;
 using namespace finch::bte;
@@ -299,6 +300,91 @@ int main(int argc, char** argv) {
                  "the slow device is derated bit-exactly and never evicted");
     bench::check(gpu_rebalances >= 1 && tts_gpu[1] < tts_gpu[0],
                  "per-device telemetry detects the 4x device and the derate beats no defense");
+  }
+
+  // ---- 5. observability: trace spans reconcile with the phase breakdowns -----
+  // The bugfix regression this experiment pins down: speculation used to be
+  // charged *uncapped* to resilience_stats().speculation_seconds while the
+  // phase breakdown carried the capped charge, so the stats block drifted
+  // above the breakdown (and the breakdown total above the BSP clock check)
+  // whenever a speculative helper overran the step it covered.
+  {
+    rt::TraceConfig tcfg;
+    tcfg.enabled = true;
+    rt::Tracer::global().configure(tcfg);
+
+    // Cell solver, full defense, 4x slow rank: every virtual-time charge
+    // emits a span, so per-phase span sums must reproduce phases() and the
+    // phase total must reproduce the BSP clock.
+    CellPartitionedSolver part(big, phys, nparts);
+    part.set_trace_track(300, "cell reconcile");
+    ResilienceOptions opt;
+    opt.straggler.enabled = true;
+    part.enable_resilience(opt);
+    part.inject_slow_rank(victim, slowdown);
+    part.run(nsteps);
+    const rt::PhaseTimes& ph = part.phases();
+    const auto spans = bench::span_seconds(300);
+    const auto span_of = [&spans](const char* name) {
+      return spans.count(name) ? spans.at(name) : 0.0;
+    };
+    // fault_stall spans nest inside communication and are excluded: they are
+    // an attribution overlay, not an additive phase.
+    double span_total = 0;
+    for (const auto& [name, sec] : spans)
+      if (name != "fault_stall") span_total += sec;
+    // total() re-sums per-phase buckets while the clock accumulated the same
+    // charges in arrival order, so equality holds to FP associativity — a
+    // 1e-9% (1e-11 relative) bar, vastly tighter than any real drift.
+    const bool cell_clock_ok = bench::within_pct(ph.total(), part.virtual_elapsed(), 1e-9);
+    const bool cell_spans_ok =
+        bench::within_pct(span_of("compute"), ph.compute, 1.0) &&
+        bench::within_pct(span_of("post_process"), ph.post_process, 1.0) &&
+        bench::within_pct(span_of("communication"), ph.communication, 1.0) &&
+        bench::within_pct(span_of("speculation"), ph.speculation, 1.0) &&
+        bench::within_pct(span_of("rebalance"), ph.rebalance, 1.0) &&
+        bench::within_pct(span_total, ph.total(), 1.0);
+    std::printf("\nreconcile  cell: phases %.4f ms, spans %.4f ms, bsp clock %.4f ms\n",
+                ph.total() * 1e3, span_total * 1e3, part.virtual_elapsed() * 1e3);
+    bench::check(cell_clock_ok,
+                 "cell phase breakdown total equals the BSP clock (to FP round-off)");
+    bench::check(cell_spans_ok, "cell per-phase trace spans reconcile with phases() (<=1%)");
+
+    // Multi-GPU with speculation armed: the speculation stat must carry the
+    // same (capped) seconds as the phase breakdown, and the phase-span sum
+    // must reproduce phases().total().
+    MultiGpuSolver multi(s, phys, 4);
+    multi.set_trace_track(301, "mgpu reconcile");
+    ResilienceOptions gopt;
+    gopt.straggler.enabled = true;
+    gopt.straggler.rebalance = false;  // keep the straggler slow so speculation fires
+    multi.enable_resilience(gopt);
+    multi.inject_slow_device(2, slowdown);
+    multi.run(nsteps * 2);
+    const MultiGpuSolver::Phases& gp = multi.phases();
+    const auto gspans = bench::span_seconds(301);
+    double gspan_total = 0;
+    for (const auto& [name, sec] : gspans) gspan_total += sec;
+    std::printf("reconcile  mgpu: phases %.4f ms, spans %.4f ms, speculation stat %.6f ms "
+                "vs phase %.6f ms\n",
+                gp.total() * 1e3, gspan_total * 1e3,
+                multi.resilience_stats().speculation_seconds * 1e3, gp.speculation * 1e3);
+    bench::check(multi.resilience_stats().speculations > 0 && gp.speculation > 0,
+                 "multi-GPU speculation engaged under the 4x device");
+    bench::check(multi.resilience_stats().speculation_seconds == gp.speculation,
+                 "speculation stat carries the charged (capped) seconds, not the helper "
+                 "overshoot (regression)");
+    bench::check(bench::within_pct(gspan_total, gp.total(), 1.0) &&
+                     bench::within_pct(gp.total(), multi.virtual_elapsed(), 1.0),
+                 "multi-GPU phase spans reconcile with phases().total() (<=1%)");
+
+    json.begin_row();
+    json.cell("experiment", 5);
+    json.cell("cell_phase_total_s", ph.total());
+    json.cell("cell_span_total_s", span_total);
+    json.cell("mgpu_phase_total_s", gp.total());
+    json.cell("mgpu_span_total_s", gspan_total);
+    json.cell("mgpu_speculation_s", gp.speculation);
   }
 
   std::printf("\n");

@@ -7,16 +7,21 @@
 // Absolute times differ from the paper (different machine, simulated GPU and
 // cluster); shapes and ratios are the reproduction target.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bte/bte_problem.hpp"
 #include "perf/models.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/trace.hpp"
 
 namespace finch::bench {
 
@@ -111,11 +116,18 @@ class JsonBench {
   std::vector<std::vector<std::pair<std::string, double>>> rows_;
 };
 
-// Shared `--json <path>` / `--seed <n>` argument scan for the resilience
-// benches (unknown arguments are ignored so figure scripts can pass extras).
+// Shared argument scan for the figure/fault benches (unknown arguments are
+// ignored so figure scripts can pass extras):
+//   --json <path>          per-bench result document (JsonBench)
+//   --seed <n>             fault-injection seed
+//   --metrics-json <path>  dump the global metrics registry after the run
+//   --trace <path>         enable tracing, export Chrome trace-event JSON
+//                          (load in Perfetto / chrome://tracing)
 struct BenchArgs {
   std::string json_path;
   uint64_t seed = 4242;
+  std::string metrics_json_path;
+  std::string trace_path;
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -126,6 +138,15 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       a.json_path = argv[++i];
     else if (arg == "--seed" && i + 1 < argc)
       a.seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    else if (arg == "--metrics-json" && i + 1 < argc)
+      a.metrics_json_path = argv[++i];
+    else if (arg == "--trace" && i + 1 < argc)
+      a.trace_path = argv[++i];
+  }
+  if (!a.trace_path.empty()) {
+    rt::TraceConfig cfg;
+    cfg.enabled = true;
+    rt::Tracer::global().configure(cfg);
   }
   return a;
 }
@@ -139,12 +160,36 @@ inline JsonBench bench_json(const char* name, const BenchArgs& args) {
 }
 
 // Shared epilogue: write the JSON document when asked (a failed write is a
-// failed check, not a silent no-op) and fold the PAPER-CHECK tally into the
-// exit status so CI sweeps gate on every claim.
+// failed check, not a silent no-op), dump the observability artifacts the
+// flags requested, and fold the PAPER-CHECK tally into the exit status so CI
+// sweeps gate on every claim.
 inline int finish_bench(const JsonBench& json, const BenchArgs& args) {
   if (!args.json_path.empty() && !json.write(args.json_path))
     check(false, "wrote " + args.json_path);
+  if (!args.metrics_json_path.empty() &&
+      !rt::MetricsRegistry::global().write_json_file(args.metrics_json_path))
+    check(false, "wrote " + args.metrics_json_path);
+  if (!args.trace_path.empty() &&
+      !rt::Tracer::global().write_chrome_trace_file(args.trace_path))
+    check(false, "wrote " + args.trace_path);
   return check_failures() > 0 ? 1 : 0;
+}
+
+// Sum of virtual-timeline (pid 1) span durations per span name on `track` —
+// the reconciliation side of the trace export: per-phase sums from here must
+// match the solver/model phase breakdowns (see OBSERVABILITY.md).
+inline std::map<std::string, double> span_seconds(int32_t track) {
+  std::map<std::string, double> sums;
+  for (const rt::TraceEvent& ev : rt::Tracer::global().snapshot()) {
+    if (ev.pid != 1 || ev.track != track) continue;
+    sums[ev.name] += static_cast<double>(ev.dur_ns) * 1e-9;
+  }
+  return sums;
+}
+
+inline bool within_pct(double a, double b, double pct) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return scale == 0.0 || std::abs(a - b) <= pct / 100.0 * scale;
 }
 
 inline const std::vector<int>& paper_proc_counts() {

@@ -7,6 +7,9 @@
 #include <span>
 #include <stdexcept>
 
+#include "runtime/metrics.hpp"
+#include "runtime/trace.hpp"
+
 namespace finch::bte {
 
 namespace {
@@ -158,6 +161,28 @@ void MultiGpuSolver::sweep_cells_into(Rank& r, const std::vector<int32_t>& cells
   }
 }
 
+void MultiGpuSolver::set_trace_track(int32_t track, const std::string& label) {
+  trace_track_ = track;
+  if (!label.empty()) rt::Tracer::global().set_track_name(1, track, label);
+}
+
+void MultiGpuSolver::charge_phase(double Phases::*field, const char* name, double seconds) {
+  if (seconds <= 0) return;
+  phases_.*field += seconds;
+  rt::Tracer& tr = rt::Tracer::global();
+  if (tr.enabled()) {
+    rt::SpanAttrs attrs;
+    attrs.step = step_index_;
+    attrs.phase = name;
+    tr.record_complete(name, static_cast<int64_t>(std::llround(trace_cursor_ * 1e9)),
+                       static_cast<int64_t>(std::llround(seconds * 1e9)), trace_track_, attrs);
+  }
+  trace_cursor_ += seconds;
+  rt::MetricsRegistry::global()
+      .counter(std::string("mgpu.phase.") + name + "_seconds")
+      .add(seconds);
+}
+
 void MultiGpuSolver::step() {
   const int ncell = nx_ * ny_;
   double comm = 0;
@@ -223,14 +248,19 @@ void MultiGpuSolver::step() {
       dev_seconds_[v] = eff_victim;
       dev_seconds_[h] = helper_busy;
       rstats_.speculations += 1;
-      rstats_.speculation_seconds += spec_extra;
     }
   }
   const double max_intensity = *std::max_element(dev_seconds_.begin(), dev_seconds_.end());
   const double spec_charge = std::min(spec_extra, max_intensity);
-  phases_.intensity += max_intensity - spec_charge;
-  phases_.speculation += spec_charge;
-  phases_.communication += comm;
+  // Stats mirror the *charged* (capped) speculation time, the same quantity
+  // the phase breakdown carries — charging the uncapped helper overshoot here
+  // made resilience_stats().speculation_seconds drift above
+  // phases().speculation (and hence above the wall-clock reconciliation)
+  // whenever the helper ran past the step it was speculating for.
+  rstats_.speculation_seconds += spec_charge;
+  charge_phase(&Phases::intensity, "intensity", max_intensity - spec_charge);
+  charge_phase(&Phases::speculation, "speculation", spec_charge);
+  charge_phase(&Phases::communication, "communication", comm);
 
   // Gather band sums, temperature update on the CPU (replicated).
   const auto t0 = Clock::now();
@@ -261,7 +291,7 @@ void MultiGpuSolver::step() {
       }
     }
   }
-  phases_.temperature += seconds_since(t0);
+  charge_phase(&Phases::temperature, "temperature", seconds_since(t0));
 
   // H2D: refreshed Io/beta go back to each device — the movement plan's
   // per-step upload.
@@ -276,7 +306,7 @@ void MultiGpuSolver::step() {
     gpu.memcpy_h2d(r.dev_Iob, iob_scratch_);
     up = std::max(up, gpu.counters().copy_seconds - before);
   }
-  phases_.communication += up;
+  charge_phase(&Phases::communication, "communication", up);
 }
 
 // ---- resilience --------------------------------------------------------------
@@ -293,7 +323,7 @@ void MultiGpuSolver::launch_with_retry(rt::SimGpu& gpu, const std::string& name,
       if (!resilient_ || attempt >= res_.max_retries)
         throw;  // unrecoverable here; run() or the caller decides
       const double delay = backoff_delay(res_, attempt);
-      phases_.recovery += delay;
+      charge_phase(&Phases::recovery, "recovery", delay);
       rstats_.recovery_seconds += delay;
       rstats_.retries += 1;
     }
@@ -319,7 +349,7 @@ void MultiGpuSolver::roundtrip_with_guard(size_t p) {
       return;  // validation fails; run() rolls back and replays this step
     }
     const double delay = backoff_delay(res_, attempt);
-    phases_.recovery += delay;
+    charge_phase(&Phases::recovery, "recovery", delay);
     rstats_.recovery_seconds += delay;
     rstats_.retries += 1;
   }
@@ -369,7 +399,7 @@ void MultiGpuSolver::sdc_roundtrip(size_t p) {
     const auto r0 = Clock::now();
     const bool healed = repair_block(p, blk);
     const double repair_s = seconds_since(r0);
-    phases_.recovery += repair_s;
+    charge_phase(&Phases::recovery, "recovery", repair_s);
     rstats_.recovery_seconds += repair_s;
     if (!healed) {
       health_.sdc_ok = false;
@@ -381,7 +411,7 @@ void MultiGpuSolver::sdc_roundtrip(size_t p) {
   a0 = Clock::now();
   audit_sentinels(p);
   audit_s += seconds_since(a0);
-  phases_.audit += audit_s;
+  charge_phase(&Phases::audit, "audit", audit_s);
   rstats_.audit_seconds += audit_s;
 }
 
@@ -455,7 +485,7 @@ void MultiGpuSolver::audit_sentinels(size_t p) {
     const auto r0 = Clock::now();
     const bool healed = repair_block(p, r.ledger.block_of(off));
     const double repair_s = seconds_since(r0);
-    phases_.recovery += repair_s;
+    charge_phase(&Phases::recovery, "recovery", repair_s);
     rstats_.recovery_seconds += repair_s;
     if (!healed) {
       health_.sdc_ok = false;
@@ -594,7 +624,7 @@ void MultiGpuSolver::restore_checkpoint() {
   const double copy_before = copy_seconds_total();
   restore(store_.load_latest());
   const double spent = copy_seconds_total() - copy_before;
-  phases_.recovery += spent;
+  charge_phase(&Phases::recovery, "recovery", spent);
   rstats_.recovery_seconds += spent;
 }
 
@@ -612,7 +642,7 @@ void MultiGpuSolver::evict_and_redistribute(int32_t victim) {
   rstats_.faults_detected += 1;
   // Survivors notice the loss a suspicion timeout after it happens.
   const double timeout = res_.heartbeat.suspicion_timeout();
-  phases_.recovery += timeout;
+  charge_phase(&Phases::recovery, "recovery", timeout);
   rstats_.recovery_seconds += timeout;
 
   // Redistribute the band shards over the M surviving devices and reload the
@@ -623,7 +653,7 @@ void MultiGpuSolver::evict_and_redistribute(int32_t victim) {
   const double copy_before = copy_seconds_total();
   restore(store_.load_latest());
   const double spent = copy_seconds_total() - copy_before;
-  phases_.redistribution += spent;
+  charge_phase(&Phases::redistribution, "redistribution", spent);
   rstats_.redistribution_seconds += spent;
   rstats_.evictions += 1;
   rstats_.replayed_steps += lost;
@@ -667,7 +697,7 @@ void MultiGpuSolver::rebalance_away(int32_t victim) {
   const double copy_before = copy_seconds_total();
   restore(live);
   const double spent = copy_seconds_total() - copy_before;
-  phases_.rebalance += spent;
+  charge_phase(&Phases::rebalance, "rebalance", spent);
   rstats_.rebalance_seconds += spent;
   rstats_.rebalances += 1;
   detector_.resize(num_devices());
@@ -738,6 +768,7 @@ void MultiGpuSolver::run(int nsteps) {
   }
   rstats_.jitter_events = jitter;
   rstats_.slow_steps = std::max(rstats_.slow_steps, slow);
+  publish_resilience_metrics(rstats_, published_);
 }
 
 std::vector<double> MultiGpuSolver::gather_intensity() const {

@@ -81,6 +81,13 @@ class MultiGpuSolver {
     }
   };
   const Phases& phases() const { return phases_; }
+  // Virtual seconds consumed so far; equals phases().total() exactly (every
+  // phase charge advances this cursor, see charge_phase).
+  double virtual_elapsed() const { return trace_cursor_; }
+  // Routes this solver's virtual-time phase spans to Chrome-trace track
+  // `track` (see OBSERVABILITY.md); `label` names it in the exported file.
+  void set_trace_track(int32_t track, const std::string& label = "");
+  int32_t trace_track() const { return trace_track_; }
 
   const std::vector<double>& temperature() const { return T_; }
   std::vector<double> gather_intensity() const;
@@ -127,6 +134,12 @@ class MultiGpuSolver {
   void validate();
   void take_checkpoint();
   void restore_checkpoint();
+  // The single gateway for phase accounting: adds `seconds` to phases_.*field,
+  // emits a virtual-time trace span named `name` at the running cursor, and
+  // bumps the mgpu.phase.<name>_seconds metric. Because every phases_ mutation
+  // goes through here, per-phase span sums reconcile with phases().total() by
+  // construction (asserted in bench_straggler).
+  void charge_phase(double Phases::*field, const char* name, double seconds);
 
   BteScenario scen_;
   std::shared_ptr<const BtePhysics> phys_;
@@ -140,6 +153,8 @@ class MultiGpuSolver {
   std::vector<double> G_global_;
   std::vector<double> host_back_, iob_scratch_;
   Phases phases_;
+  int32_t trace_track_ = 100;  // Chrome-trace track of the virtual phase spans
+  double trace_cursor_ = 0.0;  // running virtual time; advanced by charge_phase
   // Straggler defense: per-device step-time telemetry feeds the detector.
   rt::StragglerDetector detector_;
   std::vector<double> dev_seconds_;
@@ -147,6 +162,7 @@ class MultiGpuSolver {
   bool resilient_ = false;
   ResilienceOptions res_;
   ResilienceStats rstats_;
+  ResilienceStats published_;  // last rstats_ mirrored into the metrics registry
   StepHealth health_;
   rt::CheckpointStore store_;
   int64_t step_index_ = 0;

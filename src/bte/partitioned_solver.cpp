@@ -7,6 +7,8 @@
 #include <span>
 #include <stdexcept>
 
+#include "runtime/trace.hpp"
+
 namespace finch::bte {
 
 namespace {
@@ -287,12 +289,20 @@ void CellPartitionedSolver::temperature_rank(Rank& r) {
 }
 
 void CellPartitionedSolver::step() {
+  // Wall-clock span (pid 0); the virtual-time phase spans (pid 1) are emitted
+  // by bsp_ as each superstep is charged.
+  rt::SpanAttrs attrs;
+  attrs.step = step_index_;
+  rt::TraceSpan step_span("cell.step", attrs);
   exchange_halos();
   std::vector<double> rank_seconds(static_cast<size_t>(nparts_));
-  for (size_t p = 0; p < ranks_.size(); ++p) {
-    const auto t0 = Clock::now();
-    sweep_rank(ranks_[p]);
-    rank_seconds[p] = seconds_since(t0);
+  {
+    rt::TraceSpan sweep_span("cell.sweep", attrs);
+    for (size_t p = 0; p < ranks_.size(); ++p) {
+      const auto t0 = Clock::now();
+      sweep_rank(ranks_[p]);
+      rank_seconds[p] = seconds_since(t0);
+    }
   }
   arm_speculation_if_chronic();
   bsp_.compute_step(rank_seconds, rt::BspSimulator::Phase::Compute);
@@ -304,10 +314,13 @@ void CellPartitionedSolver::step() {
         r.I[lo * static_cast<size_t>(dofs_) + static_cast<size_t>(k)] =
             r.I_new[lo * static_cast<size_t>(dofs_) + static_cast<size_t>(k)];
   }
-  for (size_t p = 0; p < ranks_.size(); ++p) {
-    const auto t0 = Clock::now();
-    temperature_rank(ranks_[p]);
-    rank_seconds[p] = seconds_since(t0);
+  {
+    rt::TraceSpan temp_span("cell.temperature", attrs);
+    for (size_t p = 0; p < ranks_.size(); ++p) {
+      const auto t0 = Clock::now();
+      temperature_rank(ranks_[p]);
+      rank_seconds[p] = seconds_since(t0);
+    }
   }
   bsp_.compute_step(rank_seconds, rt::BspSimulator::Phase::PostProcess);
 }
@@ -356,6 +369,7 @@ void CellPartitionedSolver::run(int nsteps) {
     rstats_.replayed_steps += lost;
   }
   sync_straggler_stats();
+  publish_resilience_metrics(rstats_, published_);
 }
 
 void CellPartitionedSolver::enable_resilience(const ResilienceOptions& options) {
@@ -852,22 +866,34 @@ void BandPartitionedSolver::gather_rank(Rank& r) {
 }
 
 void BandPartitionedSolver::step() {
+  // Wall-clock span (pid 0); the virtual-time phase spans (pid 1) are emitted
+  // by bsp_ as each superstep is charged.
+  rt::SpanAttrs attrs;
+  attrs.step = step_index_;
+  rt::TraceSpan step_span("band.step", attrs);
   std::vector<double> rank_seconds(static_cast<size_t>(nparts_));
-  for (size_t p = 0; p < ranks_.size(); ++p) {
-    const auto t0 = Clock::now();
-    sweep_rank(ranks_[p]);
-    rank_seconds[p] = seconds_since(t0);
+  {
+    rt::TraceSpan sweep_span("band.sweep", attrs);
+    for (size_t p = 0; p < ranks_.size(); ++p) {
+      const auto t0 = Clock::now();
+      sweep_rank(ranks_[p]);
+      rank_seconds[p] = seconds_since(t0);
+    }
   }
   arm_speculation_if_chronic();
   bsp_.compute_step(rank_seconds, rt::BspSimulator::Phase::Compute);
 
-  for (Rank& r : ranks_) gather_rank(r);
+  {
+    rt::TraceSpan gather_span("band.gather", attrs);
+    for (Rank& r : ranks_) gather_rank(r);
+  }
   comm_.total_bytes += comm_.bytes_per_step;
   bsp_.gather(comm_.bytes_per_step / (nparts_ > 0 ? nparts_ : 1));
   if (resilient_ && res_.sdc.enabled) audit_sentinels();
 
   // Every rank solves the (replicated) temperature and refreshes its own
   // bands' Io/beta — executed once here since the result is identical.
+  rt::TraceSpan temp_span("band.temperature", attrs);
   const auto t0 = Clock::now();
   const int ncell = nx_ * ny_;
   std::vector<double> G(static_cast<size_t>(nb_));
@@ -928,6 +954,7 @@ void BandPartitionedSolver::run(int nsteps) {
     rstats_.replayed_steps += lost;
   }
   sync_straggler_stats();
+  publish_resilience_metrics(rstats_, published_);
 }
 
 void BandPartitionedSolver::enable_resilience(const ResilienceOptions& options) {

@@ -80,6 +80,13 @@ class CellPartitionedSolver {
   const CommVolume& comm() const { return comm_; }
   // Virtual-time phase breakdown (measured compute, modeled communication).
   const rt::PhaseTimes& phases() const { return bsp_.phases(); }
+  // Total virtual seconds on the BSP clock; equals phases().total() exactly.
+  double virtual_elapsed() const { return bsp_.elapsed(); }
+  // Routes this solver's virtual-time phase spans to Chrome-trace track
+  // `track` (see OBSERVABILITY.md); `label` names it in the exported file.
+  void set_trace_track(int32_t track, const std::string& label = "") {
+    bsp_.set_trace_track(track, label);
+  }
 
   // Gathers the distributed field back to global ordering for comparison.
   std::vector<double> gather_intensity() const;
@@ -138,6 +145,7 @@ class CellPartitionedSolver {
   bool resilient_ = false;
   ResilienceOptions res_;
   ResilienceStats rstats_;
+  ResilienceStats published_;  // last rstats_ mirrored into the metrics registry
   StepHealth health_;
   rt::CheckpointStore store_;
   int64_t step_index_ = 0;
@@ -190,6 +198,13 @@ class BandPartitionedSolver {
   int nparts() const { return nparts_; }
   const CommVolume& comm() const { return comm_; }
   const rt::PhaseTimes& phases() const { return bsp_.phases(); }
+  // Total virtual seconds on the BSP clock; equals phases().total() exactly.
+  double virtual_elapsed() const { return bsp_.elapsed(); }
+  // Routes this solver's virtual-time phase spans to Chrome-trace track
+  // `track` (see OBSERVABILITY.md); `label` names it in the exported file.
+  void set_trace_track(int32_t track, const std::string& label = "") {
+    bsp_.set_trace_track(track, label);
+  }
   std::vector<double> gather_intensity() const;
   const std::vector<double>& temperature() const { return T_; }
 
@@ -241,6 +256,7 @@ class BandPartitionedSolver {
   bool resilient_ = false;
   ResilienceOptions res_;
   ResilienceStats rstats_;
+  ResilienceStats published_;  // last rstats_ mirrored into the metrics registry
   StepHealth health_;
   rt::CheckpointStore store_;
   int64_t step_index_ = 0;

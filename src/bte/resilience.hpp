@@ -37,6 +37,7 @@
 
 #include "runtime/checkpoint.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/straggler.hpp"
 
 namespace finch::bte {
@@ -126,6 +127,42 @@ struct ResilienceStats {
   double speculation_seconds = 0; // duplicated work on the critical path
   double rebalance_seconds = 0;   // shard motion of dynamic rebalances
 };
+
+// Mirrors a solver's recovery tallies into the global metrics registry under
+// `solver.*` names (OBSERVABILITY.md). ResilienceStats counters only grow, so
+// publication is delta-based against `published` — the caller keeps one
+// previously-published copy per solver and calls this at the end of run();
+// repeated runs then accumulate correctly instead of double-counting.
+inline void publish_resilience_metrics(const ResilienceStats& now, ResilienceStats& published) {
+  auto& mx = rt::MetricsRegistry::global();
+  const auto count = [&mx](const char* name, int64_t cur, int64_t prev) {
+    if (cur > prev) mx.counter(name).add(static_cast<double>(cur - prev));
+  };
+  const auto secs = [&mx](const char* name, double cur, double prev) {
+    if (cur > prev) mx.counter(name).add(cur - prev);
+  };
+  count("solver.retries", now.retries, published.retries);
+  count("solver.rollbacks", now.rollbacks, published.rollbacks);
+  count("solver.replayed_steps", now.replayed_steps, published.replayed_steps);
+  count("solver.checkpoints", now.checkpoints, published.checkpoints);
+  count("solver.validations", now.validations, published.validations);
+  count("solver.faults_detected", now.faults_detected, published.faults_detected);
+  count("solver.evictions", now.evictions, published.evictions);
+  count("solver.sdc_detections", now.sdc_detections, published.sdc_detections);
+  count("solver.block_repairs", now.block_repairs, published.block_repairs);
+  count("solver.repair_failures", now.repair_failures, published.repair_failures);
+  count("solver.sentinel_checks", now.sentinel_checks, published.sentinel_checks);
+  count("solver.invariant_violations", now.invariant_violations, published.invariant_violations);
+  count("solver.hang_escalations", now.hang_escalations, published.hang_escalations);
+  count("solver.speculations", now.speculations, published.speculations);
+  count("solver.rebalances", now.rebalances, published.rebalances);
+  secs("solver.recovery_seconds", now.recovery_seconds, published.recovery_seconds);
+  secs("solver.redistribution_seconds", now.redistribution_seconds, published.redistribution_seconds);
+  secs("solver.audit_seconds", now.audit_seconds, published.audit_seconds);
+  secs("solver.speculation_seconds", now.speculation_seconds, published.speculation_seconds);
+  secs("solver.rebalance_seconds", now.rebalance_seconds, published.rebalance_seconds);
+  published = now;
+}
 
 // Exponential backoff cost for attempt k (0-based): base * 2^k, clamped to
 // backoff_max_s so an unlucky retry chain cannot dominate the step time.

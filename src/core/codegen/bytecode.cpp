@@ -6,6 +6,7 @@
 
 #include "core/symbolic/operators.hpp"
 #include "core/symbolic/printer.hpp"
+#include "runtime/metrics.hpp"
 
 namespace finch::codegen {
 
@@ -346,6 +347,37 @@ double eval_audited(const Program& p, const EvalContext& ctx, rt::BlockChecksum&
   const double v = eval_impl<false>(p, ctx, nullptr);
   audit.fold(v);
   return v;
+}
+
+void note_eval_batch(const Program& volume, const Program* surface,
+                     int64_t volume_evals, int64_t surface_evals, double seconds) {
+  const Program::Stats vs = volume.analyze();
+  const Program::Stats ss = surface != nullptr ? surface->analyze() : Program::Stats{};
+  const double ve = static_cast<double>(volume_evals);
+  const double se = surface != nullptr ? static_cast<double>(surface_evals) : 0.0;
+  const double flops = vs.flops * ve + ss.flops * se;
+  const double loads = vs.loads * ve + ss.loads * se;
+  const double branches = vs.branches * ve + ss.branches * se;
+  const double fma = vs.fma_pairs * ve + ss.fma_pairs * se;
+  auto& mx = rt::MetricsRegistry::global();
+  mx.counter("vm.evals").add(ve + se);
+  mx.counter("vm.flops").add(flops);
+  mx.counter("vm.loads").add(loads);
+  mx.counter("vm.branches").add(branches);
+  mx.counter("vm.fma_pairs").add(fma);
+  if (seconds > 0.0) {
+    mx.counter("vm.seconds").add(seconds);
+    mx.histogram("vm.batch_seconds").observe(seconds);
+    // Op-group time split, apportioned by the static mix: the interpreter has
+    // no per-instruction clock, so group seconds are the batch time weighted
+    // by each group's share of executed ops.
+    const double total_ops = flops + loads + branches;
+    if (total_ops > 0.0) {
+      mx.counter("vm.group.arithmetic_seconds").add(seconds * flops / total_ops);
+      mx.counter("vm.group.memory_seconds").add(seconds * loads / total_ops);
+      mx.counter("vm.group.control_seconds").add(seconds * branches / total_ops);
+    }
+  }
 }
 
 Program::Stats Program::analyze() const {

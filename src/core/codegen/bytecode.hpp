@@ -166,6 +166,17 @@ double eval_guarded(const Program& p, const EvalContext& ctx, GuardReport& repor
 // sweep — the signature any later copy of that block must still match.
 double eval_audited(const Program& p, const EvalContext& ctx, rt::BlockChecksum& audit);
 
+// Observability hook (see OBSERVABILITY.md): folds one *batch* of VM
+// evaluations into the global metrics registry — vm.evals / vm.flops /
+// vm.loads / vm.branches / vm.fma_pairs scaled from the programs' static
+// instruction mix, vm.seconds plus its op-group split
+// (vm.group.{arithmetic,memory,control}_seconds, apportioned by the mix),
+// and the vm.batch_seconds histogram. Called once per sweep/launch, never
+// per evaluation: a single eval costs ~40-90 ns, so per-eval timers would
+// be the overhead they measure. Null `surface` means a volume-only batch.
+void note_eval_batch(const Program& volume, const Program* surface,
+                     int64_t volume_evals, int64_t surface_evals, double seconds);
+
 // Disassembly for debugging and source-golden tests.
 std::string disassemble(const Program& p);
 

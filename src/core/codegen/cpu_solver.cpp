@@ -9,6 +9,7 @@
 
 #include "core/symbolic/simplify.hpp"
 #include "core/dsl/problem.hpp"
+#include "runtime/trace.hpp"
 
 namespace finch::codegen {
 
@@ -68,17 +69,27 @@ class CpuSolver final : public dsl::Solver {
   void step() override {
     p_.run_pre_steps(time_);
     auto t0 = Clock::now();
-    if (p_.scheme() == dsl::TimeScheme::ForwardEuler)
-      euler_step();
-    else
-      rk2_step();
+    {
+      rt::SpanAttrs attrs;
+      attrs.phase = "compute";
+      rt::TraceSpan span("cpu.intensity", attrs);
+      if (p_.scheme() == dsl::TimeScheme::ForwardEuler)
+        euler_step();
+      else
+        rk2_step();
+    }
     if (guard_enabled_) {
       guard_report_.evals = guard_evals_.load(std::memory_order_relaxed);
       guard_report_.nonfinite_results = guard_nonfinite_.load(std::memory_order_relaxed);
     }
     phases_.intensity += seconds_since(t0);
     t0 = Clock::now();
-    p_.run_post_steps(time_);
+    {
+      rt::SpanAttrs attrs;
+      attrs.phase = "post_process";
+      rt::TraceSpan span("cpu.post_process", attrs);
+      p_.run_post_steps(time_);
+    }
     phases_.post_process += seconds_since(t0);
     time_ += p_.dt();
   }
@@ -139,6 +150,8 @@ class CpuSolver final : public dsl::Solver {
   }
 
   void sweep(CompiledEquation& ce, fvm::CellField& out, double dt_stage) {
+    rt::TraceSpan span("cpu.sweep");
+    const auto sweep_t0 = Clock::now();
     const mesh::Mesh& mesh = p_.mesh();
     // Mixed-radix iteration following the assembly-loop ordering: the
     // outermost loop is the most significant digit.
@@ -192,6 +205,13 @@ class CpuSolver final : public dsl::Solver {
     } else {
       for (int64_t it = 0; it < total; ++it) body(it);
     }
+    // Batch-level VM telemetry (per-eval timers would dominate the ~40-90 ns
+    // evals). Surface evals are estimated as faces-per-cell x iterations.
+    int64_t surface_evals = 0;
+    if (ce.has_surface && mesh.num_cells() > 0)
+      surface_evals = total * 2 * mesh.num_faces() / mesh.num_cells();
+    note_eval_batch(ce.volume, ce.has_surface ? &ce.surface : nullptr, total,
+                    surface_evals, seconds_since(sweep_t0));
   }
 
   double surface_contribution(CompiledEquation& ce, EvalContext& ctx, int32_t cell,

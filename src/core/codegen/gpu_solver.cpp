@@ -8,6 +8,8 @@
 
 #include "core/symbolic/simplify.hpp"
 #include "core/dsl/problem.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/trace.hpp"
 
 namespace finch::codegen {
 
@@ -195,6 +197,8 @@ class GpuSolver final : public dsl::Solver {
     ks.dram_bytes_per_thread = 8.0 /*write*/ + 8.0 /*own read*/ + 2.0 /*amortized shared*/;
     ks.divergence = 0.02 * ss.branches;  // upwind selects cause mild divergence
 
+    rt::TraceSpan span("gpu.launch_interior");
+    const auto t0 = Clock::now();
     gpu_->launch(
         "interior_" + ce.rec->variable, ks,
         [&] {
@@ -211,6 +215,9 @@ class GpuSolver final : public dsl::Solver {
           }
         },
         kernel_stream_);
+    const int64_t evals = static_cast<int64_t>(interior_cells_.size()) * ce.dofs_per_cell;
+    note_eval_batch(ce.volume, ce.has_surface ? &ce.surface : nullptr, evals,
+                    ce.has_surface ? evals * faces : 0, seconds_since(t0));
   }
 
   double surface_interior(Compiled& ce, EvalContext& ctx, int32_t cell) {
@@ -287,11 +294,14 @@ class GpuSolver final : public dsl::Solver {
   void charge_d2h(MovementPlan::Transfer& t) {
     auto it = device_.find(t.array);
     if (it == device_.end() || !p_.fields().has(t.array)) return;
+    rt::TraceSpan span("movement.d2h");
     host_scratch_.resize(it->second.size());
     t.seal({it->second.device_data(), it->second.size()});
     gpu_->memcpy_d2h(host_scratch_, it->second, kernel_stream_);
+    rt::MetricsRegistry::global().counter("movement.d2h.transfers").add(1.0);
     if (!t.verify(host_scratch_)) {
       transfer_audit_failures_ += 1;
+      rt::MetricsRegistry::global().counter("movement.audit_failures").add(1.0);
       gpu_->memcpy_d2h(host_scratch_, it->second, kernel_stream_);
     }
   }
@@ -299,11 +309,14 @@ class GpuSolver final : public dsl::Solver {
   void charge_h2d(MovementPlan::Transfer& t) {
     auto it = device_.find(t.array);
     if (it == device_.end() || !p_.fields().has(t.array)) return;
+    rt::TraceSpan span("movement.h2d");
     std::span<const double> src = p_.fields().get(t.array).data();
     t.seal(src);
     gpu_->memcpy_h2d(it->second, src, kernel_stream_);
+    rt::MetricsRegistry::global().counter("movement.h2d.transfers").add(1.0);
     if (!t.verify({it->second.device_data(), src.size()})) {
       transfer_audit_failures_ += 1;
+      rt::MetricsRegistry::global().counter("movement.audit_failures").add(1.0);
       gpu_->memcpy_h2d(it->second, src, kernel_stream_);
     }
   }

@@ -1,5 +1,7 @@
 #include "movement.hpp"
 
+#include "runtime/metrics.hpp"
+
 namespace finch::codegen {
 
 namespace {
@@ -7,6 +9,23 @@ int64_t sum(const std::vector<MovementPlan::Transfer>& ts) {
   int64_t t = 0;
   for (const auto& x : ts) t += x.bytes;
   return t;
+}
+
+MovementPlan::Transfer make_transfer(const ArrayUse& a) {
+  MovementPlan::Transfer t;
+  t.array = a.name;
+  t.bytes = a.bytes;
+  return t;
+}
+
+// Planner verdicts land in the metrics registry (OBSERVABILITY.md) so the
+// movement-ablation bench can diff planned vs. naive traffic from one dump.
+void note_plan(const MovementPlan& plan) {
+  auto& mx = rt::MetricsRegistry::global();
+  mx.counter("movement.plans").add(1.0);
+  mx.gauge("movement.upload_once.bytes").set(static_cast<double>(plan.once_bytes()));
+  mx.gauge("movement.h2d.bytes_per_step").set(static_cast<double>(plan.step_h2d_bytes()));
+  mx.gauge("movement.d2h.bytes_per_step").set(static_cast<double>(plan.step_d2h_bytes()));
 }
 }  // namespace
 
@@ -19,12 +38,13 @@ MovementPlan plan_movement(const std::vector<ArrayUse>& arrays) {
   for (const ArrayUse& a : arrays) {
     const bool gpu_touches = a.gpu_reads || a.gpu_writes;
     if (!gpu_touches) continue;  // stays on the host, never moves
-    if (a.gpu_reads) plan.upload_once.push_back({a.name, a.bytes});
+    if (a.gpu_reads) plan.upload_once.push_back(make_transfer(a));
     // GPU-produced data the CPU consumes each step comes back each step.
-    if (a.gpu_writes && a.cpu_reads) plan.per_step_d2h.push_back({a.name, a.bytes});
+    if (a.gpu_writes && a.cpu_reads) plan.per_step_d2h.push_back(make_transfer(a));
     // CPU-produced data the GPU consumes each step goes up each step.
-    if (a.cpu_writes && a.gpu_reads) plan.per_step_h2d.push_back({a.name, a.bytes});
+    if (a.cpu_writes && a.gpu_reads) plan.per_step_h2d.push_back(make_transfer(a));
   }
+  note_plan(plan);
   return plan;
 }
 
@@ -32,9 +52,9 @@ MovementPlan plan_movement_naive(const std::vector<ArrayUse>& arrays) {
   MovementPlan plan;
   for (const ArrayUse& a : arrays) {
     if (!(a.gpu_reads || a.gpu_writes)) continue;
-    plan.upload_once.push_back({a.name, a.bytes});
-    plan.per_step_h2d.push_back({a.name, a.bytes});
-    plan.per_step_d2h.push_back({a.name, a.bytes});
+    plan.upload_once.push_back(make_transfer(a));
+    plan.per_step_h2d.push_back(make_transfer(a));
+    plan.per_step_d2h.push_back(make_transfer(a));
   }
   return plan;
 }

@@ -97,6 +97,7 @@ ScalingPoint model_band_parallel(const Workload& w, const CalibratedCosts& c, co
   const int eff = std::min<int64_t>(procs, w.bands);
   const int bands_local = static_cast<int>((w.bands + eff - 1) / eff);
   rt::BspSimulator sim(procs, m.comm);
+  sim.set_trace_track(m.trace_track, m.trace_label);
   for (int step = 0; step < w.steps; ++step) {
     const double intensity =
         static_cast<double>(w.cells) * w.dirs * bands_local * c.sec_per_dof_intensity;
@@ -133,6 +134,7 @@ ScalingPoint model_cell_parallel(const Workload& w, const CalibratedCosts& c, co
   }
 
   rt::BspSimulator sim(procs, m.comm);
+  sim.set_trace_track(m.trace_track, m.trace_label);
   std::vector<double> intensity(static_cast<size_t>(procs)), temp(static_cast<size_t>(procs));
   for (int32_t p = 0; p < procs; ++p) {
     intensity[static_cast<size_t>(p)] =
@@ -155,6 +157,7 @@ ScalingPoint model_fortran(const Workload& w, const CalibratedCosts& c, const Mo
   const int bands_local = static_cast<int>((w.bands + eff - 1) / eff);
   const double per_dof = c.sec_per_dof_intensity / c.fortran_speedup;
   rt::BspSimulator sim(procs, m.comm);
+  sim.set_trace_track(m.trace_track, m.trace_label);
   for (int step = 0; step < w.steps; ++step) {
     const double parallel_part =
         static_cast<double>(w.cells) * w.dirs * bands_local * per_dof;
@@ -196,6 +199,7 @@ ScalingPoint model_gpu(const Workload& w, const CalibratedCosts& c, const ModelC
                       static_cast<double>(d2h + h2d) / m.gpu.pcie_bandwidth_Bps;
 
   rt::BspSimulator sim(devices, m.comm);
+  sim.set_trace_track(m.trace_track, m.trace_label);
   for (int step = 0; step < w.steps; ++step) {
     sim.uniform_compute(kernel, rt::BspSimulator::Phase::Compute);
     sim.uniform_compute(pcie, rt::BspSimulator::Phase::Communication);

@@ -13,6 +13,7 @@
 // Every model advances a BspSimulator so phase breakdowns (Figs 5/8) fall out
 // of the same machinery as the totals (Figs 4/7/9).
 
+#include <string>
 #include <vector>
 
 #include "bte/bte_problem.hpp"
@@ -65,6 +66,11 @@ struct ModelConfig {
   double kernel_fma_fraction = 0.10;   // mixed compare/select/div issue mix
   double kernel_dram_bytes_per_dof = 18;
   double kernel_divergence = 0.04;
+  // Chrome-trace track the model's BSP phase spans land on when tracing is
+  // enabled (see OBSERVABILITY.md); `trace_label` names the track in the
+  // export. Benches sweeping proc counts give each point its own track.
+  int32_t trace_track = 1;
+  std::string trace_label;
 };
 
 // Band-parallel CPU strategy (partition the 55 bands over ranks).

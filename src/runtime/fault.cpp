@@ -4,6 +4,8 @@
 #include <cstring>
 #include <limits>
 
+#include "metrics.hpp"
+
 namespace finch::rt {
 
 namespace {
@@ -110,6 +112,11 @@ bool FaultInjector::should_fault(FaultKind kind, std::string_view site) {
   fired_[key] += 1;
   stats_.injected[static_cast<size_t>(kind)] += 1;
   events_.push_back({kind, std::string(site), index});
+  // Metrics mirror: the conservation invariant (metrics == FaultStats) is
+  // asserted by tests/trace_test.cpp.
+  auto& mx = MetricsRegistry::global();
+  mx.counter("fault.injected").add(1.0);
+  mx.counter(std::string("fault.injected.") + fault_kind_name(kind)).add(1.0);
   return true;
 }
 

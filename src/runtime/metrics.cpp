@@ -1,0 +1,169 @@
+#include "metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+namespace finch::rt {
+
+namespace {
+
+void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (d < cur && !a.compare_exchange_weak(cur, d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (d > cur && !a.compare_exchange_weak(cur, d, std::memory_order_relaxed)) {
+  }
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+void Histogram::observe(double x) {
+  const int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, x);
+  if (n == 0) {
+    // First observation seeds min/max; a racing second observation still
+    // converges through the CAS loops below.
+    min_.store(x, std::memory_order_relaxed);
+    max_.store(x, std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, x);
+    atomic_max(max_, x);
+  }
+  int b = 0;
+  const double ax = std::fabs(x);
+  if (std::isfinite(ax) && ax > 0.0) {
+    b = std::ilogb(ax) + 32;
+    if (b < 0) b = 0;
+    if (b >= kBuckets) b = kBuckets - 1;
+  }
+  buckets_[static_cast<size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::bucket_floor(int b) { return std::ldexp(1.0, b - 32); }
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* r = new MetricsRegistry();  // leaked: see Tracer
+  return *r;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  auto& slot = counters_[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  auto& slot = gauges_[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  auto& slot = histograms_[std::string(name)];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+double MetricsRegistry::value(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  if (auto it = counters_.find(name); it != counters_.end())
+    return it->second->value();
+  if (auto it = gauges_.find(name); it != gauges_.end())
+    return it->second->value();
+  return 0.0;
+}
+
+void MetricsRegistry::reset() {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  for (auto& [k, c] : counters_) c->reset();
+  for (auto& [k, g] : gauges_) g->reset();
+  for (auto& [k, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [k, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << k << "\": " << num(c->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [k, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << k << "\": " << num(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [k, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << k << "\": {\"count\": "
+       << h->count() << ", \"sum\": " << num(h->sum())
+       << ", \"min\": " << num(h->min()) << ", \"max\": " << num(h->max())
+       << ", \"buckets\": {";
+    bool bfirst = true;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (h->bucket(b) == 0) continue;
+      if (!bfirst) os << ", ";
+      bfirst = false;
+      os << "\"" << num(Histogram::bucket_floor(b)) << "\": " << h->bucket(b);
+    }
+    os << "}}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace finch::rt

@@ -4,7 +4,23 @@
 #include <cmath>
 #include <cstring>
 
+#include "metrics.hpp"
+#include "trace.hpp"
+
 namespace finch::rt {
+
+void SimGpu::set_trace_track(int32_t track, const std::string& label) {
+  trace_track_ = track;
+  if (!label.empty()) Tracer::global().set_track_name(1, track, label);
+}
+
+void SimGpu::trace_stream(const char* name, int stream, double seconds) {
+  Tracer& tr = Tracer::global();
+  if (!tr.enabled() || seconds <= 0.0) return;
+  const double end = stream_clocks_.at(static_cast<size_t>(stream));
+  tr.record_complete(name, std::llround((end - seconds) * 1e9),
+                     std::llround(seconds * 1e9), trace_track_ + stream);
+}
 
 GpuSpec GpuSpec::a6000() {
   GpuSpec s;
@@ -47,6 +63,12 @@ void SimGpu::memcpy_h2d(DeviceBuffer& dst, std::span<const double> src, int stre
   stream_clocks_.at(static_cast<size_t>(stream)) += t;
   counters_.copy_seconds += t;
   counters_.bytes_h2d += bytes;
+  trace_stream("h2d", stream, t);
+  {
+    auto& mx = MetricsRegistry::global();
+    mx.counter("gpu.bytes_h2d").add(static_cast<double>(bytes));
+    mx.counter("gpu.copy_seconds").add(t);
+  }
   if (faults_ != nullptr && faults_->should_fault(FaultKind::TransferCorruption, "h2d")) {
     faults_->corrupt(std::span<double>(dst.data_.data(), src.size()), "h2d");
     counters_.transfer_corruptions += 1;
@@ -62,6 +84,12 @@ void SimGpu::memcpy_d2h(std::span<double> dst, const DeviceBuffer& src, int stre
   stream_clocks_.at(static_cast<size_t>(stream)) += t;
   counters_.copy_seconds += t;
   counters_.bytes_d2h += bytes;
+  trace_stream("d2h", stream, t);
+  {
+    auto& mx = MetricsRegistry::global();
+    mx.counter("gpu.bytes_d2h").add(static_cast<double>(bytes));
+    mx.counter("gpu.copy_seconds").add(t);
+  }
   if (faults_ != nullptr && faults_->should_fault(FaultKind::TransferCorruption, "d2h")) {
     faults_->corrupt(dst, "d2h");
     counters_.transfer_corruptions += 1;
@@ -75,6 +103,7 @@ bool SimGpu::decay(DeviceBuffer& buf, std::string_view site) {
   faults_->flip_bit(std::span<double>(buf.data_.data(), buf.size()),
                     FaultKind::BitFlipDeviceArray, site);
   counters_.silent_flips += 1;
+  MetricsRegistry::global().counter("gpu.silent_flips").add(1.0);
   return true;
 }
 
@@ -109,6 +138,8 @@ void SimGpu::launch(const std::string& kernel_name, const KernelStats& stats,
     counters_.launch_failures += 1;
     counters_.kernel_seconds += spec_.launch_overhead_s;
     counters_.fault_seconds += spec_.launch_overhead_s;
+    trace_stream("launch_failure", stream, spec_.launch_overhead_s);
+    MetricsRegistry::global().counter("gpu.launch.failures").add(1.0);
     throw TransientFault(FaultKind::KernelLaunchFailure, kernel_name);
   }
   if (body) body();  // the generated kernel really executes on device buffers
@@ -122,6 +153,7 @@ void SimGpu::launch(const std::string& kernel_name, const KernelStats& stats,
       const double jitter = faults_->jitter_factor("launch");
       counters_.straggler_seconds += t * (jitter - 1.0);
       counters_.jitter_events += 1;
+      MetricsRegistry::global().counter("gpu.jitter.events").add(1.0);
       t *= jitter;
     }
   }
@@ -132,6 +164,16 @@ void SimGpu::launch(const std::string& kernel_name, const KernelStats& stats,
   stream_clocks_.at(static_cast<size_t>(stream)) += t;
   counters_.kernel_seconds += t;
   counters_.kernel_launches += 1;
+  if (Tracer::global().enabled()) {
+    const double end = stream_clocks_.at(static_cast<size_t>(stream));
+    Tracer::global().record_complete(kernel_name, std::llround((end - t) * 1e9),
+                                     std::llround(t * 1e9), trace_track_ + stream);
+  }
+  {
+    auto& mx = MetricsRegistry::global();
+    mx.counter("gpu.launches").add(1.0);
+    mx.counter("gpu.kernel_seconds").add(t);
+  }
   const double flops = stats.flops_per_thread * static_cast<double>(stats.threads);
   const double bytes = stats.dram_bytes_per_thread * static_cast<double>(stats.threads);
   counters_.total_flops += flops;

@@ -151,7 +151,20 @@ class SimGpu {
   bool is_slow() const { return slow_factor_ > 1.0; }
   double slow_factor() const { return slow_factor_; }
 
+  // ---- observability (see OBSERVABILITY.md) --------------------------------
+  //
+  // When the global rt::Tracer is enabled, every launch and copy is emitted
+  // as a complete event on virtual-timeline track `track + stream` (pid 1),
+  // timestamped by the stream clock; `label` names track `track + 0`.
+  // Launches/copies always feed the gpu.* metrics (launches, kernel/copy
+  // seconds, bytes moved, failures, silent flips).
+  void set_trace_track(int32_t track, const std::string& label = "");
+  int32_t trace_track() const { return trace_track_; }
+
  private:
+  // Mirrors `seconds` of stream-clock advance ending now on `stream` to the
+  // tracer as a complete event named `name`.
+  void trace_stream(const char* name, int stream, double seconds);
   GpuSpec spec_;
   FaultInjector* faults_ = nullptr;
   GpuCounters counters_;
@@ -159,6 +172,7 @@ class SimGpu {
   std::vector<double> stream_clocks_{0.0};
   double weighted_sm_ = 0, weighted_flopfrac_ = 0, weighted_memfrac_ = 0;
   double slow_factor_ = 1.0;
+  int32_t trace_track_ = 200;  // virtual-timeline track base for this device
 };
 
 }  // namespace finch::rt

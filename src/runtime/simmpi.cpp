@@ -4,10 +4,48 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "metrics.hpp"
+#include "trace.hpp"
+
 namespace finch::rt {
+
+namespace {
+
+int64_t virt_ns(double seconds) { return std::llround(seconds * 1e9); }
+
+const char* phase_span_name(BspSimulator::Phase phase) {
+  switch (phase) {
+    case BspSimulator::Phase::Compute: return "compute";
+    case BspSimulator::Phase::PostProcess: return "post_process";
+    case BspSimulator::Phase::Communication: return "communication";
+    case BspSimulator::Phase::Audit: return "audit";
+  }
+  return "compute";
+}
+
+}  // namespace
 
 BspSimulator::BspSimulator(int32_t nranks, CommModel model) : nranks_(nranks), model_(model) {
   if (nranks < 1) throw std::invalid_argument("BspSimulator: nranks must be >= 1");
+}
+
+void BspSimulator::set_trace_track(int32_t track, const std::string& label) {
+  trace_track_ = track;
+  if (!label.empty()) Tracer::global().set_track_name(1, track, label);
+}
+
+void BspSimulator::trace_charge(const char* name, double start, double seconds) {
+  if (seconds <= 0.0) return;
+  Tracer& tr = Tracer::global();
+  if (tr.enabled()) {
+    SpanAttrs attrs;
+    attrs.step = trace_step_;
+    attrs.phase = name;
+    tr.record_complete(name, virt_ns(start), virt_ns(seconds), trace_track_, attrs);
+  }
+  MetricsRegistry::global()
+      .counter(std::string("bsp.phase.") + name + "_seconds")
+      .add(seconds);
 }
 
 void BspSimulator::compute_step(std::span<const double> seconds, Phase phase) {
@@ -29,6 +67,7 @@ void BspSimulator::compute_step(std::span<const double> seconds, Phase phase) {
           faults_->pick(FaultKind::JitterKernel, "compute", static_cast<size_t>(nranks_));
       scratch_[victim] *= faults_->jitter_factor("compute");
       jitter_events_ += 1;
+      MetricsRegistry::global().counter("bsp.jitter.events").add(1.0);
     }
   }
   if (slow_rank_ >= 0 && slow_rank_ < nranks_) {
@@ -59,6 +98,7 @@ void BspSimulator::compute_step(std::span<const double> seconds, Phase phase) {
   spec_victim_ = spec_helper_ = -1;
 
   const double step = *std::max_element(scratch_.begin(), scratch_.end());
+  const double start = clock_;
   clock_ += step;
   const double spec_charge = std::min(spec_extra, step);
   switch (phase) {
@@ -69,6 +109,12 @@ void BspSimulator::compute_step(std::span<const double> seconds, Phase phase) {
   }
   phases_.speculation += spec_charge;
   rank_seconds_by_phase_[static_cast<size_t>(phase)] = scratch_;
+  trace_charge(phase_span_name(phase), start, step - spec_charge);
+  trace_charge("speculation", start + (step - spec_charge), spec_charge);
+  if (phase == Phase::Compute) {
+    trace_step_ += 1;
+    MetricsRegistry::global().counter("bsp.steps").add(1.0);
+  }
 }
 
 void BspSimulator::uniform_compute(double seconds, Phase phase) {
@@ -80,10 +126,13 @@ void BspSimulator::exchange(std::span<const Message> messages) {
   if (nranks_ == 1 || messages.empty()) return;
   std::vector<double> cost(static_cast<size_t>(nranks_), 0.0);
   double fault_cost = 0.0;
+  int64_t bytes_total = 0;
+  int64_t dropped_here = 0;
   for (const Message& m : messages) {
     if (m.src < 0 || m.src >= nranks_ || m.dst < 0 || m.dst >= nranks_)
       throw std::invalid_argument("exchange: rank out of range");
     if (m.src == m.dst) continue;  // local copies are free
+    bytes_total += m.bytes;
     const double t = model_.per_message(m.bytes);
     cost[static_cast<size_t>(m.src)] += t;
     cost[static_cast<size_t>(m.dst)] += t;
@@ -94,7 +143,15 @@ void BspSimulator::exchange(std::span<const Message> messages) {
       cost[static_cast<size_t>(m.dst)] += penalty;
       fault_cost += penalty;
       dropped_messages_ += 1;
+      dropped_here += 1;
     }
+  }
+  {
+    auto& mx = MetricsRegistry::global();
+    mx.counter("bsp.exchange.messages").add(static_cast<double>(messages.size()));
+    mx.counter("bsp.exchange.bytes").add(static_cast<double>(bytes_total));
+    if (dropped_here > 0)
+      mx.counter("bsp.exchange.dropped").add(static_cast<double>(dropped_here));
   }
   double step = *std::max_element(cost.begin(), cost.end());
   if (faults_ != nullptr && faults_->should_fault(FaultKind::StuckRank, "exchange")) {
@@ -110,15 +167,20 @@ void BspSimulator::exchange(std::span<const Message> messages) {
     step += stall;
     fault_cost += stall;
   }
+  const double start = clock_;
   clock_ += step;
   phases_.communication += step;
-  phases_.fault_stall += std::min(fault_cost, step);
+  const double stall_charge = std::min(fault_cost, step);
+  phases_.fault_stall += stall_charge;
+  trace_charge("communication", start, step);
+  trace_charge("fault_stall", start + (step - stall_charge), stall_charge);
 }
 
 double BspSimulator::hang_penalty(double nominal) {
   if (faults_ == nullptr || !faults_->should_fault(FaultKind::HangExchange, "exchange"))
     return 0.0;
   hang_events_ += 1;
+  MetricsRegistry::global().counter("bsp.hang.events").add(1.0);
   if (!stragopt_.enabled) {
     // Unwatched hang: the job blocks until the (huge) stall clears on its own.
     return faults_->hang_seconds();
@@ -135,6 +197,7 @@ double BspSimulator::hang_penalty(double nominal) {
   for (;;) {
     misses += 1;
     watchdog_timeouts_ += 1;
+    MetricsRegistry::global().counter("bsp.watchdog.timeouts").add(1.0);
     stall += deadline;
     if (heartbeat_.classify(misses) == HeartbeatModel::Verdict::Dead) {
       hang_suspect_ = static_cast<int32_t>(
@@ -162,8 +225,11 @@ void BspSimulator::evict_rank(int32_t rank) {
   // Survivors confirm the death only after miss_threshold missed heartbeats;
   // that suspicion window is wall time the whole job loses.
   const double timeout = heartbeat_.suspicion_timeout();
+  const double start = clock_;
   clock_ += timeout;
   phases_.recovery += timeout;
+  trace_charge("recovery", start, timeout);
+  MetricsRegistry::global().counter("bsp.evictions").add(1.0);
   nranks_ -= 1;
   evictions_ += 1;
   shrink_bookkeeping(rank);
@@ -197,6 +263,7 @@ void BspSimulator::retire_rank(int32_t rank) {
   // only cost is the shard motion the caller bills via charge_rebalance.
   nranks_ -= 1;
   retirements_ += 1;
+  MetricsRegistry::global().counter("bsp.retirements").add(1.0);
   shrink_bookkeeping(rank);
 }
 
@@ -218,8 +285,11 @@ void BspSimulator::charge_rebalance(int64_t bytes) {
   // lands in its own phase.
   const double step = static_cast<double>(nranks_) * model_.latency_s +
                       static_cast<double>(bytes) / model_.bandwidth_Bps;
+  const double start = clock_;
   clock_ += step;
   phases_.rebalance += step;
+  trace_charge("rebalance", start, step);
+  MetricsRegistry::global().counter("bsp.rebalance.bytes").add(static_cast<double>(bytes));
 }
 
 const std::vector<double>& BspSimulator::last_rank_seconds(Phase phase) const {
@@ -227,8 +297,10 @@ const std::vector<double>& BspSimulator::last_rank_seconds(Phase phase) const {
 }
 
 void BspSimulator::charge_recovery(double seconds) {
+  const double start = clock_;
   clock_ += seconds;
   phases_.recovery += seconds;
+  trace_charge("recovery", start, seconds);
 }
 
 void BspSimulator::charge_redistribution(int64_t bytes) {
@@ -236,19 +308,27 @@ void BspSimulator::charge_redistribution(int64_t bytes) {
   // partitioning: one message per survivor plus the full image over the wire.
   const double step = static_cast<double>(nranks_) * model_.latency_s +
                       static_cast<double>(bytes) / model_.bandwidth_Bps;
+  const double start = clock_;
   clock_ += step;
   phases_.redistribution += step;
+  trace_charge("redistribution", start, step);
+  MetricsRegistry::global().counter("bsp.redistribution.bytes").add(static_cast<double>(bytes));
 }
 
 void BspSimulator::charge_audit(double seconds) {
+  const double start = clock_;
   clock_ += seconds;
   phases_.audit += seconds;
+  trace_charge("audit", start, seconds);
 }
 
 void BspSimulator::charge_fault(double seconds) {
+  const double start = clock_;
   clock_ += seconds;
   phases_.communication += seconds;
   phases_.fault_stall += seconds;
+  trace_charge("communication", start, seconds);
+  trace_charge("fault_stall", start, seconds);
 }
 
 void BspSimulator::allreduce(int64_t bytes) {
@@ -256,8 +336,11 @@ void BspSimulator::allreduce(int64_t bytes) {
   // Recursive doubling: ceil(log2 p) rounds, each alpha + bytes/bw.
   const double rounds = std::ceil(std::log2(static_cast<double>(nranks_)));
   const double step = rounds * model_.per_message(bytes);
+  const double start = clock_;
   clock_ += step;
   phases_.communication += step;
+  trace_charge("communication", start, step);
+  MetricsRegistry::global().counter("bsp.allreduce.bytes").add(static_cast<double>(bytes));
 }
 
 void BspSimulator::gather(int64_t bytes_per_rank) {
@@ -275,9 +358,14 @@ void BspSimulator::gather(int64_t bytes_per_rank) {
     step += stall;
     fault_cost += stall;
   }
+  const double start = clock_;
   clock_ += step;
   phases_.communication += step;
-  phases_.fault_stall += std::min(fault_cost, step);
+  const double stall_charge = std::min(fault_cost, step);
+  phases_.fault_stall += stall_charge;
+  trace_charge("communication", start, step);
+  trace_charge("fault_stall", start + (step - stall_charge), stall_charge);
+  MetricsRegistry::global().counter("bsp.gather.bytes").add(static_cast<double>(bytes_per_rank) * (nranks_ - 1));
 }
 
 }  // namespace finch::rt

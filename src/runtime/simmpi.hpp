@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -190,10 +191,25 @@ class BspSimulator {
   // own repair traffic (e.g. re-pulling one corrupted halo message).
   const CommModel& comm_model() const { return model_; }
 
+  // ---- observability (see OBSERVABILITY.md) --------------------------------
+  //
+  // When the global rt::Tracer is enabled, every clock charge is mirrored as
+  // a complete event on virtual-timeline track `track` (pid 1), named after
+  // its PhaseTimes slot; `label` names the track in the exported trace.
+  // Charged seconds also feed the metrics registry (bsp.phase.*_seconds,
+  // bsp.steps, bsp.exchange.*), so by construction the per-phase span sums
+  // reconcile with phases() and their total with elapsed() (fault_stall is
+  // nested inside communication, never additional).
+  void set_trace_track(int32_t track, const std::string& label = "");
+  int32_t trace_track() const { return trace_track_; }
+
  private:
   // Shared by evict_rank and retire_rank: remaps the sticky slow-rank index,
   // disarms any pending speculation, and restarts the detector cold.
   void shrink_bookkeeping(int32_t removed_rank);
+  // Mirrors one clock charge of `seconds` starting at virtual time `start`
+  // to the tracer (span named `name`) and the metrics registry.
+  void trace_charge(const char* name, double start, double seconds);
   // Consults the injector for a HangExchange on a superstep of `nominal`
   // seconds; returns the extra stall. Without the defense the full
   // hang_seconds() timeout is paid; with it the watchdog charges one deadline
@@ -223,6 +239,8 @@ class BspSimulator {
   int64_t hang_events_ = 0;
   int64_t watchdog_timeouts_ = 0;
   int32_t retirements_ = 0;
+  int32_t trace_track_ = 1;  // virtual-timeline track id for emitted spans
+  int64_t trace_step_ = 0;   // superstep index attached to span attrs
   std::vector<std::vector<double>> rank_seconds_by_phase_{4};
   std::vector<double> scratch_;
 };

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "metrics.hpp"
+
 namespace finch::rt {
 
 StragglerDetector::StragglerDetector(int32_t nranks, StragglerOptions opt) : opt_(opt) {
@@ -34,10 +36,21 @@ void StragglerDetector::observe(std::span<const double> rank_seconds) {
   }
   observations_ += 1;
   const double median = fleet_median();
+  int32_t suspects = 0;
+  int32_t chronics = 0;
   for (size_t r = 0; r < ewma_.size(); ++r) {
     const bool slow = median > 0.0 && ewma_[r] > opt_.slow_ratio * median;
     streak_[r] = slow ? streak_[r] + 1 : 0;
+    if (streak_[r] >= 1) suspects += 1;
+    if (streak_[r] >= opt_.chronic_steps) chronics += 1;
   }
+  // The detector is itself a consumer of the shared telemetry substrate:
+  // verdicts land in the metrics registry so benches and traces can overlay
+  // suspicion against the per-phase span data (OBSERVABILITY.md).
+  auto& mx = MetricsRegistry::global();
+  mx.counter("straggler.observations").add(1.0);
+  if (suspects > 0) mx.counter("straggler.suspect_steps").add(1.0);
+  if (chronics > 0) mx.counter("straggler.chronic_steps").add(1.0);
 }
 
 void StragglerDetector::resize(int32_t nranks) {

@@ -1,0 +1,308 @@
+#include "trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace finch::rt {
+
+// Per-thread event storage: a fixed slot array written only by the owning
+// thread and published through `count` (release/acquire), so exporters can
+// read a consistent prefix without taking any lock.
+struct Tracer::ThreadBuffer {
+  std::unique_ptr<TraceEvent[]> slots;
+  size_t capacity = 0;
+  std::atomic<size_t> count{0};
+  std::atomic<int64_t> dropped{0};
+  int32_t track = 0;
+};
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // leaked: outlives every thread's spans
+  return *t;
+}
+
+void Tracer::configure(const TraceConfig& cfg) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    capacity_ = cfg.max_events_per_thread;
+    for (auto& b : buffers_) {
+      if (b->capacity != capacity_) {
+        b->slots = std::make_unique<TraceEvent[]>(capacity_);
+        b->capacity = capacity_;
+      }
+      b->count.store(0, std::memory_order_relaxed);
+      b->dropped.store(0, std::memory_order_relaxed);
+    }
+  }
+  enabled_.store(cfg.enabled, std::memory_order_relaxed);
+}
+
+void Tracer::set_clock(std::function<int64_t()> clock_ns) {
+  clock_ns_ = std::move(clock_ns);
+  has_clock_.store(static_cast<bool>(clock_ns_), std::memory_order_release);
+}
+
+int64_t Tracer::now_ns() const {
+  if (has_clock_.load(std::memory_order_acquire)) return clock_ns_();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer::ThreadBuffer* Tracer::thread_buffer() {
+  thread_local ThreadBuffer* tb = nullptr;
+  if (tb == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    std::lock_guard<std::mutex> lk(mu_);
+    owned->capacity = capacity_;
+    owned->slots = std::make_unique<TraceEvent[]>(capacity_);
+    owned->track = static_cast<int32_t>(buffers_.size());
+    tb = owned.get();
+    buffers_.push_back(std::move(owned));
+  }
+  return tb;
+}
+
+void Tracer::append(ThreadBuffer* tb, TraceEvent ev) {
+  const size_t n = tb->count.load(std::memory_order_relaxed);
+  if (n >= tb->capacity) {
+    tb->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  tb->slots[n] = std::move(ev);
+  tb->count.store(n + 1, std::memory_order_release);
+}
+
+void Tracer::end_span(const char* name, int64_t ts_ns, const SpanAttrs& attrs) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = now_ns() - ts_ns;
+  if (ev.dur_ns < 0) ev.dur_ns = 0;
+  ev.pid = 0;
+  ThreadBuffer* tb = thread_buffer();
+  ev.track = tb->track;
+  ev.attrs = attrs;
+  append(tb, std::move(ev));
+}
+
+void Tracer::record_complete(std::string name, int64_t ts_ns, int64_t dur_ns,
+                             int32_t track, SpanAttrs attrs) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns < 0 ? 0 : dur_ns;
+  ev.pid = 1;
+  ev.track = track;
+  ev.attrs = attrs;
+  append(thread_buffer(), std::move(ev));
+}
+
+void Tracer::set_track_name(int32_t pid, int32_t track, std::string name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  track_names_[{pid, track}] = std::move(name);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& b : buffers_) {
+    const size_t n = b->count.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) out.push_back(b->slots[i]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& b : buffers_) {
+    b->count.store(0, std::memory_order_relaxed);
+    b->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  int64_t total = 0;
+  for (const auto& b : buffers_) total += b->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+namespace {
+
+// JSON string escaping for event/track names (identifiers in practice, but
+// a corrupt name must not produce invalid JSON).
+void escape_json(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// Microseconds with fixed nanosecond resolution — deterministic formatting
+// for the golden test.
+void write_us(std::ostream& os, int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  os << buf;
+}
+
+// Deterministic export order: by timeline, then track, then time; ties put
+// the longer (outer) interval first so nested rendering is stable.
+bool event_before(const TraceEvent& a, const TraceEvent& b) {
+  if (a.pid != b.pid) return a.pid < b.pid;
+  if (a.track != b.track) return a.track < b.track;
+  if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+  if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+  return a.name < b.name;
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::vector<TraceEvent> events = snapshot();
+  std::sort(events.begin(), events.end(), event_before);
+  std::map<std::pair<int32_t, int32_t>, std::string> names;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    names = track_names_;
+  }
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  sep();
+  os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"wall-clock\"}}";
+  sep();
+  os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"virtual-time\"}}";
+  for (const auto& [key, name] : names) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << key.first << ",\"tid\":" << key.second
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    escape_json(os, name);
+    os << "\"}}";
+  }
+  for (const TraceEvent& ev : events) {
+    sep();
+    os << "{\"ph\":\"X\",\"pid\":" << ev.pid << ",\"tid\":" << ev.track
+       << ",\"ts\":";
+    write_us(os, ev.ts_ns);
+    os << ",\"dur\":";
+    write_us(os, ev.dur_ns);
+    os << ",\"name\":\"";
+    escape_json(os, ev.name);
+    os << "\"";
+    const SpanAttrs& a = ev.attrs;
+    if (a.rank >= 0 || a.device >= 0 || a.step >= 0 || a.phase != nullptr) {
+      os << ",\"args\":{";
+      bool afirst = true;
+      auto akey = [&](const char* k) {
+        if (!afirst) os << ",";
+        afirst = false;
+        os << "\"" << k << "\":";
+      };
+      if (a.rank >= 0) { akey("rank"); os << a.rank; }
+      if (a.device >= 0) { akey("device"); os << a.device; }
+      if (a.step >= 0) { akey("step"); os << a.step; }
+      if (a.phase != nullptr) {
+        akey("phase");
+        os << "\"";
+        escape_json(os, a.phase);
+        os << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return static_cast<bool>(os);
+}
+
+void Tracer::write_folded(std::ostream& os) const {
+  std::vector<TraceEvent> events = snapshot();
+  std::sort(events.begin(), events.end(), event_before);
+  std::map<std::pair<int32_t, int32_t>, std::string> names;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    names = track_names_;
+  }
+  std::map<std::string, int64_t> folded;
+  // Reconstruct nesting per track from interval containment: events are
+  // sorted by start (outer-first on ties), so a stack of still-open
+  // intervals gives each event its ancestor path; self time is the span's
+  // duration minus the duration of its direct children.
+  struct Open {
+    const TraceEvent* ev;
+    int64_t child_ns;
+  };
+  size_t i = 0;
+  while (i < events.size()) {
+    const int32_t pid = events[i].pid;
+    const int32_t track = events[i].track;
+    std::string root;
+    auto it = names.find({pid, track});
+    if (it != names.end()) {
+      root = it->second;
+    } else {
+      root = (pid == 0 ? "thread-" : "track-") + std::to_string(track);
+    }
+    std::vector<Open> stack;
+    auto pop_to = [&](int64_t ts) {
+      while (!stack.empty() &&
+             stack.back().ev->ts_ns + stack.back().ev->dur_ns <= ts) {
+        const Open top = stack.back();
+        stack.pop_back();
+        std::string key = root;
+        for (const Open& o : stack) key += ";" + o.ev->name;
+        key += ";" + top.ev->name;
+        folded[key] += std::max<int64_t>(0, top.ev->dur_ns - top.child_ns);
+        if (!stack.empty()) stack.back().child_ns += top.ev->dur_ns;
+      }
+    };
+    for (; i < events.size() && events[i].pid == pid && events[i].track == track;
+         ++i) {
+      pop_to(events[i].ts_ns);
+      stack.push_back({&events[i], 0});
+    }
+    pop_to(INT64_MAX);
+  }
+  for (const auto& [stack_key, self_ns] : folded)
+    os << stack_key << " " << self_ns << "\n";
+}
+
+bool Tracer::write_folded_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_folded(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace finch::rt

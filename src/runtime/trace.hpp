@@ -1,0 +1,153 @@
+#pragma once
+// Process-wide tracing substrate: nestable RAII spans + virtual-timeline
+// events, exported as Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing) and as a flamegraph-folded text dump.
+//
+// Design constraints (see OBSERVABILITY.md and DESIGN.md §7):
+//  * The DISABLED path must be a no-op: one relaxed atomic load per span,
+//    no allocation, no clock read. `FINCH_TRACE_OFF` additionally compiles
+//    the whole layer out (enabled() becomes a constant-false fold).
+//  * Recording is per-thread single-writer lock-free: each thread owns a
+//    fixed-capacity slot array registered once under a mutex; appends publish
+//    through an atomic count (release) that exporters read (acquire), so no
+//    lock is ever taken on the hot path and snapshots are race-free.
+//  * Two timelines coexist: pid 0 carries wall-clock RAII spans (one track
+//    per OS thread), pid 1 carries *virtual-time* complete events that the
+//    simulated runtimes (BspSimulator phase charges, SimGpu stream clocks)
+//    emit with explicit timestamps via record_complete().
+//  * The clock is overridable (set_clock) so tests export deterministically.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace finch::rt {
+
+// Runtime configuration; pass to Tracer::configure() while no spans are open.
+struct TraceConfig {
+  bool enabled = false;                  // master switch (default: off)
+  size_t max_events_per_thread = 65536;  // per-thread slot capacity; events
+                                         // beyond it are counted as dropped
+};
+
+// Optional attributes attached to a span/event; -1 / nullptr mean "unset"
+// and are omitted from the exported JSON args.
+struct SpanAttrs {
+  int32_t rank = -1;    // simulated MPI rank / partition id
+  int32_t device = -1;  // simulated GPU device ordinal
+  int64_t step = -1;    // solver time-step / superstep index
+  const char* phase = nullptr;  // stable phase-name literal (see taxonomy)
+};
+
+// One recorded interval. pid 0 = wall clock, pid 1 = virtual timelines.
+struct TraceEvent {
+  std::string name;
+  int64_t ts_ns = 0;
+  int64_t dur_ns = 0;
+  int32_t pid = 0;
+  int32_t track = 0;  // Chrome "tid": OS-thread ordinal (pid 0) or a
+                      // caller-chosen virtual track id (pid 1)
+  SpanAttrs attrs;
+};
+
+// Process-wide singleton trace recorder.
+class Tracer {
+ public:
+  // The single process-wide instance (never destroyed).
+  static Tracer& global();
+
+  // Applies `cfg`. Call while quiescent (no spans open on any thread).
+  void configure(const TraceConfig& cfg);
+
+  // Fast-path check; constant false when compiled with -DFINCH_TRACE_OFF.
+  bool enabled() const {
+#ifdef FINCH_TRACE_OFF
+    return false;
+#else
+    return enabled_.load(std::memory_order_relaxed);
+#endif
+  }
+
+  // Overrides the wall clock (tests: deterministic export). Null restores
+  // std::chrono::steady_clock. Call while quiescent.
+  void set_clock(std::function<int64_t()> clock_ns);
+
+  // Current timestamp in nanoseconds (virtual clock if one is set).
+  int64_t now_ns() const;
+
+  // Records a complete event with explicit timestamps on virtual timeline
+  // pid 1 — used by the simulated runtimes whose time is modeled, not
+  // measured. No-op when disabled.
+  void record_complete(std::string name, int64_t ts_ns, int64_t dur_ns,
+                       int32_t track, SpanAttrs attrs = {});
+
+  // Names a track in the exported trace (Perfetto thread_name metadata).
+  void set_track_name(int32_t pid, int32_t track, std::string name);
+
+  // Copies every published event out of all per-thread buffers.
+  std::vector<TraceEvent> snapshot() const;
+
+  // Resets all buffers (capacity and thread registrations are kept).
+  void clear();
+
+  // Events discarded because a per-thread buffer filled up.
+  int64_t dropped() const;
+
+  // Chrome trace-event JSON ({"traceEvents": [...]}) with deterministic
+  // ordering; ts/dur are microseconds with nanosecond resolution.
+  void write_chrome_trace(std::ostream& os) const;
+  bool write_chrome_trace_file(const std::string& path) const;
+
+  // Flamegraph-folded text: "track;outer;inner <self_ns>" per line, with
+  // nesting reconstructed from interval containment per track.
+  void write_folded(std::ostream& os) const;
+  bool write_folded_file(const std::string& path) const;
+
+  // Internal: closes a span (called from ~TraceSpan on the enabled path).
+  void end_span(const char* name, int64_t ts_ns, const SpanAttrs& attrs);
+
+ private:
+  struct ThreadBuffer;
+  Tracer() = default;
+  ThreadBuffer* thread_buffer();
+  void append(ThreadBuffer* tb, TraceEvent ev);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> has_clock_{false};
+  std::function<int64_t()> clock_ns_;
+  mutable std::mutex mu_;  // guards buffers_ registration and track names
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::map<std::pair<int32_t, int32_t>, std::string> track_names_;
+  size_t capacity_ = 65536;
+};
+
+// RAII wall-clock span: opens at construction, records at destruction into
+// the constructing thread's buffer. Inactive (and free) when tracing is off.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, SpanAttrs attrs = {}) {
+    Tracer& t = Tracer::global();
+    if (!t.enabled()) return;
+    name_ = name;
+    attrs_ = attrs;
+    ts_ns_ = t.now_ns();
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) Tracer::global().end_span(name_, ts_ns_, attrs_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null <=> span inactive
+  int64_t ts_ns_ = 0;
+  SpanAttrs attrs_{};
+};
+
+}  // namespace finch::rt

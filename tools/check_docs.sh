@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Documentation gates, run by the CI `docs` job (and locally: tools/check_docs.sh):
+#
+#  1. Every public header under src/ must open with a file-level doc comment
+#     (a `//` line immediately after `#pragma once`) — the convention every
+#     module in this repo follows.
+#  2. Every intra-repo Markdown link ([text](path)) in the tracked *.md files
+#     must resolve to an existing file, so doc refactors can't leave dangling
+#     references.
+set -u
+cd "$(dirname "$0")/.."
+
+failures=0
+
+# ---- 1. undocumented public headers -----------------------------------------
+while IFS= read -r hpp; do
+  second_line=$(sed -n 2p "$hpp")
+  case "$second_line" in
+    //*) ;;
+    *)
+      echo "DOCS-CHECK [!!] missing file-level doc comment: $hpp"
+      failures=$((failures + 1))
+      ;;
+  esac
+done < <(find src -name '*.hpp' | sort)
+
+# ---- 2. intra-repo Markdown links -------------------------------------------
+# Extract [text](target) links; ignore external URLs, mailto and pure anchors.
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}   # strip anchor
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "DOCS-CHECK [!!] broken link in $md: $target"
+      failures=$((failures + 1))
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$md" | sed 's/.*](\([^)]*\))/\1/')
+done < <(find . -name '*.md' -not -path './build/*' -not -path './.git/*' | sort)
+
+if [ "$failures" -ne 0 ]; then
+  echo "DOCS-CHECK: $failures failure(s)"
+  exit 1
+fi
+echo "DOCS-CHECK [ok] all public headers documented, all Markdown links resolve"
