@@ -621,8 +621,12 @@ double MultiGpuSolver::copy_seconds_total() const {
 void MultiGpuSolver::restore_checkpoint() {
   // The device-mirror refresh is a real H2D cost; on the rollback path it is
   // part of recovery (the eviction path bills its restore as redistribution).
+  const rt::Snapshot snap = load_checkpoint_guarded(store_, res_, rstats_, [this](double s) {
+    charge_phase(&Phases::recovery, "recovery", s);
+    rstats_.recovery_seconds += s;
+  });
   const double copy_before = copy_seconds_total();
-  restore(store_.load_latest());
+  restore(snap);
   const double spent = copy_seconds_total() - copy_before;
   charge_phase(&Phases::recovery, "recovery", spent);
   rstats_.recovery_seconds += spent;
@@ -647,16 +651,22 @@ void MultiGpuSolver::evict_and_redistribute(int32_t victim) {
 
   // Redistribute the band shards over the M surviving devices and reload the
   // last global checkpoint; the re-upload of every shard is the (measured)
-  // redistribution cost.
-  const int64_t lost = step_index_ - store_.latest_step();
+  // redistribution cost. The image is loaded through the guarded path, before
+  // the shrink, so a hang or corrupted read mid-restore retries / falls back a
+  // generation instead of leaving a half-shrunk device fleet.
+  const int64_t before = step_index_;
+  const rt::Snapshot snap = load_checkpoint_guarded(store_, res_, rstats_, [this](double s) {
+    charge_phase(&Phases::recovery, "recovery", s);
+    rstats_.recovery_seconds += s;
+  });
   build_topology(num_devices() - 1);
   const double copy_before = copy_seconds_total();
-  restore(store_.load_latest());
+  restore(snap);
   const double spent = copy_seconds_total() - copy_before;
   charge_phase(&Phases::redistribution, "redistribution", spent);
   rstats_.redistribution_seconds += spent;
   rstats_.evictions += 1;
-  rstats_.replayed_steps += lost;
+  rstats_.replayed_steps += before - step_index_;
 }
 
 void MultiGpuSolver::inject_slow_device(int32_t device, double factor) {
@@ -753,10 +763,13 @@ void MultiGpuSolver::run(int nsteps) {
     rstats_.faults_detected += 1;
     if (rollback_budget-- <= 0)
       throw ResilienceError("rollback budget exhausted: " + health_.detail);
-    const int64_t lost = step_index_ - store_.latest_step();
+    // Replay is measured against the step the restore actually lands on — a
+    // corrupted-newest-image restore can fall back a generation, losing more
+    // than the distance to the latest checkpoint.
+    const int64_t before = step_index_;
     restore_checkpoint();
     rstats_.rollbacks += 1;
-    rstats_.replayed_steps += lost;
+    rstats_.replayed_steps += before - step_index_;
   }
   // Mirror the per-device performance-fault counters into the run stats.
   // Evictions recreate devices, so this is a floor, not an exact total.

@@ -363,10 +363,13 @@ void CellPartitionedSolver::run(int nsteps) {
     rstats_.faults_detected += 1;
     if (rollback_budget-- <= 0)
       throw ResilienceError("rollback budget exhausted: " + health_.detail);
-    const int64_t lost = step_index_ - store_.latest_step();
+    // Replay is measured against the step the restore actually lands on — a
+    // corrupted-newest-image restore can fall back a generation, losing more
+    // than the distance to the latest checkpoint.
+    const int64_t before = step_index_;
     restore_checkpoint();
     rstats_.rollbacks += 1;
-    rstats_.replayed_steps += lost;
+    rstats_.replayed_steps += before - step_index_;
   }
   sync_straggler_stats();
   publish_resilience_metrics(rstats_, published_);
@@ -445,15 +448,22 @@ void CellPartitionedSolver::evict_and_redistribute(int32_t victim) {
 
   // Survivors repartition the whole mesh (M parts), rebuild halo plans, and
   // reload the last global checkpoint — everything moves, so the cost model
-  // charges the full image over the interconnect.
-  const int64_t lost = step_index_ - store_.latest_step();
+  // charges the full image over the interconnect. The image is loaded through
+  // the guarded path (and before the shrink) so a restore that hangs or reads
+  // corrupted bytes retries / falls back a generation instead of leaving a
+  // half-shrunk topology behind.
+  const int64_t before = step_index_;
+  const rt::Snapshot snap = load_checkpoint_guarded(store_, res_, rstats_, [this](double s) {
+    bsp_.charge_recovery(s);
+    rstats_.recovery_seconds += s;
+  });
   build_topology(nparts_ - 1);
-  restore(store_.load_latest());
+  restore(snap);
   const double red_before = bsp_.phases().redistribution;
   bsp_.charge_redistribution(store_.bytes_stored());
   rstats_.redistribution_seconds += bsp_.phases().redistribution - red_before;
   rstats_.evictions += 1;
-  rstats_.replayed_steps += lost;
+  rstats_.replayed_steps += before - step_index_;
 }
 
 // ---- silent-data-corruption defense (cell partitioning) ---------------------
@@ -613,7 +623,12 @@ void CellPartitionedSolver::take_checkpoint() {
   rstats_.checkpoints += 1;
 }
 
-void CellPartitionedSolver::restore_checkpoint() { restore(store_.load_latest()); }
+void CellPartitionedSolver::restore_checkpoint() {
+  restore(load_checkpoint_guarded(store_, res_, rstats_, [this](double s) {
+    bsp_.charge_recovery(s);
+    rstats_.recovery_seconds += s;
+  }));
+}
 
 std::vector<double> CellPartitionedSolver::gather_intensity() const {
   std::vector<double> out(static_cast<size_t>(mesh_.num_cells()) * dofs_);
@@ -948,10 +963,13 @@ void BandPartitionedSolver::run(int nsteps) {
     rstats_.faults_detected += 1;
     if (rollback_budget-- <= 0)
       throw ResilienceError("rollback budget exhausted: " + health_.detail);
-    const int64_t lost = step_index_ - store_.latest_step();
+    // Replay is measured against the step the restore actually lands on — a
+    // corrupted-newest-image restore can fall back a generation, losing more
+    // than the distance to the latest checkpoint.
+    const int64_t before = step_index_;
     restore_checkpoint();
     rstats_.rollbacks += 1;
-    rstats_.replayed_steps += lost;
+    rstats_.replayed_steps += before - step_index_;
   }
   sync_straggler_stats();
   publish_resilience_metrics(rstats_, published_);
@@ -1048,15 +1066,21 @@ void BandPartitionedSolver::evict_and_redistribute(int32_t victim) {
   rstats_.recovery_seconds += bsp_.phases().recovery - rec_before;
 
   // The survivors take over the victim's bands (contiguous ranges recomputed
-  // over M ranks) and reload the last global checkpoint.
-  const int64_t lost = step_index_ - store_.latest_step();
+  // over M ranks) and reload the last global checkpoint — through the guarded
+  // path, and before the shrink, so a hang or corrupted read mid-restore
+  // cannot leave a half-shrunk topology.
+  const int64_t before = step_index_;
+  const rt::Snapshot snap = load_checkpoint_guarded(store_, res_, rstats_, [this](double s) {
+    bsp_.charge_recovery(s);
+    rstats_.recovery_seconds += s;
+  });
   build_topology(nparts_ - 1);
-  restore(store_.load_latest());
+  restore(snap);
   const double red_before = bsp_.phases().redistribution;
   bsp_.charge_redistribution(store_.bytes_stored());
   rstats_.redistribution_seconds += bsp_.phases().redistribution - red_before;
   rstats_.evictions += 1;
-  rstats_.replayed_steps += lost;
+  rstats_.replayed_steps += before - step_index_;
 }
 
 // ---- silent-data-corruption defense (band partitioning) ---------------------
@@ -1212,7 +1236,12 @@ void BandPartitionedSolver::take_checkpoint() {
   rstats_.checkpoints += 1;
 }
 
-void BandPartitionedSolver::restore_checkpoint() { restore(store_.load_latest()); }
+void BandPartitionedSolver::restore_checkpoint() {
+  restore(load_checkpoint_guarded(store_, res_, rstats_, [this](double s) {
+    bsp_.charge_recovery(s);
+    rstats_.recovery_seconds += s;
+  }));
+}
 
 std::vector<double> BandPartitionedSolver::gather_intensity() const {
   const int ncell = nx_ * ny_;

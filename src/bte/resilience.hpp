@@ -34,6 +34,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "runtime/checkpoint.hpp"
 #include "runtime/fault.hpp"
@@ -83,6 +84,27 @@ struct ResilienceOptions {
   SdcOptions sdc;
   // Fail-slow defense (straggler detection, exchange watchdog, speculative
   // re-execution, dynamic rebalancing). Off by default like the SDC layer.
+  //
+  // Mitigation precedence (most to least drastic, each preempting the next):
+  //
+  //   1. EVICTION — a Dead heartbeat verdict (miss_threshold consecutive
+  //      missed beats, or a hang that survives every Suspect-level watchdog
+  //      retry) removes the victim permanently. Pending speculation and
+  //      rebalance state for it is discarded: there is no rank left to
+  //      mitigate.
+  //   2. REBALANCE — a *chronic* straggler first sheds load structurally
+  //      (shard migration, bounded by max_rebalances). Rebalancing resets the
+  //      detector cold, so speculation cannot fire against the pre-migration
+  //      timings.
+  //   3. SPECULATION — only a chronic straggler that rebalancing did not (or
+  //      could not, budget spent / rebalance disabled) cure gets its shard
+  //      duplicated on the least-loaded survivor.
+  //
+  // The Suspect heartbeat window (suspect_after <= missed < miss_threshold)
+  // is where 2 and 3 live; validate_resilience_options therefore rejects a
+  // straggler defense armed with an empty Suspect window — with
+  // suspect_after == miss_threshold every late rank jumps straight to the
+  // Dead verdict and the mitigations it asked for can never engage.
   rt::StragglerOptions straggler;
 };
 
@@ -126,6 +148,10 @@ struct ResilienceStats {
   int64_t rebalances = 0;         // dynamic migrations away from a straggler
   double speculation_seconds = 0; // duplicated work on the critical path
   double rebalance_seconds = 0;   // shard motion of dynamic rebalances
+  // ---- hardened checkpoint restore ----------------------------------------
+  int64_t ckpt_restore_retries = 0;       // corrupted restore reads retried
+  int64_t ckpt_generation_fallbacks = 0;  // restores that fell back a generation
+  int64_t ckpt_hang_stalls = 0;           // hangs ridden out inside a restore
 };
 
 // Mirrors a solver's recovery tallies into the global metrics registry under
@@ -156,6 +182,10 @@ inline void publish_resilience_metrics(const ResilienceStats& now, ResilienceSta
   count("solver.hang_escalations", now.hang_escalations, published.hang_escalations);
   count("solver.speculations", now.speculations, published.speculations);
   count("solver.rebalances", now.rebalances, published.rebalances);
+  count("solver.ckpt_restore_retries", now.ckpt_restore_retries, published.ckpt_restore_retries);
+  count("solver.ckpt_generation_fallbacks", now.ckpt_generation_fallbacks,
+        published.ckpt_generation_fallbacks);
+  count("solver.ckpt_hang_stalls", now.ckpt_hang_stalls, published.ckpt_hang_stalls);
   secs("solver.recovery_seconds", now.recovery_seconds, published.recovery_seconds);
   secs("solver.redistribution_seconds", now.redistribution_seconds, published.redistribution_seconds);
   secs("solver.audit_seconds", now.audit_seconds, published.audit_seconds);
@@ -216,6 +246,75 @@ inline void validate_resilience_options(const ResilienceOptions& opt) {
          "exchange it guards (got " + std::to_string(st.deadline_factor) + ")");
   if (st.max_rebalances < 1)
     fail("straggler.max_rebalances must be >= 1 (got " + std::to_string(st.max_rebalances) + ")");
+  // Contradictory combos: each field is legal alone, the pair is nonsense.
+  if (st.enabled && opt.heartbeat.suspect_after == opt.heartbeat.miss_threshold)
+    fail("straggler defense with an empty Suspect window: suspect_after == miss_threshold (" +
+         std::to_string(opt.heartbeat.suspect_after) +
+         ") jumps every late rank straight to the Dead verdict, so the watchdog retries and "
+         "speculation/rebalance it enables can never engage; lower suspect_after or raise "
+         "miss_threshold");
+  if (opt.checkpoint.interval <= 0 && opt.max_rollbacks > 0)
+    fail("rollback budget with checkpointing disabled: checkpoint.interval " +
+         std::to_string(opt.checkpoint.interval) + " never takes a snapshot, so max_rollbacks " +
+         std::to_string(opt.max_rollbacks) +
+         " has nothing to roll back to; set max_rollbacks = 0 or give checkpoint.interval a "
+         "positive period");
+}
+
+// ---- hardened checkpoint restore --------------------------------------------
+//
+// The restore path is itself a fault surface: the process re-reading an image
+// can hang mid-read ("HangExchange @ ckpt-restore") and the bytes it reads can
+// take a flip in flight ("BitFlipMessage @ ckpt-restore") — cross-class
+// interactions the per-step defenses never see because they strike *during*
+// recovery. This loader hardens every rollback / eviction restore:
+//
+//   for each checkpoint generation (newest first):
+//     for each read attempt (<= max_retries):
+//       ride out an injected hang (bounded: the heartbeat suspicion timeout
+//         when the fail-slow defense is armed, the raw hang timeout otherwise),
+//       read a fresh copy of the image, apply any injected in-flight flip,
+//       deserialize — the image checksums catch torn/flipped bytes — and
+//       return on success; on CheckpointError charge a backoff and re-read.
+//     every read of this generation corrupted -> fall back one generation
+//     (older step, more replay, still bit-exact).
+//
+// Only when every read of every generation fails does the restore surface
+// ResilienceError. `charge_stall(seconds)` bills virtual stall time to the
+// caller's recovery phase. Tallies land in ResilienceStats::ckpt_*.
+template <typename ChargeStall>
+rt::Snapshot load_checkpoint_guarded(const rt::CheckpointStore& store,
+                                     const ResilienceOptions& opt, ResilienceStats& stats,
+                                     ChargeStall&& charge_stall) {
+  if (store.generations() == 0) throw rt::CheckpointError("no checkpoint saved");
+  std::string last_error;
+  for (int gen = 0; gen < store.generations(); ++gen) {
+    for (int attempt = 0; attempt <= opt.max_retries; ++attempt) {
+      if (opt.injector != nullptr &&
+          opt.injector->should_fault(rt::FaultKind::HangExchange, "ckpt-restore")) {
+        stats.ckpt_hang_stalls += 1;
+        charge_stall(opt.straggler.enabled ? opt.heartbeat.suspicion_timeout()
+                                           : opt.injector->hang_seconds());
+      }
+      std::vector<std::byte> image = store.image_copy(gen);
+      if (opt.injector != nullptr && !image.empty() &&
+          opt.injector->should_fault(rt::FaultKind::BitFlipMessage, "ckpt-restore"))
+        opt.injector->flip_raw_bit(image, rt::FaultKind::BitFlipMessage, "ckpt-restore");
+      try {
+        return rt::deserialize(image);
+      } catch (const rt::CheckpointError& err) {
+        last_error = err.what();
+        stats.ckpt_restore_retries += 1;
+        charge_stall(backoff_delay(opt, attempt));
+        // With no injector the bytes cannot change between reads; re-reading
+        // the same in-memory image would fail identically, so fall through to
+        // the older generation at once.
+        if (opt.injector == nullptr) break;
+      }
+    }
+    if (gen + 1 < store.generations()) stats.ckpt_generation_fallbacks += 1;
+  }
+  throw ResilienceError("checkpoint restore failed on every generation: " + last_error);
 }
 
 }  // namespace finch::bte

@@ -16,7 +16,9 @@ namespace finch::rt {
 namespace {
 
 constexpr uint64_t kMagic = 0x46434e4b50543031ULL;  // "FCNKPT01"
-constexpr uint32_t kVersion = 1;
+// v2: a per-field FNV-1a checksum follows each field's payload, so load
+// failures name the damaged field instead of a bare image-level mismatch.
+constexpr uint32_t kVersion = 2;
 
 void put_u64(std::vector<std::byte>& out, uint64_t v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
@@ -78,16 +80,14 @@ std::vector<std::byte> serialize(const Snapshot& snap) {
     put_u64(out, static_cast<uint64_t>(data.size()));
     const auto raw = std::as_bytes(std::span<const double>(data));
     out.insert(out.end(), raw.begin(), raw.end());
+    put_u64(out, fnv1a64(raw));  // per-field checksum: names the damage on load
   }
   put_u64(out, fnv1a64(out));
   return out;
 }
 
 Snapshot deserialize(std::span<const std::byte> bytes) {
-  if (bytes.size() < 8 * 5) throw CheckpointError("checkpoint truncated");
-  const uint64_t stored = fnv1a64(bytes.subspan(0, bytes.size() - 8));
-  size_t tail = bytes.size() - 8;
-  if (get_u64(bytes, tail) != stored) throw CheckpointError("checkpoint checksum mismatch");
+  if (bytes.size() < 8 * 5) throw CheckpointError("checkpoint truncated (no complete header)");
 
   size_t off = 0;
   if (get_u64(bytes, off) != kMagic) throw CheckpointError("not a checkpoint image (bad magic)");
@@ -98,21 +98,45 @@ Snapshot deserialize(std::span<const std::byte> bytes) {
   snap.step = static_cast<int64_t>(get_u64(bytes, off));
   const uint64_t nfields = get_u64(bytes, off);
   snap.fields.reserve(nfields);
+  // The structural walk runs before the trailing whole-image checksum so a
+  // torn or corrupted image names the field where the damage sits — "field 2
+  // ('Io')" — instead of a bare mismatch; only header/metadata corruption the
+  // walk cannot localize falls through to the trailing check.
   for (uint64_t f = 0; f < nfields; ++f) {
+    const auto field_error = [f](const std::string& name, const std::string& what) {
+      const std::string label =
+          name.empty() ? "field " + std::to_string(f)
+                       : "field " + std::to_string(f) + " ('" + name + "')";
+      return CheckpointError("checkpoint " + what + " in " + label);
+    };
+    if (off + 8 > bytes.size()) throw field_error("", "truncated (no name length)");
     const uint64_t name_len = get_u64(bytes, off);
-    if (name_len > bytes.size() - off) throw CheckpointError("checkpoint truncated");
+    if (name_len > bytes.size() - off) throw field_error("", "truncated (name unreadable)");
     std::string name(name_len, '\0');
     std::memcpy(name.data(), bytes.data() + off, name_len);
     off += name_len;
+    if (off + 8 > bytes.size()) throw field_error(name, "truncated (no element count)");
     const uint64_t count = get_u64(bytes, off);
     // Division avoids the count*8 overflow a hand-crafted header could use to
     // slip past the bound and read out of the buffer.
-    if (count > (bytes.size() - off) / sizeof(double)) throw CheckpointError("checkpoint truncated");
+    if (count > (bytes.size() - off) / sizeof(double))
+      throw field_error(name, "truncated (payload exceeds remaining bytes)");
     std::vector<double> data(count);
     std::memcpy(data.data(), bytes.data() + off, count * sizeof(double));
+    const auto payload = bytes.subspan(off, count * sizeof(double));
     off += count * sizeof(double);
+    if (off + 8 > bytes.size()) throw field_error(name, "truncated (no field checksum)");
+    if (get_u64(bytes, off) != fnv1a64(payload))
+      throw field_error(name, "checksum mismatch");
     snap.fields.emplace_back(std::move(name), std::move(data));
   }
+  if (off + 8 > bytes.size())
+    throw CheckpointError("checkpoint truncated after field " + std::to_string(nfields) +
+                          " (missing trailing checksum)");
+  const uint64_t stored = fnv1a64(bytes.subspan(0, bytes.size() - 8));
+  size_t tail = bytes.size() - 8;
+  if (get_u64(bytes, tail) != stored)
+    throw CheckpointError("checkpoint checksum mismatch (header or metadata corrupted)");
   return snap;
 }
 
@@ -169,6 +193,7 @@ void write_image_atomic(const std::string& path, std::span<const std::byte> imag
 }  // namespace
 
 void CheckpointStore::save(const Snapshot& snap) {
+  if (!image_.empty()) prev_image_ = std::move(image_);
   image_ = serialize(snap);
   latest_step_ = snap.step;
   saves_ += 1;
@@ -178,6 +203,15 @@ void CheckpointStore::save(const Snapshot& snap) {
 Snapshot CheckpointStore::load_latest() const {
   if (image_.empty()) throw CheckpointError("no checkpoint saved");
   return deserialize(image_);
+}
+
+Snapshot CheckpointStore::load(int generation) const { return deserialize(image_copy(generation)); }
+
+std::vector<std::byte> CheckpointStore::image_copy(int generation) const {
+  if (generation < 0 || generation >= generations())
+    throw CheckpointError("no checkpoint generation " + std::to_string(generation) + " (have " +
+                          std::to_string(generations()) + ")");
+  return generation == 0 ? image_ : prev_image_;
 }
 
 void CheckpointStore::write_file(const std::string& path, const Snapshot& snap) {

@@ -3,16 +3,23 @@
 //
 // A Snapshot is an ordered list of named double arrays plus the step index it
 // was taken at. Serialization is a raw little-endian binary image with a
-// magic/version header and a trailing FNV-1a checksum over everything before
-// it, so a restore either reproduces the saved state bit-for-bit or throws
+// magic/version header, a per-field FNV-1a checksum after each field's
+// payload, and a trailing FNV-1a checksum over everything before it, so a
+// restore either reproduces the saved state bit-for-bit or throws
 // CheckpointError — silently restoring from a torn or corrupted image is the
-// one failure mode a resilience layer must never have.
+// one failure mode a resilience layer must never have. The per-field
+// checksums exist for diagnosis: a truncated or corrupted image names the
+// field (index and name) where the damage sits instead of a bare "checksum
+// mismatch", which is what separates "the file lost its tail" from "field 2
+// ('Io') took a bit flip" in a post-mortem.
 //
-// CheckpointStore keeps the latest image in memory (fast rollback path) and
-// can mirror it to disk for restart across processes. Disk writes go through
-// a .tmp sibling + atomic rename, so a crash mid-write never destroys the
-// previous complete image. CheckpointPolicy is the periodic-interval schedule
-// the solvers consult.
+// CheckpointStore keeps the latest image in memory (fast rollback path) plus
+// the previous generation — the fallback the hardened restore path drops to
+// when every read of the newest image arrives corrupted (see bte/resilience
+// load_checkpoint_guarded) — and can mirror the latest to disk for restart
+// across processes. Disk writes go through a .tmp sibling + atomic rename,
+// so a crash mid-write never destroys the previous complete image.
+// CheckpointPolicy is the periodic-interval schedule the solvers consult.
 //
 // Topology independence: snapshots carry no rank/device structure. The
 // distributed solvers serialize their state in a canonical *global* layout
@@ -58,7 +65,10 @@ struct Snapshot {
 
 std::vector<std::byte> serialize(const Snapshot& snap);
 // Throws CheckpointError on bad magic, unsupported version, truncation, or
-// checksum mismatch.
+// checksum mismatch. Truncation and payload corruption name the field where
+// parsing or verification failed ("truncated in field 2 ('Io')"); only
+// header/metadata damage falls through to the generic trailing-checksum
+// mismatch.
 Snapshot deserialize(std::span<const std::byte> bytes);
 
 struct CheckpointPolicy {
@@ -82,12 +92,29 @@ class CheckpointStore {
   // Deserializes (and checksum-validates) the most recent image.
   Snapshot load_latest() const;
 
+  // ---- generations (cross-fault restore fallback) --------------------------
+  //
+  // save() rotates the previous latest image into a second in-memory
+  // generation, so a restore whose every read of the newest image is
+  // corrupted can fall back one checkpoint (older step, more replay, still
+  // bit-exact). Generation 0 is the newest; only generation 0 is mirrored to
+  // disk.
+  int generations() const {
+    return (image_.empty() ? 0 : 1) + (prev_image_.empty() ? 0 : 1);
+  }
+  // Deserializes generation `g` (0 = newest).
+  Snapshot load(int generation) const;
+  // Copy of generation `g`'s raw image: callers model in-flight corruption on
+  // the copy (FaultInjector::flip_raw_bit) without poisoning the store.
+  std::vector<std::byte> image_copy(int generation) const;
+
   static void write_file(const std::string& path, const Snapshot& snap);
   static Snapshot read_file(const std::string& path);
 
  private:
   std::string dir_;
   std::vector<std::byte> image_;
+  std::vector<std::byte> prev_image_;
   int64_t latest_step_ = 0;
   int64_t saves_ = 0;
 };

@@ -92,21 +92,44 @@ uint64_t FaultInjector::draw(FaultKind kind, std::string_view site, int64_t inde
   return splitmix64(h ^ salt);
 }
 
+void FaultInjector::schedule_fault(FaultKind kind, const std::string& site, int64_t event_index) {
+  if (event_index < 0) throw std::invalid_argument("schedule_fault: event_index must be >= 0");
+  scheduled_[{static_cast<int>(kind), site}].insert(event_index);
+}
+
+int64_t FaultInjector::scheduled_pending() const {
+  int64_t n = 0;
+  for (const auto& [key, fires] : scheduled_) {
+    const auto it = counters_.find(key);
+    const int64_t next = it == counters_.end() ? 0 : it->second;
+    for (int64_t e : fires)
+      if (e >= next) n += 1;
+  }
+  return n;
+}
+
 bool FaultInjector::should_fault(FaultKind kind, std::string_view site) {
   const auto key = std::make_pair(static_cast<int>(kind), std::string(site));
   const int64_t index = counters_[key]++;
   stats_.consulted[static_cast<size_t>(kind)] += 1;
 
-  const FaultPolicy* p = policy_for(kind, site);
-  if (p == nullptr) return false;
-  if (index < p->first_event) return false;
-  if (p->max_injections >= 0 && fired_[key] >= p->max_injections) return false;
-
-  bool fire;
-  if (p->every > 0)
-    fire = (index - p->first_event) % p->every == 0;
-  else
-    fire = p->probability > 0.0 && to_unit(draw(kind, site, index, 0)) < p->probability;
+  // Scheduled fires (composed chaos schedules) take precedence over the
+  // per-(kind, site) policy and ignore its probability / first_event / cap.
+  bool fire = false;
+  if (!scheduled_.empty()) {
+    const auto it = scheduled_.find(key);
+    fire = it != scheduled_.end() && it->second.count(index) > 0;
+  }
+  if (!fire) {
+    const FaultPolicy* p = policy_for(kind, site);
+    if (p == nullptr) return false;
+    if (index < p->first_event) return false;
+    if (p->max_injections >= 0 && fired_[key] >= p->max_injections) return false;
+    if (p->every > 0)
+      fire = (index - p->first_event) % p->every == 0;
+    else
+      fire = p->probability > 0.0 && to_unit(draw(kind, site, index, 0)) < p->probability;
+  }
   if (!fire) return false;
 
   fired_[key] += 1;
@@ -144,6 +167,15 @@ size_t FaultInjector::flip_bit(std::span<double> data, FaultKind kind, std::stri
   std::memcpy(&pattern, &data[idx], sizeof(pattern));
   pattern ^= (1ULL << bit);
   std::memcpy(&data[idx], &pattern, sizeof(pattern));
+  return idx;
+}
+
+size_t FaultInjector::flip_raw_bit(std::span<std::byte> data, FaultKind kind,
+                                   std::string_view site) {
+  if (data.empty()) return 0;
+  const uint64_t bits = draw(kind, site, static_cast<int64_t>(events_.size()), 0xb17eULL);
+  const size_t idx = static_cast<size_t>(bits % data.size());
+  data[idx] ^= static_cast<std::byte>(1u << ((bits >> 32) % 8));
   return idx;
 }
 

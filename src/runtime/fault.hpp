@@ -16,8 +16,10 @@
 // GpuCounters / PhaseTimes exactly like real faults would in a profile.
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -149,6 +151,22 @@ class FaultInjector {
   void set_policy(FaultKind kind, FaultPolicy policy);
   void set_site_policy(FaultKind kind, const std::string& site, FaultPolicy policy);
 
+  // ---- composed schedules (chaos campaigns, runtime/chaos.hpp) -------------
+  //
+  // Arms one extra fire of `kind` at `site` on exactly the `event_index`-th
+  // consultation of that (kind, site) counter. Policies hold ONE schedule per
+  // (kind, site) — a second set_site_policy overwrites the first — so they
+  // cannot express a multi-class mixture. Scheduled fires accumulate instead:
+  // any number of faults across all four classes can be armed concurrently,
+  // which is what lets a chaos schedule compose transient, permanent, silent
+  // and performance faults in one run. A scheduled fire bypasses the policy's
+  // probability / cap machinery but lands in the same stats / events /
+  // metrics stream, and fires again after reset_counters() (the armed
+  // schedule is configuration, like a policy, not consumable state).
+  void schedule_fault(FaultKind kind, const std::string& site, int64_t event_index);
+  // Armed fires whose consultation index has not been reached yet.
+  int64_t scheduled_pending() const;
+
   // One consultation: advances the (kind, site) counter and reports whether a
   // fault fires there. Deterministic in (seed, kind, site, counter).
   bool should_fault(FaultKind kind, std::string_view site);
@@ -162,6 +180,12 @@ class FaultInjector {
   // scans cannot see the damage — only an ABFT checksum can. Returns the
   // flipped element's index (0 if `data` is empty; nothing is written then).
   size_t flip_bit(std::span<double> data, FaultKind kind, std::string_view site);
+
+  // Raw-byte analogue of flip_bit for serialized images (the checkpoint
+  // restore path): flips one bit of one byte, so the damage must be caught by
+  // the image's own checksum — ABFT ledgers never see it. Returns the index
+  // of the flipped byte (0 if `data` is empty; nothing is written then).
+  size_t flip_raw_bit(std::span<std::byte> data, FaultKind kind, std::string_view site);
 
   // Deterministic choice in [0, n): picks the victim of a permanent fault,
   // keyed like every other draw (seed, kind, site, events so far) so a given
@@ -206,6 +230,7 @@ class FaultInjector {
   std::array<FaultPolicy, kNumFaultKinds> global_{};
   std::array<bool, kNumFaultKinds> has_global_{};
   std::map<std::pair<int, std::string>, FaultPolicy, std::less<>> site_policies_;
+  std::map<std::pair<int, std::string>, std::set<int64_t>, std::less<>> scheduled_;
   std::map<std::pair<int, std::string>, int64_t, std::less<>> counters_;
   std::map<std::pair<int, std::string>, int64_t, std::less<>> fired_;
   FaultStats stats_;

@@ -333,6 +333,55 @@ TEST(ResilienceOptionsValidation, RejectsNonsenseWithClearErrors) {
   }
 }
 
+// Each field below is legal on its own; the *pair* is contradictory. These are
+// the combos chaos campaigns kept producing by accident: a defense that looks
+// armed but whose mitigations can never engage.
+TEST(ResilienceOptionsValidation, RejectsContradictoryCombosAtConstruction) {
+  // An empty Suspect window under an enabled straggler defense: with
+  // suspect_after == miss_threshold every late rank jumps straight to the
+  // Dead verdict, so the watchdog retries / speculation / rebalance the
+  // options asked for can never run. The message must say which knob to move.
+  {
+    ResilienceOptions opt;
+    opt.straggler.enabled = true;
+    opt.heartbeat.suspect_after = opt.heartbeat.miss_threshold;
+    try {
+      validate_resilience_options(opt);
+      FAIL() << "empty Suspect window accepted";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("Suspect window"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("suspect_after"), std::string::npos) << msg;
+    }
+  }
+  // A rollback budget with checkpointing disabled: interval <= 0 never takes
+  // a snapshot, so there is nothing the budget could ever roll back to.
+  {
+    ResilienceOptions opt;
+    opt.checkpoint.interval = 0;  // default max_rollbacks stays > 0
+    try {
+      validate_resilience_options(opt);
+      FAIL() << "rollback budget without checkpoints accepted";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("checkpoint.interval"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("max_rollbacks"), std::string::npos) << msg;
+    }
+  }
+  // The resolutions the messages point at are both accepted.
+  {
+    ResilienceOptions opt;  // straggler disabled: detector precedence is moot
+    opt.heartbeat.suspect_after = opt.heartbeat.miss_threshold;
+    EXPECT_NO_THROW(validate_resilience_options(opt));
+  }
+  {
+    ResilienceOptions opt;  // explicitly no rollback defense at all
+    opt.checkpoint.interval = 0;
+    opt.max_rollbacks = 0;
+    EXPECT_NO_THROW(validate_resilience_options(opt));
+  }
+}
+
 TEST(ResilienceOptionsValidation, SolversRejectBadOptionsAtEnable) {
   const BteScenario s = tiny_scenario();
   auto phys = std::make_shared<const BtePhysics>(s.nbands, s.ndirs);
