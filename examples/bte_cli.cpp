@@ -9,6 +9,13 @@
 //   bte_cli --solver multigpu --devices 4  # band-partitioned across devices
 //   bte_cli --solver cellpart --parts 4    # distributed cell partitioning
 //   bte_cli --scenario corner --vtk out.vtk --csv out.csv
+//
+// Durable runs (cellpart / bandpart / multigpu): --durable DIR keeps on-disk
+// checkpoint generations plus a manifest in DIR, --cancel-after-steps N drains
+// cleanly at step N, and --resume continues a killed/drained job bit-exactly:
+//
+//   bte_cli --solver cellpart --durable job/ --steps 200 --cancel-after-steps 50
+//   bte_cli --solver cellpart --durable job/ --steps 200 --resume
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -18,7 +25,15 @@
 #include "bte/direct_solver.hpp"
 #include "bte/multi_gpu_solver.hpp"
 #include "bte/partitioned_solver.hpp"
+#include "bte/resilience.hpp"
 #include "mesh/vtk_io.hpp"
+#include "runtime/cancel.hpp"
+#include "runtime/manifest.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <sys/types.h>
+#endif
 
 using namespace finch;
 using namespace finch::bte;
@@ -32,6 +47,10 @@ struct Options {
   int devices = 1;
   int parts = 2;
   std::string vtk, csv;
+  std::string durable;          // directory for checkpoints + manifest
+  bool resume = false;          // continue from the manifest in `durable`
+  int ckpt_interval = 16;       // durable checkpoint period (steps)
+  long cancel_after_steps = 0;  // > 0: drain at this step deadline
 };
 
 void usage() {
@@ -45,7 +64,13 @@ void usage() {
       "  --threads N                       thread pool for the dsl solver\n"
       "  --devices N                       simulated GPUs for multigpu\n"
       "  --parts N                         ranks for cellpart/bandpart\n"
-      "  --vtk FILE --csv FILE             temperature field outputs\n");
+      "  --vtk FILE --csv FILE             temperature field outputs\n"
+      "  --durable DIR                     durable run: on-disk checkpoint generations\n"
+      "                                    + manifest in DIR (cellpart/bandpart/multigpu)\n"
+      "  --ckpt-interval N                 durable checkpoint period in steps (default 16)\n"
+      "  --resume                          continue bit-exactly from DIR's manifest\n"
+      "  --cancel-after-steps N            drain cleanly (final checkpoint + manifest)\n"
+      "                                    once N total steps have completed\n");
 }
 
 bool parse(int argc, char** argv, Options& o) {
@@ -78,9 +103,52 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--parts") { if ((v = next(a.c_str())) == nullptr) return false; o.parts = std::atoi(v); }
     else if (a == "--vtk") { if ((v = next(a.c_str())) == nullptr) return false; o.vtk = v; }
     else if (a == "--csv") { if ((v = next(a.c_str())) == nullptr) return false; o.csv = v; }
+    else if (a == "--durable") { if ((v = next(a.c_str())) == nullptr) return false; o.durable = v; }
+    else if (a == "--ckpt-interval") { if ((v = next(a.c_str())) == nullptr) return false; o.ckpt_interval = std::atoi(v); }
+    else if (a == "--resume") { o.resume = true; }
+    else if (a == "--cancel-after-steps") { if ((v = next(a.c_str())) == nullptr) return false; o.cancel_after_steps = std::atol(v); }
     else { std::fprintf(stderr, "unknown option %s\n", a.c_str()); return false; }
   }
   return true;
+}
+
+// Drives one of the distributed solvers for `nsteps`, honoring the durable /
+// resume / cancel flags. Returns the step the run actually stopped at (equal
+// to nsteps unless a deadline drained it first).
+template <typename Solver>
+int64_t drive(Solver& solver, const Options& o, int nsteps) {
+  if (o.durable.empty() && o.cancel_after_steps <= 0) {
+    solver.run(nsteps);
+    return solver.step_index();
+  }
+  rt::CancelToken cancel;
+  ResilienceOptions ropt;
+  ropt.checkpoint.interval = o.ckpt_interval;
+  ropt.durable.dir = o.durable;
+  if (o.cancel_after_steps > 0) {
+    cancel.set_step_deadline(o.cancel_after_steps);
+    ropt.cancel = &cancel;
+  }
+  if (o.resume) {
+    const rt::RunManifest m = rt::read_manifest(ropt.durable.manifest_path());
+    solver.resume_from(m, ropt);
+    std::printf("resumed from %s at step %lld%s%s\n", ropt.durable.manifest_path().c_str(),
+                static_cast<long long>(solver.step_index()),
+                m.cancel_reason.empty() ? "" : ", previously drained: ",
+                m.cancel_reason.c_str());
+  } else {
+#if defined(__unix__) || defined(__APPLE__)
+    if (!o.durable.empty()) ::mkdir(o.durable.c_str(), 0755);
+#endif
+    solver.enable_resilience(ropt);
+  }
+  const int remaining = nsteps - static_cast<int>(solver.step_index());
+  if (remaining > 0) solver.run(remaining);
+  if (solver.resilience_stats().cancel_drains > 0)
+    std::printf("drained at step %lld (%s); resume with --resume\n",
+                static_cast<long long>(solver.step_index()),
+                cancel.drain_reason(solver.step_index(), 0.0).c_str());
+  return solver.step_index();
 }
 
 void report(const std::vector<double>& T, double elapsed_ns) {
@@ -102,6 +170,18 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
+  const bool durable_flags = !o.durable.empty() || o.resume || o.cancel_after_steps > 0;
+  const bool durable_solver =
+      o.solver == "cellpart" || o.solver == "bandpart" || o.solver == "multigpu";
+  if (o.resume && o.durable.empty()) {
+    std::fprintf(stderr, "--resume requires --durable DIR (the manifest's directory)\n");
+    return 1;
+  }
+  if (durable_flags && !durable_solver) {
+    std::fprintf(stderr, "--durable/--resume/--cancel-after-steps require "
+                         "--solver cellpart|bandpart|multigpu\n");
+    return 1;
+  }
   const BteScenario& s = o.scenario;
   auto phys = std::make_shared<const BtePhysics>(s.nbands, s.ndirs);
   std::printf("bte_cli: %dx%d cells, %d dirs, %d bands (%d resolved), %d steps, solver=%s\n", s.nx,
@@ -117,7 +197,7 @@ int main(int argc, char** argv) {
                 solver.temperature_seconds());
   } else if (o.solver == "multigpu") {
     MultiGpuSolver solver(s, phys, o.devices);
-    solver.run(s.nsteps);
+    drive(solver, o, s.nsteps);
     T = solver.temperature();
     report(T, s.nsteps * s.dt * 1e9);
     const auto& ph = solver.phases();
@@ -129,7 +209,7 @@ int main(int argc, char** argv) {
                   (solver.device(d).counters().bytes_h2d + solver.device(d).counters().bytes_d2h) / 1e6);
   } else if (o.solver == "cellpart") {
     CellPartitionedSolver solver(s, phys, o.parts);
-    solver.run(s.nsteps);
+    drive(solver, o, s.nsteps);
     T = solver.gather_temperature();
     report(T, s.nsteps * s.dt * 1e9);
     std::printf("halo exchange: %.2f MB/step over %lld messages\n",
@@ -137,7 +217,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(solver.comm().messages_per_step));
   } else if (o.solver == "bandpart") {
     BandPartitionedSolver solver(s, phys, o.parts);
-    solver.run(s.nsteps);
+    drive(solver, o, s.nsteps);
     T = solver.temperature();
     report(T, s.nsteps * s.dt * 1e9);
     std::printf("band gather: %.2f MB/step\n", solver.comm().bytes_per_step / 1e6);

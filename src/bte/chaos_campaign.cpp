@@ -98,7 +98,14 @@ ChaosOutcome ChaosCampaign::run_schedule(const rt::ChaosSchedule& sched) {
 
   rt::FaultInjector injector(injector_seed(sched));
   rt::ChaosEngine::arm(injector, sched);
-  const ResilienceOptions opt = defense_.to_options(&injector);
+  // Resource-class defense: a generous budget, so AllocFailure/MemoryPressure
+  // fires from the schedule are absorbed by graceful degradation (relief
+  // chain) rather than admission failure. Reliefs only free rebuildable state,
+  // so the bit-exactness oracle still holds. Declared before the solver so
+  // device buffers release their reservations into a live budget.
+  rt::MemoryBudget budget(/*capacity_bytes=*/int64_t{256} << 20);
+  ResilienceOptions opt = defense_.to_options(&injector);
+  opt.memory = &budget;
 
   std::vector<double> T, I;
   double total = 0, elapsed = 0;

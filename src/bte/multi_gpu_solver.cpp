@@ -57,7 +57,10 @@ void MultiGpuSolver::build_topology(int num_devices) {
   devices_.clear();
   for (int p = 0; p < num_devices; ++p) {
     devices_.push_back(std::make_unique<rt::SimGpu>(spec_));
-    if (resilient_) devices_.back()->set_fault_injector(res_.injector);
+    if (resilient_) {
+      devices_.back()->set_fault_injector(res_.injector);
+      devices_.back()->set_memory_budget(res_.memory);
+    }
   }
   std::vector<std::pair<int, int>> ranges(static_cast<size_t>(num_devices));
   for (int p = 0; p < num_devices; ++p)
@@ -607,9 +610,10 @@ std::vector<int32_t> MultiGpuSolver::owner_counts() const {
   return counts;
 }
 
-void MultiGpuSolver::take_checkpoint() {
+void MultiGpuSolver::take_checkpoint(const std::string& cancel_reason) {
   store_.save(snapshot());
   rstats_.checkpoints += 1;
+  write_run_manifest(res_, rstats_, "mgpu", num_devices(), config_hash(), store_, cancel_reason);
 }
 
 double MultiGpuSolver::copy_seconds_total() const {
@@ -717,9 +721,87 @@ void MultiGpuSolver::enable_resilience(const ResilienceOptions& options) {
   validate_resilience_options(options);
   res_ = options;
   resilient_ = true;
-  for (auto& dev : devices_) dev->set_fault_injector(res_.injector);
+  for (auto& dev : devices_) {
+    dev->set_fault_injector(res_.injector);
+    dev->set_memory_budget(res_.memory);
+  }
   if (res_.straggler.enabled) detector_ = rt::StragglerDetector(num_devices(), res_.straggler);
+  if (!res_.durable.dir.empty())
+    store_ = rt::CheckpointStore(res_.durable.dir, res_.durable.disk_generations);
+  register_memory_reliefs();
+  rehome_device_mirrors();
   take_checkpoint();  // rollback target before any resilient step runs
+}
+
+// The constructor allocated the device mirrors before enable_resilience could
+// attach a budget, so they are invisible to it. Re-allocate + re-upload them
+// through the now-budgeted devices: every mirror byte is then reserved against
+// the budget (and released with the buffer), which is what makes MemoryPressure
+// spikes and the relief-chain math operate on real occupancy instead of zero.
+// Later reallocations (eviction rebuilds, rebalance layouts) are charged as a
+// matter of course since the devices keep the budget pointer.
+void MultiGpuSolver::rehome_device_mirrors() {
+  if (res_.memory == nullptr) return;
+  for (size_t p = 0; p < ranks_.size(); ++p) {
+    Rank& r = ranks_[p];
+    rt::SimGpu& gpu = *devices_[p];
+    r.dev_I = gpu.allocate(r.I.size());
+    r.dev_Iob = gpu.allocate(r.Io.size() + r.beta.size());
+    gpu.memcpy_h2d(r.dev_I, r.I);
+  }
+}
+
+// Graceful degradation, cheapest first; only rebuildable state is freed (the
+// host staging buffers are resized before every transfer that uses them).
+void MultiGpuSolver::register_memory_reliefs() {
+  if (res_.memory == nullptr) return;
+  res_.memory->add_relief("ckpt-prev-generation",
+                          [this] { return store_.drop_previous_generation(); });
+  res_.memory->add_relief("scratch-shrink", [this] {
+    const auto shrink = [](std::vector<double>& v) {
+      const int64_t freed = static_cast<int64_t>(v.capacity() * sizeof(double));
+      v.clear();
+      v.shrink_to_fit();
+      return freed;
+    };
+    return shrink(host_back_) + shrink(iob_scratch_) + shrink(sentinel_scratch_);
+  });
+  res_.memory->add_relief("ckpt-spill", [this] { return store_.spill(); });
+}
+
+uint64_t MultiGpuSolver::config_hash() const {
+  ConfigHasher h;
+  h.mix(static_cast<int64_t>(scen_.nx)).mix(static_cast<int64_t>(scen_.ny));
+  h.mix(scen_.lx).mix(scen_.ly);
+  h.mix(static_cast<int64_t>(scen_.kind == BteScenario::Kind::CornerSource ? 1 : 0));
+  h.mix(scen_.T_init).mix(scen_.T_cold).mix(scen_.T_hot);
+  h.mix(scen_.hot_w).mix(scen_.hot_center_frac).mix(scen_.dt);
+  h.mix(static_cast<int64_t>(nd_)).mix(static_cast<int64_t>(nb_));
+  return h.value();
+}
+
+void MultiGpuSolver::resume_from(const rt::RunManifest& manifest,
+                                 const ResilienceOptions& options) {
+  validate_resilience_options(options);
+  if (options.durable.dir.empty())
+    throw std::invalid_argument("resume_from: options.durable.dir must name the manifest's dir");
+  check_manifest_matches(manifest, "mgpu", config_hash());
+  res_ = options;
+  resilient_ = true;
+  for (auto& dev : devices_) {
+    dev->set_fault_injector(res_.injector);
+    dev->set_memory_budget(res_.memory);
+  }
+  if (res_.straggler.enabled) detector_ = rt::StragglerDetector(num_devices(), res_.straggler);
+  register_memory_reliefs();
+  rehome_device_mirrors();
+  store_ = rt::CheckpointStore(res_.durable.dir, res_.durable.disk_generations);
+  store_.resume_sequence(manifest.saves);
+  restore(load_manifest_checkpoint(manifest, rstats_));  // re-uploads device mirrors
+  if (res_.injector != nullptr)
+    res_.injector->import_counters(manifest.injector_counters, manifest.injector_events);
+  rstats_.resumes += 1;
+  take_checkpoint();
 }
 
 void MultiGpuSolver::run(int nsteps) {
@@ -730,6 +812,17 @@ void MultiGpuSolver::run(int nsteps) {
   const int64_t target = step_index_ + nsteps;
   int rollback_budget = res_.max_rollbacks;
   while (step_index_ < target) {
+    // Cancel/deadline drain and resource-fault consult at the step boundary;
+    // see CellPartitionedSolver::run.
+    if (res_.cancel != nullptr && res_.cancel->should_drain(step_index_, trace_cursor_)) {
+      take_checkpoint(res_.cancel->drain_reason(step_index_, trace_cursor_));
+      rstats_.cancel_drains += 1;
+      break;
+    }
+    consult_resource_faults(res_, rstats_, "mgpu-mem", [this](double s) {
+      charge_phase(&Phases::recovery, "recovery", s);
+      rstats_.recovery_seconds += s;
+    });
     // Permanent losses surface at step boundaries: an explicit kill_device or
     // an injected DeviceLoss with a deterministically drawn victim.
     if (pending_kill_ < 0 && res_.injector != nullptr &&

@@ -40,6 +40,10 @@ class MultiGpuSolver {
   const StepHealth& last_health() const { return health_; }
   int64_t step_index() const { return step_index_; }
 
+  // Durable restart from a manifest; see CellPartitionedSolver::resume_from.
+  // Also re-uploads the restored state to every device mirror.
+  void resume_from(const rt::RunManifest& manifest, const ResilienceOptions& options);
+
   // Elastic shrink: marks `device` as permanently lost (XID/ECC death); at the
   // next run() step boundary the survivors redistribute the band shards over
   // M = num_devices()-1 devices and restart from the last (topology-
@@ -132,8 +136,11 @@ class MultiGpuSolver {
   void note_sdc_detection();
   void audit_energy_invariant();
   void validate();
-  void take_checkpoint();
+  void take_checkpoint(const std::string& cancel_reason = "");
   void restore_checkpoint();
+  uint64_t config_hash() const;
+  void register_memory_reliefs();
+  void rehome_device_mirrors();
   // The single gateway for phase accounting: adds `seconds` to phases_.*field,
   // emits a virtual-time trace span named `name` at the running cursor, and
   // bumps the mgpu.phase.<name>_seconds metric. Because every phases_ mutation

@@ -333,6 +333,21 @@ void CellPartitionedSolver::run(int nsteps) {
   const int64_t target = step_index_ + nsteps;
   int rollback_budget = res_.max_rollbacks;
   while (step_index_ < target) {
+    // Cooperative cancellation: a cancel request or deadline drains at the
+    // step boundary — final checkpoint at the current step, manifest carrying
+    // the reason — leaving the job resumable exactly like a crashed one.
+    if (res_.cancel != nullptr && res_.cancel->should_drain(step_index_, bsp_.elapsed())) {
+      take_checkpoint(res_.cancel->drain_reason(step_index_, bsp_.elapsed()));
+      rstats_.cancel_drains += 1;
+      break;
+    }
+    // Resource faults are consulted at the step boundary: pressure squeezes
+    // the budget and runs the relief chain; a failed first allocation costs
+    // one backoff of recovery time on top of the relief.
+    consult_resource_faults(res_, rstats_, "cell-mem", [this](double s) {
+      bsp_.charge_recovery(s);
+      rstats_.recovery_seconds += s;
+    });
     // Permanent failures are discovered at step boundaries: an explicit kill
     // (kill_rank), an injected RankFailure with a deterministically drawn
     // victim, or a hung exchange the watchdog escalated to a Dead verdict.
@@ -382,6 +397,62 @@ void CellPartitionedSolver::enable_resilience(const ResilienceOptions& options) 
   bsp_.set_fault_injector(res_.injector);
   bsp_.set_heartbeat(res_.heartbeat);
   if (res_.straggler.enabled) bsp_.set_straggler(res_.straggler);
+  if (!res_.durable.dir.empty())
+    store_ = rt::CheckpointStore(res_.durable.dir, res_.durable.disk_generations);
+  register_memory_reliefs();
+  take_checkpoint();
+}
+
+// Graceful degradation, cheapest first. Every relief frees only rebuildable
+// state (an in-memory image a disk file still backs, scratch that is resized
+// before each use), so the numerical trajectory is untouched.
+void CellPartitionedSolver::register_memory_reliefs() {
+  if (res_.memory == nullptr) return;
+  res_.memory->add_relief("ckpt-prev-generation",
+                          [this] { return store_.drop_previous_generation(); });
+  res_.memory->add_relief("scratch-shrink", [this] {
+    const int64_t freed = static_cast<int64_t>(sentinel_scratch_.capacity() * sizeof(double));
+    sentinel_scratch_.clear();
+    sentinel_scratch_.shrink_to_fit();
+    return freed;
+  });
+  res_.memory->add_relief("ckpt-spill", [this] { return store_.spill(); });
+}
+
+uint64_t CellPartitionedSolver::config_hash() const {
+  ConfigHasher h;
+  h.mix(static_cast<int64_t>(scen_.nx)).mix(static_cast<int64_t>(scen_.ny));
+  h.mix(scen_.lx).mix(scen_.ly);
+  h.mix(static_cast<int64_t>(scen_.kind == BteScenario::Kind::CornerSource ? 1 : 0));
+  h.mix(scen_.T_init).mix(scen_.T_cold).mix(scen_.T_hot);
+  h.mix(scen_.hot_w).mix(scen_.hot_center_frac).mix(scen_.dt);
+  h.mix(static_cast<int64_t>(nd_)).mix(static_cast<int64_t>(nb_));
+  return h.value();
+}
+
+void CellPartitionedSolver::resume_from(const rt::RunManifest& manifest,
+                                        const ResilienceOptions& options) {
+  validate_resilience_options(options);
+  if (options.durable.dir.empty())
+    throw std::invalid_argument("resume_from: options.durable.dir must name the manifest's dir");
+  check_manifest_matches(manifest, "cell", config_hash());
+  res_ = options;
+  resilient_ = true;
+  bsp_.set_fault_injector(res_.injector);
+  bsp_.set_heartbeat(res_.heartbeat);
+  if (res_.straggler.enabled) bsp_.set_straggler(res_.straggler);
+  register_memory_reliefs();
+  store_ = rt::CheckpointStore(res_.durable.dir, res_.durable.disk_generations);
+  store_.resume_sequence(manifest.saves);
+  restore(load_manifest_checkpoint(manifest, rstats_));
+  // The injector resumes the exact draw sequence the killed process would
+  // have produced — counters key every draw, the event-log size keys victim
+  // and flip draws.
+  if (res_.injector != nullptr)
+    res_.injector->import_counters(manifest.injector_counters, manifest.injector_events);
+  rstats_.resumes += 1;
+  // Re-checkpoint the restored state: primes the in-memory rollback target
+  // (and a fresh generation file + manifest) without consuming any draws.
   take_checkpoint();
 }
 
@@ -618,9 +689,10 @@ std::vector<int32_t> CellPartitionedSolver::owner_counts() const {
   return counts;
 }
 
-void CellPartitionedSolver::take_checkpoint() {
+void CellPartitionedSolver::take_checkpoint(const std::string& cancel_reason) {
   store_.save(snapshot());
   rstats_.checkpoints += 1;
+  write_run_manifest(res_, rstats_, "cell", nparts_, config_hash(), store_, cancel_reason);
 }
 
 void CellPartitionedSolver::restore_checkpoint() {
@@ -936,6 +1008,17 @@ void BandPartitionedSolver::run(int nsteps) {
   const int64_t target = step_index_ + nsteps;
   int rollback_budget = res_.max_rollbacks;
   while (step_index_ < target) {
+    // Cancel/deadline drain and resource-fault consult at the step boundary;
+    // see CellPartitionedSolver::run.
+    if (res_.cancel != nullptr && res_.cancel->should_drain(step_index_, bsp_.elapsed())) {
+      take_checkpoint(res_.cancel->drain_reason(step_index_, bsp_.elapsed()));
+      rstats_.cancel_drains += 1;
+      break;
+    }
+    consult_resource_faults(res_, rstats_, "band-mem", [this](double s) {
+      bsp_.charge_recovery(s);
+      rstats_.recovery_seconds += s;
+    });
     if (pending_kill_ < 0 && res_.straggler.enabled && bsp_.hang_suspect() >= 0) {
       pending_kill_ = bsp_.hang_suspect();
       bsp_.clear_hang_suspect();
@@ -982,6 +1065,59 @@ void BandPartitionedSolver::enable_resilience(const ResilienceOptions& options) 
   bsp_.set_fault_injector(res_.injector);
   bsp_.set_heartbeat(res_.heartbeat);
   if (res_.straggler.enabled) bsp_.set_straggler(res_.straggler);
+  if (!res_.durable.dir.empty())
+    store_ = rt::CheckpointStore(res_.durable.dir, res_.durable.disk_generations);
+  register_memory_reliefs();
+  take_checkpoint();
+}
+
+// Graceful degradation, cheapest first; only rebuildable state is freed (the
+// gather payload buffers are resized before every gather).
+void BandPartitionedSolver::register_memory_reliefs() {
+  if (res_.memory == nullptr) return;
+  res_.memory->add_relief("ckpt-prev-generation",
+                          [this] { return store_.drop_previous_generation(); });
+  res_.memory->add_relief("scratch-shrink", [this] {
+    int64_t freed = 0;
+    for (Rank& r : ranks_) {
+      freed += static_cast<int64_t>(r.payload.capacity() * sizeof(double));
+      r.payload.clear();
+      r.payload.shrink_to_fit();
+    }
+    return freed;
+  });
+  res_.memory->add_relief("ckpt-spill", [this] { return store_.spill(); });
+}
+
+uint64_t BandPartitionedSolver::config_hash() const {
+  ConfigHasher h;
+  h.mix(static_cast<int64_t>(scen_.nx)).mix(static_cast<int64_t>(scen_.ny));
+  h.mix(scen_.lx).mix(scen_.ly);
+  h.mix(static_cast<int64_t>(scen_.kind == BteScenario::Kind::CornerSource ? 1 : 0));
+  h.mix(scen_.T_init).mix(scen_.T_cold).mix(scen_.T_hot);
+  h.mix(scen_.hot_w).mix(scen_.hot_center_frac).mix(scen_.dt);
+  h.mix(static_cast<int64_t>(nd_)).mix(static_cast<int64_t>(nb_));
+  return h.value();
+}
+
+void BandPartitionedSolver::resume_from(const rt::RunManifest& manifest,
+                                        const ResilienceOptions& options) {
+  validate_resilience_options(options);
+  if (options.durable.dir.empty())
+    throw std::invalid_argument("resume_from: options.durable.dir must name the manifest's dir");
+  check_manifest_matches(manifest, "band", config_hash());
+  res_ = options;
+  resilient_ = true;
+  bsp_.set_fault_injector(res_.injector);
+  bsp_.set_heartbeat(res_.heartbeat);
+  if (res_.straggler.enabled) bsp_.set_straggler(res_.straggler);
+  register_memory_reliefs();
+  store_ = rt::CheckpointStore(res_.durable.dir, res_.durable.disk_generations);
+  store_.resume_sequence(manifest.saves);
+  restore(load_manifest_checkpoint(manifest, rstats_));
+  if (res_.injector != nullptr)
+    res_.injector->import_counters(manifest.injector_counters, manifest.injector_events);
+  rstats_.resumes += 1;
   take_checkpoint();
 }
 
@@ -1231,9 +1367,10 @@ std::vector<int32_t> BandPartitionedSolver::owner_counts() const {
   return counts;
 }
 
-void BandPartitionedSolver::take_checkpoint() {
+void BandPartitionedSolver::take_checkpoint(const std::string& cancel_reason) {
   store_.save(snapshot());
   rstats_.checkpoints += 1;
+  write_run_manifest(res_, rstats_, "band", nparts_, config_hash(), store_, cancel_reason);
 }
 
 void BandPartitionedSolver::restore_checkpoint() {

@@ -53,6 +53,14 @@ class CellPartitionedSolver {
   const StepHealth& last_health() const { return health_; }
   int64_t step_index() const { return step_index_; }
 
+  // Durable restart: arms resilience from `options` (which must carry the
+  // durable dir the manifest was written into), validates the manifest
+  // against this solver's configuration, restores the newest readable
+  // on-disk generation (falling back across recorded paths), re-imports the
+  // injector's counter/event state, and re-checkpoints — after which run()
+  // continues bit-exactly where the killed or drained process left off.
+  void resume_from(const rt::RunManifest& manifest, const ResilienceOptions& options);
+
   // ---- elastic shrink-to-survivors ----------------------------------------
   // Kills `rank` permanently; the death is discovered (heartbeat suspicion
   // timeout) at the next run() step boundary, the survivors repartition the
@@ -125,8 +133,10 @@ class CellPartitionedSolver {
   void audit_sentinels();
   void note_sdc_detection();
   void validate();
-  void take_checkpoint();
+  void take_checkpoint(const std::string& cancel_reason = "");
   void restore_checkpoint();
+  uint64_t config_hash() const;
+  void register_memory_reliefs();
 
   BteScenario scen_;
   std::shared_ptr<const BtePhysics> phys_;
@@ -176,6 +186,9 @@ class BandPartitionedSolver {
   const ResilienceStats& resilience_stats() const { return rstats_; }
   const StepHealth& last_health() const { return health_; }
   int64_t step_index() const { return step_index_; }
+
+  // Durable restart from a manifest; see CellPartitionedSolver::resume_from.
+  void resume_from(const rt::RunManifest& manifest, const ResilienceOptions& options);
 
   // Elastic shrink: kills `rank` permanently; at the next run() step boundary
   // the survivors rebalance the band ownership over M = nparts()-1 ranks and
@@ -239,8 +252,10 @@ class BandPartitionedSolver {
   void note_sdc_detection();
   double wall_temperature(double x) const;
   void validate();
-  void take_checkpoint();
+  void take_checkpoint(const std::string& cancel_reason = "");
   void restore_checkpoint();
+  uint64_t config_hash() const;
+  void register_memory_reliefs();
 
   BteScenario scen_;
   std::shared_ptr<const BtePhysics> phys_;

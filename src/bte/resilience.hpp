@@ -32,12 +32,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "runtime/cancel.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/manifest.hpp"
+#include "runtime/memory.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/straggler.hpp"
 
@@ -69,6 +74,17 @@ struct SdcOptions {
   // invariant is a tripwire for systematic corruption, while bit-exact
   // detection is the checksums' job.
   double energy_drift_tol = 0.05;
+};
+
+// Durable-run configuration: with a non-empty `dir` the solver keeps its
+// CheckpointStore on disk (`checkpoint_<seq>.bin` generation files) and
+// maintains an atomically-written `manifest.json` sidecar next to them after
+// every checkpoint, so a SIGKILLed/OOMed process restarts bit-exactly via
+// resume_from() (see runtime/manifest.hpp).
+struct DurableOptions {
+  std::string dir;           // empty: in-memory checkpoints only (not durable)
+  int disk_generations = 2;  // on-disk generation files retained (>= 1)
+  std::string manifest_path() const { return dir + "/manifest.json"; }
 };
 
 struct ResilienceOptions {
@@ -106,6 +122,16 @@ struct ResilienceOptions {
   // suspect_after == miss_threshold every late rank jumps straight to the
   // Dead verdict and the mitigations it asked for can never engage.
   rt::StragglerOptions straggler;
+  // Durable runs: on-disk checkpoint generations + manifest sidecar.
+  DurableOptions durable;
+  // Cooperative cancellation: consulted at every step boundary; a hit drains
+  // (final checkpoint + manifest) and returns instead of aborting. Null: off.
+  rt::CancelToken* cancel = nullptr;
+  // Resource-exhaustion defense: AllocFailure / MemoryPressure faults run
+  // this budget's relief chain (drop the second checkpoint generation, shrink
+  // scratch, spill to disk) before anything fatal. Null: faults are counted
+  // and charged but nothing degrades.
+  rt::MemoryBudget* memory = nullptr;
 };
 
 // Verdict of the per-step validation pass.
@@ -152,6 +178,15 @@ struct ResilienceStats {
   int64_t ckpt_restore_retries = 0;       // corrupted restore reads retried
   int64_t ckpt_generation_fallbacks = 0;  // restores that fell back a generation
   int64_t ckpt_hang_stalls = 0;           // hangs ridden out inside a restore
+  // ---- resource-exhaustion defense -----------------------------------------
+  int64_t alloc_failures = 0;    // AllocFailure fires ridden out via relief+retry
+  int64_t pressure_events = 0;   // MemoryPressure fires absorbed
+  int64_t reliefs = 0;           // relief-chain runs that freed something
+  int64_t relieved_bytes = 0;    // total bytes freed by graceful degradation
+  // ---- durable runs --------------------------------------------------------
+  int64_t manifests_written = 0;  // manifest sidecar writes (one per checkpoint)
+  int64_t resumes = 0;            // resume_from() restarts absorbed by this solver
+  int64_t cancel_drains = 0;      // runs that drained on a cancel/deadline
 };
 
 // Mirrors a solver's recovery tallies into the global metrics registry under
@@ -186,6 +221,13 @@ inline void publish_resilience_metrics(const ResilienceStats& now, ResilienceSta
   count("solver.ckpt_generation_fallbacks", now.ckpt_generation_fallbacks,
         published.ckpt_generation_fallbacks);
   count("solver.ckpt_hang_stalls", now.ckpt_hang_stalls, published.ckpt_hang_stalls);
+  count("solver.alloc_failures", now.alloc_failures, published.alloc_failures);
+  count("solver.pressure_events", now.pressure_events, published.pressure_events);
+  count("solver.reliefs", now.reliefs, published.reliefs);
+  count("solver.relieved_bytes", now.relieved_bytes, published.relieved_bytes);
+  count("run.manifests_written", now.manifests_written, published.manifests_written);
+  count("run.resumes", now.resumes, published.resumes);
+  count("cancel.drains", now.cancel_drains, published.cancel_drains);
   secs("solver.recovery_seconds", now.recovery_seconds, published.recovery_seconds);
   secs("solver.redistribution_seconds", now.redistribution_seconds, published.redistribution_seconds);
   secs("solver.audit_seconds", now.audit_seconds, published.audit_seconds);
@@ -259,6 +301,15 @@ inline void validate_resilience_options(const ResilienceOptions& opt) {
          std::to_string(opt.max_rollbacks) +
          " has nothing to roll back to; set max_rollbacks = 0 or give checkpoint.interval a "
          "positive period");
+  if (opt.durable.disk_generations < 1)
+    fail("durable.disk_generations must be >= 1 (got " +
+         std::to_string(opt.durable.disk_generations) + ")");
+  if (!opt.durable.dir.empty() && opt.checkpoint.interval <= 0)
+    fail("durable dir with checkpointing disabled: durable.dir '" + opt.durable.dir +
+         "' promises restartability but checkpoint.interval " +
+         std::to_string(opt.checkpoint.interval) +
+         " never writes a generation, so a crash always restarts from step 0; give "
+         "checkpoint.interval a positive period or clear durable.dir");
 }
 
 // ---- hardened checkpoint restore --------------------------------------------
@@ -315,6 +366,121 @@ rt::Snapshot load_checkpoint_guarded(const rt::CheckpointStore& store,
     if (gen + 1 < store.generations()) stats.ckpt_generation_fallbacks += 1;
   }
   throw ResilienceError("checkpoint restore failed on every generation: " + last_error);
+}
+
+// ---- durable-run helpers ----------------------------------------------------
+
+// Order-sensitive bitwise FNV-1a accumulator over the run configuration. The
+// manifest records the hash so resume_from() can refuse to graft a checkpoint
+// onto a solver built from a different scenario/topology — a silent mismatch
+// would "resume" into garbage that still looks finite.
+struct ConfigHasher {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  ConfigHasher& mix_bytes(const void* p, size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+  ConfigHasher& mix(double v) { return mix_bytes(&v, sizeof v); }
+  ConfigHasher& mix(int64_t v) { return mix_bytes(&v, sizeof v); }
+  ConfigHasher& mix(const std::string& s) {
+    mix(static_cast<int64_t>(s.size()));
+    return mix_bytes(s.data(), s.size());
+  }
+  uint64_t value() const { return h; }
+};
+
+// Step-boundary consult of the resource fault class. MemoryPressure models an
+// external squeeze (co-tenant, OS): the usable budget transiently halves and
+// the relief chain restores headroom. AllocFailure models a failed first
+// allocation attempt inside the step: relief runs, then the retried
+// allocation is charged one backoff of virtual stall time. Both are absorbed
+// — graceful degradation only ever frees rebuildable state (the second
+// checkpoint generation, scratch, the in-memory images once spilled to disk),
+// so the numerical trajectory stays bit-exact. `charge_stall(seconds)` bills
+// the caller's recovery phase.
+template <typename ChargeStall>
+void consult_resource_faults(const ResilienceOptions& opt, ResilienceStats& stats,
+                             std::string_view site, ChargeStall&& charge_stall) {
+  if (opt.injector == nullptr) return;
+  const auto relieve = [&](int64_t headroom) {
+    if (opt.memory == nullptr) return;
+    const int64_t freed = opt.memory->run_relief(headroom);
+    if (freed > 0) {
+      stats.reliefs += 1;
+      stats.relieved_bytes += freed;
+    }
+  };
+  if (opt.injector->should_fault(rt::FaultKind::MemoryPressure, site)) {
+    stats.pressure_events += 1;
+    if (opt.memory != nullptr) opt.memory->spike(0.5);
+    relieve(0);
+  }
+  if (opt.injector->should_fault(rt::FaultKind::AllocFailure, site)) {
+    stats.alloc_failures += 1;
+    relieve(0);
+    charge_stall(backoff_delay(opt, 0));
+  }
+}
+
+// Builds and atomically writes the durable manifest for a solver's current
+// checkpoint state. No-op when the run is not durable. The injector's whole
+// resumable state (counters + event log) rides along so a restarted process
+// draws the exact fault sequence the killed one would have.
+inline void write_run_manifest(const ResilienceOptions& opt, ResilienceStats& stats,
+                               const std::string& solver, int nparts, uint64_t config_hash,
+                               const rt::CheckpointStore& store,
+                               const std::string& cancel_reason = "") {
+  if (opt.durable.dir.empty()) return;
+  rt::RunManifest m;
+  m.config_hash = config_hash;
+  m.injector_seed = opt.injector != nullptr ? opt.injector->seed() : 0;
+  m.solver = solver;
+  m.nparts = nparts;
+  m.last_step = store.latest_step();
+  m.saves = store.saves();
+  m.checkpoints = store.disk_paths();
+  if (opt.injector != nullptr) {
+    m.injector_counters = opt.injector->export_counters();
+    m.injector_events = opt.injector->events();
+  }
+  m.cancel_reason = cancel_reason;
+  rt::write_manifest_atomic(opt.durable.manifest_path(), m);
+  stats.manifests_written += 1;
+}
+
+// Refuses to graft a manifest onto the wrong solver or problem — a silent
+// mismatch would "resume" into a finite-looking but wrong trajectory.
+inline void check_manifest_matches(const rt::RunManifest& m, std::string_view solver,
+                                   uint64_t config_hash) {
+  if (m.solver != solver)
+    throw rt::CheckpointError("manifest solver mismatch: manifest records '" + m.solver +
+                              "' but a '" + std::string(solver) + "' solver is resuming");
+  if (m.config_hash != config_hash)
+    throw rt::CheckpointError(
+        "manifest config-hash mismatch: the manifest was written by a run with a different "
+        "scenario/discretization; refusing to resume");
+}
+
+// Loads the newest readable generation file recorded by the manifest, falling
+// back across the recorded paths (older step, more replay, still bit-exact)
+// exactly like the in-memory guarded restore falls back across generations.
+// Every failure is a named CheckpointError; only when every recorded path is
+// missing or corrupt does the resume itself fail.
+inline rt::Snapshot load_manifest_checkpoint(const rt::RunManifest& m, ResilienceStats& stats) {
+  std::string last_error = "manifest records no checkpoint generations";
+  for (size_t g = 0; g < m.checkpoints.size(); ++g) {
+    try {
+      return rt::CheckpointStore::read_file(m.checkpoints[g]);
+    } catch (const rt::CheckpointError& err) {
+      last_error = err.what();
+      if (g + 1 < m.checkpoints.size()) stats.ckpt_generation_fallbacks += 1;
+    }
+  }
+  throw rt::CheckpointError("resume failed, every manifest checkpoint unreadable: " + last_error);
 }
 
 }  // namespace finch::bte

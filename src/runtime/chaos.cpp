@@ -2,20 +2,23 @@
 
 #include <algorithm>
 #include <array>
-#include <cctype>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+
+#include "json_util.hpp"
 
 namespace finch::rt {
 
 namespace {
 
-// 0 transient, 1 permanent, 2 silent, 3 performance.
+// 0 transient, 1 permanent, 2 silent, 3 performance, 4 resource.
+constexpr int kNumFaultClasses = 5;
 int fault_class(FaultKind k) {
   if (fault_is_permanent(k)) return 1;
   if (fault_is_silent(k)) return 2;
   if (fault_is_performance(k)) return 3;
+  if (fault_is_resource(k)) return 4;
   return 0;
 }
 
@@ -51,7 +54,7 @@ class Dice {
 }  // namespace
 
 int ChaosSchedule::num_classes() const {
-  std::array<bool, 4> seen{};
+  std::array<bool, kNumFaultClasses> seen{};
   for (const ChaosFault& f : faults) seen[static_cast<size_t>(fault_class(f.kind))] = true;
   int n = 0;
   for (bool b : seen) n += b ? 1 : 0;
@@ -93,62 +96,6 @@ std::string schedule_to_json(const ChaosSchedule& s) {
 
 namespace {
 
-// Minimal strict parser for exactly the document schedule_to_json emits
-// (whitespace-insensitive, key order-insensitive). No dependency, no
-// half-parse: anything unexpected throws std::invalid_argument.
-struct JsonCursor {
-  std::string_view s;
-  size_t i = 0;
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("chaos schedule JSON: " + what + " at offset " +
-                                std::to_string(i));
-  }
-  void skip_ws() {
-    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
-  }
-  bool peek(char c) {
-    skip_ws();
-    return i < s.size() && s[i] == c;
-  }
-  bool eat(char c) {
-    if (!peek(c)) return false;
-    ++i;
-    return true;
-  }
-  void expect(char c) {
-    if (!eat(c)) fail(std::string("expected '") + c + "'");
-  }
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (i < s.size() && s[i] != '"') {
-      if (s[i] == '\\') fail("escapes are not used in schedule JSON");
-      out.push_back(s[i++]);
-    }
-    expect('"');
-    return out;
-  }
-  int64_t parse_int() {
-    skip_ws();
-    const bool neg = i < s.size() && s[i] == '-';
-    if (neg) ++i;
-    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) fail("expected integer");
-    uint64_t v = 0;
-    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
-      v = v * 10 + static_cast<uint64_t>(s[i++] - '0');
-    return neg ? -static_cast<int64_t>(v) : static_cast<int64_t>(v);
-  }
-  uint64_t parse_u64() {
-    skip_ws();
-    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) fail("expected integer");
-    uint64_t v = 0;
-    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
-      v = v * 10 + static_cast<uint64_t>(s[i++] - '0');
-    return v;
-  }
-};
-
 ChaosFault parse_fault(JsonCursor& c) {
   ChaosFault f;
   c.expect('{');
@@ -180,7 +127,7 @@ ChaosFault parse_fault(JsonCursor& c) {
 }  // namespace
 
 ChaosSchedule schedule_from_json(std::string_view json) {
-  JsonCursor c{json};
+  JsonCursor c{json, 0, "chaos schedule JSON"};
   ChaosSchedule out;
   c.expect('{');
   bool first = true;
@@ -242,6 +189,8 @@ const std::vector<ChaosMenuEntry>& ChaosEngine::site_menu(const std::string& sol
       {FaultKind::SlowRank, "compute", 2.0},
       {FaultKind::JitterKernel, "compute", 2.0},
       {FaultKind::RankFailure, "cell-rank", 1.0},
+      {FaultKind::AllocFailure, "cell-mem", 1.0},
+      {FaultKind::MemoryPressure, "cell-mem", 1.0},
   };
   static const std::vector<ChaosMenuEntry> band = {
       {FaultKind::DroppedMessage, "gather", 4.0},
@@ -253,6 +202,8 @@ const std::vector<ChaosMenuEntry>& ChaosEngine::site_menu(const std::string& sol
       {FaultKind::SlowRank, "compute", 2.0},
       {FaultKind::JitterKernel, "compute", 2.0},
       {FaultKind::RankFailure, "band-rank", 1.0},
+      {FaultKind::AllocFailure, "band-mem", 1.0},
+      {FaultKind::MemoryPressure, "band-mem", 1.0},
   };
   static const std::vector<ChaosMenuEntry> mgpu = {
       {FaultKind::KernelLaunchFailure, "bte_interior", 4.0},
@@ -264,6 +215,8 @@ const std::vector<ChaosMenuEntry>& ChaosEngine::site_menu(const std::string& sol
       {FaultKind::SlowRank, "launch", 4.0},
       {FaultKind::JitterKernel, "launch", 4.0},
       {FaultKind::DeviceLoss, "gpu", 1.0},
+      {FaultKind::AllocFailure, "mgpu-mem", 1.0},
+      {FaultKind::MemoryPressure, "mgpu-mem", 1.0},
   };
   if (solver == "cell") return cell;
   if (solver == "band") return band;
@@ -297,7 +250,7 @@ ChaosSchedule ChaosEngine::generate(const std::string& solver, const ChaosSpec& 
   int permanent_budget = spec.allow_permanent ? std::min(2, spec.nparts - 2) : 0;
   bool exchange_hang_used = false;  // one exchange-hang entry per schedule, see below
 
-  std::array<std::vector<size_t>, 4> by_class;
+  std::array<std::vector<size_t>, kNumFaultClasses> by_class;
   for (size_t i = 0; i < menu.size(); ++i)
     by_class[static_cast<size_t>(fault_class(menu[i].kind))].push_back(i);
 
@@ -373,7 +326,7 @@ ChaosSchedule ChaosEngine::generate(const std::string& solver, const ChaosSpec& 
   // First pass: one fault from each of min_classes distinct (admissible)
   // classes, drawn in a seeded shuffle order so campaigns cover every mix.
   std::vector<int> classes;
-  for (int c : {0, 2, 3, 1})
+  for (int c : {0, 2, 3, 4, 1})
     if (!by_class[static_cast<size_t>(c)].empty() && (c != 1 || permanent_budget > 0))
       classes.push_back(c);
   for (size_t i = classes.size(); i > 1; --i)

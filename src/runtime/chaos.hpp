@@ -49,8 +49,8 @@ struct ChaosSchedule {
   int nsteps = 24;
   std::vector<ChaosFault> faults;
 
-  // Distinct fault classes (transient / permanent / silent / performance)
-  // among the armed faults.
+  // Distinct fault classes (transient / permanent / silent / performance /
+  // resource) among the armed faults.
   int num_classes() const;
   int64_t total_fires() const;
 };

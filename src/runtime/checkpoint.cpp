@@ -1,9 +1,12 @@
 #include "checkpoint.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#include "metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -146,16 +149,23 @@ namespace {
 // Flushes a file's (or directory's) kernel buffers to stable storage. The
 // directory fsync is what makes the rename itself durable: without it a power
 // loss can roll the directory entry back to the old image even though the new
-// file's data reached the disk.
+// file's data reached the disk. Directory fsync failures are best-effort
+// (some filesystems refuse directory fds) but never silent: each one bumps
+// `ckpt.dir_fsync_soft_fail` so a fleet quietly losing rename durability is
+// visible in the metrics dump.
 void fsync_path(const std::string& path, bool directory) {
   const int fd = ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
   if (fd < 0) {
-    if (directory) return;  // fs without directory fds (or path is "."-less); best effort
-    throw CheckpointError("cannot reopen for fsync: " + path);
+    if (!directory) throw CheckpointError("cannot reopen for fsync: " + path);
+    MetricsRegistry::global().counter("ckpt.dir_fsync_soft_fail").add(1.0);
+    return;
   }
   const int rc = ::fsync(fd);
   ::close(fd);
-  if (rc != 0 && !directory) throw CheckpointError("fsync failed: " + path);
+  if (rc != 0) {
+    if (!directory) throw CheckpointError("fsync failed: " + path);
+    MetricsRegistry::global().counter("ckpt.dir_fsync_soft_fail").add(1.0);
+  }
 }
 
 std::string parent_dir(const std::string& path) {
@@ -164,11 +174,13 @@ std::string parent_dir(const std::string& path) {
 }
 #endif
 
-// Crash-safe image write: stream into a `.tmp` sibling, flush + fsync it, then
-// atomically rename over the destination and fsync the parent directory so
-// the rename is durable too. A crash at any point leaves either the previous
-// complete image or the new one at `path` — never a torn or missing file.
-void write_image_atomic(const std::string& path, std::span<const std::byte> image) {
+CommitHook g_commit_hook;  // crash-harness window hook; see checkpoint.hpp
+
+}  // namespace
+
+void set_checkpoint_commit_hook(CommitHook hook) { g_commit_hook = std::move(hook); }
+
+void write_bytes_atomic(const std::string& path, std::span<const std::byte> image) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
@@ -181,6 +193,7 @@ void write_image_atomic(const std::string& path, std::span<const std::byte> imag
 #ifdef FINCH_HAVE_FSYNC
   fsync_path(tmp, /*directory=*/false);
 #endif
+  if (g_commit_hook) g_commit_hook(path, CommitPhase::AfterTmpWrite);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw CheckpointError("cannot commit checkpoint to " + path);
@@ -188,41 +201,100 @@ void write_image_atomic(const std::string& path, std::span<const std::byte> imag
 #ifdef FINCH_HAVE_FSYNC
   fsync_path(parent_dir(path), /*directory=*/true);
 #endif
+  if (g_commit_hook) g_commit_hook(path, CommitPhase::AfterRename);
 }
 
-}  // namespace
+std::vector<std::byte> read_bytes_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw CheckpointError("cannot open checkpoint: " + path);
+  std::vector<char> raw((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  std::vector<std::byte> bytes(raw.size());
+  std::memcpy(bytes.data(), raw.data(), raw.size());
+  return bytes;
+}
 
 void CheckpointStore::save(const Snapshot& snap) {
   if (!image_.empty()) prev_image_ = std::move(image_);
   image_ = serialize(snap);
   latest_step_ = snap.step;
+  latest_bytes_ = static_cast<int64_t>(image_.size());
   saves_ += 1;
-  if (!dir_.empty()) write_image_atomic(dir_ + "/checkpoint.bin", image_);
+  if (dir_.empty()) return;
+  if (disk_generations_ <= 1) {
+    const std::string path = dir_ + "/checkpoint.bin";
+    write_bytes_atomic(path, image_);
+    disk_paths_.assign(1, path);
+    return;
+  }
+  // Durable mode: a committed generation file is never rewritten, so a crash
+  // inside this write (before or after the rename) cannot damage any prior
+  // generation — the property the SIGKILL harness drives through the commit
+  // hook above.
+  const std::string path = dir_ + "/checkpoint_" + std::to_string(saves_) + ".bin";
+  write_bytes_atomic(path, image_);
+  disk_paths_.insert(disk_paths_.begin(), path);
+  while (static_cast<int>(disk_paths_.size()) > disk_generations_) {
+    std::remove(disk_paths_.back().c_str());
+    disk_paths_.pop_back();
+  }
 }
 
 Snapshot CheckpointStore::load_latest() const {
-  if (image_.empty()) throw CheckpointError("no checkpoint saved");
-  return deserialize(image_);
+  if (generations() == 0) throw CheckpointError("no checkpoint saved");
+  return load(0);
 }
 
 Snapshot CheckpointStore::load(int generation) const { return deserialize(image_copy(generation)); }
+
+int CheckpointStore::generations() const {
+  const int mem = (image_.empty() ? 0 : 1) + (prev_image_.empty() ? 0 : 1);
+  return std::max(mem, static_cast<int>(disk_paths_.size()));
+}
 
 std::vector<std::byte> CheckpointStore::image_copy(int generation) const {
   if (generation < 0 || generation >= generations())
     throw CheckpointError("no checkpoint generation " + std::to_string(generation) + " (have " +
                           std::to_string(generations()) + ")");
-  return generation == 0 ? image_ : prev_image_;
+  if (generation == 0 && !image_.empty()) return image_;
+  if (generation == 1 && !prev_image_.empty()) return prev_image_;
+  // Spilled / dropped from memory: the disk file still backs the generation.
+  return read_bytes_file(disk_paths_[static_cast<size_t>(generation)]);
+}
+
+int64_t CheckpointStore::drop_previous_generation() {
+  // Only safe when an older disk file can still serve generation-1 fallback.
+  if (prev_image_.empty() || disk_paths_.size() < 2) return 0;
+  const int64_t freed = static_cast<int64_t>(prev_image_.capacity());
+  prev_image_.clear();
+  prev_image_.shrink_to_fit();
+  return freed;
+}
+
+int64_t CheckpointStore::spill() {
+  // The severe relief: keep only the disk files. The newest generation stays
+  // readable through its file; the in-memory gen-1 fallback survives the
+  // spill only where a second disk file backs it (durable mode).
+  if (disk_paths_.empty()) return 0;
+  int64_t freed = 0;
+  if (!prev_image_.empty()) {
+    freed += static_cast<int64_t>(prev_image_.capacity());
+    prev_image_.clear();
+    prev_image_.shrink_to_fit();
+  }
+  if (!image_.empty()) {
+    freed += static_cast<int64_t>(image_.capacity());
+    image_.clear();
+    image_.shrink_to_fit();
+  }
+  return freed;
 }
 
 void CheckpointStore::write_file(const std::string& path, const Snapshot& snap) {
-  write_image_atomic(path, serialize(snap));
+  write_bytes_atomic(path, serialize(snap));
 }
 
 Snapshot CheckpointStore::read_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw CheckpointError("cannot open checkpoint: " + path);
-  std::vector<char> raw((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
-  return deserialize(std::as_bytes(std::span<const char>(raw)));
+  return deserialize(read_bytes_file(path));
 }
 
 }  // namespace finch::rt

@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -78,16 +79,40 @@ struct CheckpointPolicy {
   }
 };
 
+// Crash-safe byte-image write: stream into a `.tmp` sibling, flush + fsync,
+// atomically rename over the destination, fsync the parent directory. A crash
+// at any point leaves either the previous complete file or the new one at
+// `path` — never a torn or missing one. Shared by checkpoint images and the
+// run manifest (runtime/manifest.hpp).
+void write_bytes_atomic(const std::string& path, std::span<const std::byte> image);
+// Whole-file read; throws CheckpointError when the file cannot be opened.
+std::vector<std::byte> read_bytes_file(const std::string& path);
+
+// Hook into the atomic-write commit protocol, for the crash harness: invoked
+// once after the `.tmp` sibling is written+fsynced (rename still pending) and
+// once after the rename lands. bench_durability's child processes SIGKILL
+// themselves from inside this window to prove a crash mid-checkpoint-write
+// can never lose the previous generation. Pass nullptr to clear. Test-only;
+// process-global, not thread-safe.
+enum class CommitPhase { AfterTmpWrite, AfterRename };
+using CommitHook = std::function<void(const std::string& path, CommitPhase phase)>;
+void set_checkpoint_commit_hook(CommitHook hook);
+
 class CheckpointStore {
  public:
-  // `dir` empty: in-memory only. Otherwise every save is also mirrored to
-  // `<dir>/checkpoint.bin` (the restart-from-disk backend).
-  explicit CheckpointStore(std::string dir = "") : dir_(std::move(dir)) {}
+  // `dir` empty: in-memory only. Otherwise saves are mirrored to disk:
+  // `disk_generations` == 1 keeps the legacy single `<dir>/checkpoint.bin`
+  // mirror; >= 2 is the durable mode — each save lands in a fresh
+  // `<dir>/checkpoint_<seq>.bin` (an already-committed generation is never
+  // rewritten, so a crash mid-save cannot touch it) and the oldest file
+  // beyond the retention count is deleted.
+  explicit CheckpointStore(std::string dir = "", int disk_generations = 1)
+      : dir_(std::move(dir)), disk_generations_(disk_generations < 1 ? 1 : disk_generations) {}
 
   void save(const Snapshot& snap);
-  bool has_checkpoint() const { return !image_.empty(); }
+  bool has_checkpoint() const { return generations() > 0; }
   int64_t latest_step() const { return latest_step_; }
-  int64_t bytes_stored() const { return static_cast<int64_t>(image_.size()); }
+  int64_t bytes_stored() const { return latest_bytes_; }
   int64_t saves() const { return saves_; }
   // Deserializes (and checksum-validates) the most recent image.
   Snapshot load_latest() const;
@@ -97,25 +122,40 @@ class CheckpointStore {
   // save() rotates the previous latest image into a second in-memory
   // generation, so a restore whose every read of the newest image is
   // corrupted can fall back one checkpoint (older step, more replay, still
-  // bit-exact). Generation 0 is the newest; only generation 0 is mirrored to
-  // disk.
-  int generations() const {
-    return (image_.empty() ? 0 : 1) + (prev_image_.empty() ? 0 : 1);
-  }
+  // bit-exact). Generation 0 is the newest. In durable mode the on-disk
+  // files extend the same numbering, and memory is only a cache: a
+  // generation dropped by the resource-relief path is re-read from its file.
+  int generations() const;
   // Deserializes generation `g` (0 = newest).
   Snapshot load(int generation) const;
   // Copy of generation `g`'s raw image: callers model in-flight corruption on
   // the copy (FaultInjector::flip_raw_bit) without poisoning the store.
   std::vector<std::byte> image_copy(int generation) const;
 
+  // ---- durable mode (runtime/manifest.hpp, rt::MemoryBudget relief) --------
+  //
+  // On-disk generation files, newest first — what the run manifest records.
+  const std::vector<std::string>& disk_paths() const { return disk_paths_; }
+  // Continues the save sequence of a resumed run so new generation files do
+  // not collide with ones an old manifest still references.
+  void resume_sequence(int64_t saves) { saves_ = saves; }
+  // Graceful-degradation reliefs, in increasing severity; each returns the
+  // bytes freed (0 when nothing could be freed safely — a generation is only
+  // dropped from memory when a disk file still backs it).
+  int64_t drop_previous_generation();
+  int64_t spill();
+
   static void write_file(const std::string& path, const Snapshot& snap);
   static Snapshot read_file(const std::string& path);
 
  private:
   std::string dir_;
+  int disk_generations_ = 1;
   std::vector<std::byte> image_;
   std::vector<std::byte> prev_image_;
+  std::vector<std::string> disk_paths_;  // newest first
   int64_t latest_step_ = 0;
+  int64_t latest_bytes_ = 0;
   int64_t saves_ = 0;
 };
 

@@ -49,23 +49,54 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::SlowRank: return "slow-rank";
     case FaultKind::JitterKernel: return "jitter-kernel";
     case FaultKind::HangExchange: return "hang-exchange";
+    case FaultKind::AllocFailure: return "alloc-failure";
+    case FaultKind::MemoryPressure: return "memory-pressure";
   }
   return "unknown-fault";
 }
 
-bool fault_is_permanent(FaultKind kind) {
-  return kind == FaultKind::RankFailure || kind == FaultKind::DeviceLoss;
+namespace {
+
+// Every kind belongs to exactly one class. The switch has no default on
+// purpose: adding a FaultKind without classifying it is a -Werror=switch
+// compile error here, and the runtime exhaustiveness test
+// (Durability.FaultTaxonomyIsExhaustive) re-checks the same invariant.
+enum class FaultClass { Transient, Permanent, Silent, Performance, Resource };
+
+FaultClass classify(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::KernelLaunchFailure:
+    case FaultKind::TransferCorruption:
+    case FaultKind::DroppedMessage:
+      return FaultClass::Transient;
+    case FaultKind::RankFailure:
+    case FaultKind::DeviceLoss:
+      return FaultClass::Permanent;
+    case FaultKind::BitFlipDeviceArray:
+    case FaultKind::BitFlipMessage:
+    case FaultKind::BitFlipReduction:
+      return FaultClass::Silent;
+    case FaultKind::StuckRank:
+    case FaultKind::SlowRank:
+    case FaultKind::JitterKernel:
+    case FaultKind::HangExchange:
+      return FaultClass::Performance;
+    case FaultKind::AllocFailure:
+    case FaultKind::MemoryPressure:
+      return FaultClass::Resource;
+  }
+  return FaultClass::Transient;
 }
 
-bool fault_is_silent(FaultKind kind) {
-  return kind == FaultKind::BitFlipDeviceArray || kind == FaultKind::BitFlipMessage ||
-         kind == FaultKind::BitFlipReduction;
-}
+}  // namespace
 
-bool fault_is_performance(FaultKind kind) {
-  return kind == FaultKind::StuckRank || kind == FaultKind::SlowRank ||
-         kind == FaultKind::JitterKernel || kind == FaultKind::HangExchange;
-}
+bool fault_is_permanent(FaultKind kind) { return classify(kind) == FaultClass::Permanent; }
+
+bool fault_is_silent(FaultKind kind) { return classify(kind) == FaultClass::Silent; }
+
+bool fault_is_performance(FaultKind kind) { return classify(kind) == FaultClass::Performance; }
+
+bool fault_is_resource(FaultKind kind) { return classify(kind) == FaultClass::Resource; }
 
 void FaultInjector::set_policy(FaultKind kind, FaultPolicy policy) {
   global_[static_cast<size_t>(kind)] = policy;
@@ -197,6 +228,42 @@ void FaultInjector::reset_counters() {
   fired_.clear();
   stats_ = FaultStats{};
   events_.clear();
+}
+
+std::vector<FaultCounter> FaultInjector::export_counters() const {
+  std::vector<FaultCounter> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, consulted] : counters_) {
+    FaultCounter c;
+    c.kind = key.first;
+    c.site = key.second;
+    c.consulted = consulted;
+    const auto fit = fired_.find(key);
+    c.fired = fit == fired_.end() ? 0 : fit->second;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void FaultInjector::import_counters(const std::vector<FaultCounter>& counters,
+                                    const std::vector<FaultEvent>& events) {
+  reset_counters();
+  for (const FaultCounter& c : counters) {
+    if (c.kind < 0 || c.kind >= kNumFaultKinds)
+      throw std::invalid_argument("import_counters: unknown fault kind");
+    const auto key = std::make_pair(c.kind, c.site);
+    counters_[key] = c.consulted;
+    if (c.fired != 0) fired_[key] = c.fired;
+    stats_.consulted[static_cast<size_t>(c.kind)] += c.consulted;
+    stats_.injected[static_cast<size_t>(c.kind)] += c.fired;
+  }
+  // The event log's length keys victim/flip draws, and its sum must equal the
+  // injected totals (the accounting invariant chaos oracles assert).
+  events_ = events;
+  int64_t injected = 0;
+  for (int64_t v : stats_.injected) injected += v;
+  if (injected != static_cast<int64_t>(events_.size()))
+    throw std::invalid_argument("import_counters: event log does not match fired counters");
 }
 
 }  // namespace finch::rt

@@ -52,8 +52,14 @@ enum class FaultKind : int {
   SlowRank = 9,             // persistent multiplicative slowdown of one rank/device
   JitterKernel = 10,        // random per-step slowdown (OS noise, clock throttle)
   HangExchange = 11,        // an exchange stalls indefinitely; only a timeout cures it
+  // Resource-exhaustion faults: the machine runs out of something. Nothing is
+  // numerically wrong and nobody died — an allocation just failed, or external
+  // memory pressure shrank the usable budget. The defense is graceful
+  // degradation (free rebuildable state, spill, retry), never rollback.
+  AllocFailure = 12,        // a device allocation fails (cudaMalloc OOM)
+  MemoryPressure = 13,      // external pressure shrinks the effective budget
 };
-inline constexpr int kNumFaultKinds = 12;
+inline constexpr int kNumFaultKinds = 14;
 
 // True for faults that kill their victim permanently (no retry can help).
 bool fault_is_permanent(FaultKind kind);
@@ -65,6 +71,10 @@ bool fault_is_silent(FaultKind kind);
 // True for faults that cost only time (stalls, slowdowns, hangs): the numerics
 // stay correct, so the defense is detection + mitigation, never rollback.
 bool fault_is_performance(FaultKind kind);
+
+// True for resource-exhaustion faults (failed allocations, memory pressure):
+// the defense is graceful degradation through a MemoryBudget relief chain.
+bool fault_is_resource(FaultKind kind);
 
 const char* fault_kind_name(FaultKind kind);
 
@@ -131,6 +141,16 @@ struct FaultEvent {
   int64_t event_index = 0;  // per-(kind, site) consultation counter value
 };
 
+// One (kind, site) counter pair of an injector, in exportable form. A durable
+// run's manifest persists these so a restarted process resumes the fault draw
+// sequence exactly where the killed process left it (counters key every draw).
+struct FaultCounter {
+  int kind = 0;
+  std::string site;
+  int64_t consulted = 0;  // consultations so far at this (kind, site)
+  int64_t fired = 0;      // fires charged against this policy's cap
+};
+
 struct FaultStats {
   std::array<int64_t, kNumFaultKinds> injected{};
   std::array<int64_t, kNumFaultKinds> consulted{};
@@ -157,7 +177,7 @@ class FaultInjector {
   // consultation of that (kind, site) counter. Policies hold ONE schedule per
   // (kind, site) — a second set_site_policy overwrites the first — so they
   // cannot express a multi-class mixture. Scheduled fires accumulate instead:
-  // any number of faults across all four classes can be armed concurrently,
+  // any number of faults across all five classes can be armed concurrently,
   // which is what lets a chaos schedule compose transient, permanent, silent
   // and performance faults in one run. A scheduled fire bypasses the policy's
   // probability / cap machinery but lands in the same stats / events /
@@ -217,6 +237,17 @@ class FaultInjector {
   const FaultStats& stats() const { return stats_; }
   const std::vector<FaultEvent>& events() const { return events_; }
   void reset_counters();
+
+  // ---- durable-run state (runtime/manifest.hpp) ----------------------------
+  //
+  // The injector's RNG is stateless (every draw is keyed by seed + counters),
+  // so its whole resumable state is the counter maps plus the event log (the
+  // log's size keys victim/flip draws). export_counters() snapshots them;
+  // import_counters() rebuilds counters, fired caps, stats and the event log
+  // so a resumed run draws the exact sequence the killed run would have.
+  std::vector<FaultCounter> export_counters() const;
+  void import_counters(const std::vector<FaultCounter>& counters,
+                       const std::vector<FaultEvent>& events);
 
  private:
   const FaultPolicy* policy_for(FaultKind kind, std::string_view site) const;

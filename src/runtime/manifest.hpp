@@ -1,0 +1,60 @@
+#pragma once
+// Run manifest: the atomically-written JSON sidecar that makes a run durable
+// across process death.
+//
+// A durable run keeps, next to its on-disk CheckpointStore generations, one
+// small `manifest.json` describing everything a fresh process needs to
+// continue the job bit-exactly: a hash of the problem configuration (so a
+// resume against the wrong scenario is refused, not silently wrong), the
+// injector seed and its full counter/event state (the fault draw sequence
+// resumes exactly where the killed process left it), the last checkpointed
+// step, the generation file paths newest-first, and — when the run drained on
+// a cancel or deadline — the reason.
+//
+// The manifest is written through the same `.tmp` + fsync + atomic-rename
+// protocol as checkpoint images (write_bytes_atomic) and carries a trailing
+// FNV-1a checksum line over the JSON text, so a reader either gets a complete,
+// verified document or a named CheckpointError ("manifest truncated",
+// "manifest checksum mismatch") — never a half-written one. SIGKILL at any
+// point leaves either the previous manifest or the new one.
+//
+// resume_from(manifest) on the three distributed solvers (partitioned_solver
+// .hpp, multi_gpu_solver.hpp) consumes this: it validates the config hash,
+// loads the newest readable generation (falling back across the recorded
+// paths like the in-memory guarded restore falls back across generations),
+// restores, and re-imports the injector counters.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault.hpp"
+
+namespace finch::rt {
+
+struct RunManifest {
+  uint64_t config_hash = 0;    // hash of scenario + discretization (resume guard)
+  uint64_t injector_seed = 0;  // 0 when the run had no injector
+  std::string solver;          // "cell" | "band" | "mgpu"
+  int nparts = 0;              // informational: resume may use any M (N-to-M)
+  int64_t last_step = 0;       // last checkpointed step
+  int64_t saves = 0;           // checkpoint sequence counter (file numbering resumes)
+  std::vector<std::string> checkpoints;  // generation file paths, newest first
+  std::vector<FaultCounter> injector_counters;
+  std::vector<FaultEvent> injector_events;
+  std::string cancel_reason;   // non-empty when the run drained on cancel/deadline
+};
+
+// JSON text with the trailing `#fnv1a:<hex>` checksum line.
+std::string manifest_to_json(const RunManifest& m);
+// Strict parse + checksum verification; throws CheckpointError naming the
+// failure ("manifest truncated ...", "manifest checksum mismatch", or the
+// parse error wrapped as "manifest unreadable: ...").
+RunManifest manifest_from_json(std::string_view text);
+
+// Atomic write via the checkpoint commit protocol (tmp + fsync + rename).
+void write_manifest_atomic(const std::string& path, const RunManifest& m);
+// Reads and verifies; throws CheckpointError when missing, torn or corrupt.
+RunManifest read_manifest(const std::string& path);
+
+}  // namespace finch::rt

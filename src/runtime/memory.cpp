@@ -1,0 +1,76 @@
+#include "memory.hpp"
+
+#include <utility>
+
+#include "metrics.hpp"
+
+namespace finch::rt {
+
+void MemoryBudget::add_relief(std::string name, std::function<int64_t()> fn) {
+  chain_.emplace_back(std::move(name), std::move(fn));
+}
+
+void MemoryBudget::spike(double fraction) {
+  if (fraction > 0.0 && fraction < spike_fraction_) spike_fraction_ = fraction;
+  MetricsRegistry::global().counter("mem.pressure_events").add(1.0);
+}
+
+double MemoryBudget::consume_spike() {
+  const double f = spike_fraction_;
+  spike_fraction_ = 1.0;
+  return f;
+}
+
+int64_t MemoryBudget::run_relief(int64_t headroom_bytes) {
+  const double fraction = consume_spike();
+  if (capacity_ <= 0) return 0;  // unlimited: pressure costs nothing
+  const int64_t effective =
+      static_cast<int64_t>(static_cast<double>(capacity_) * fraction);
+  int64_t freed = 0;
+  for (const auto& [name, fn] : chain_) {
+    if (in_use_ + headroom_bytes <= effective) break;
+    const int64_t f = fn();
+    if (f <= 0) continue;
+    freed += f;
+    in_use_ = in_use_ > f ? in_use_ - f : 0;
+    reliefs_ += 1;
+    relieved_bytes_ += f;
+    auto& mx = MetricsRegistry::global();
+    mx.counter("mem.reliefs").add(1.0);
+    mx.counter("mem.relieved_bytes").add(static_cast<double>(f));
+  }
+  MetricsRegistry::global().gauge("mem.in_use").set(static_cast<double>(in_use_));
+  return freed;
+}
+
+bool MemoryBudget::try_reserve(int64_t bytes) {
+  if (bytes < 0) bytes = 0;
+  if (capacity_ > 0) {
+    const double fraction = spike_fraction_;  // run_relief consumes it
+    const int64_t effective =
+        static_cast<int64_t>(static_cast<double>(capacity_) * fraction);
+    if (in_use_ + bytes > effective) {
+      run_relief(bytes);
+      if (in_use_ + bytes > effective) {
+        MetricsRegistry::global().counter("mem.alloc_failures").add(1.0);
+        return false;
+      }
+    } else {
+      consume_spike();  // the reservation fit; the spike was absorbed
+    }
+  }
+  in_use_ += bytes;
+  if (in_use_ > peak_) peak_ = in_use_;
+  auto& mx = MetricsRegistry::global();
+  mx.gauge("mem.in_use").set(static_cast<double>(in_use_));
+  mx.gauge("mem.peak").set(static_cast<double>(peak_));
+  return true;
+}
+
+void MemoryBudget::release(int64_t bytes) {
+  if (bytes < 0) bytes = 0;
+  in_use_ = in_use_ > bytes ? in_use_ - bytes : 0;
+  MetricsRegistry::global().gauge("mem.in_use").set(static_cast<double>(in_use_));
+}
+
+}  // namespace finch::rt

@@ -1,0 +1,72 @@
+#pragma once
+// Device-memory budget with a graceful-degradation relief chain.
+//
+// The simulated GPU has no real VRAM to run out of, so resource exhaustion is
+// modeled the way the fault injector models everything else: deterministically.
+// A MemoryBudget tracks reserved bytes against a fixed capacity; when a
+// reservation would overflow — because the fleet genuinely grew, or because a
+// MemoryPressure fault transiently shrank the effective capacity, or because
+// an AllocFailure fault failed the first attempt — the budget runs its relief
+// chain before anything fatal happens. Reliefs are registered by the solvers
+// in increasing severity (drop the in-memory second checkpoint generation,
+// shrink rebuildable scratch, spill checkpoint images to disk); each returns
+// the bytes it freed and must only ever free state that can be rebuilt or
+// re-read, so degradation never costs correctness — the chaos oracle's
+// bit-exactness check holds through every relief.
+//
+// Only when the chain is exhausted and the reservation still does not fit
+// does the allocation path throw TransientFault(AllocFailure), which the
+// solvers' existing retry/rollback machinery handles like any other loud
+// fault. Counters land in the `mem.*` metrics (see OBSERVABILITY.md).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace finch::rt {
+
+class MemoryBudget {
+ public:
+  // `capacity_bytes` <= 0 means unlimited (tracking and reliefs still work).
+  explicit MemoryBudget(int64_t capacity_bytes = 0) : capacity_(capacity_bytes) {}
+
+  int64_t capacity() const { return capacity_; }
+  int64_t in_use() const { return in_use_; }
+  int64_t peak() const { return peak_; }
+  int64_t reliefs() const { return reliefs_; }
+  int64_t relieved_bytes() const { return relieved_bytes_; }
+
+  // Registers a relief action; `fn` returns the bytes it freed. Reliefs run
+  // in registration order (register cheapest first).
+  void add_relief(std::string name, std::function<int64_t()> fn);
+
+  // One-shot external pressure: the next reservation (or run_relief) sees
+  // capacity scaled by `fraction` in (0, 1]. Models a MemoryPressure fault.
+  void spike(double fraction);
+
+  // Reserve `bytes`, running the relief chain while the reservation would
+  // overflow the (possibly spiked) capacity. Returns false when the chain is
+  // exhausted and the bytes still do not fit; nothing is reserved then.
+  bool try_reserve(int64_t bytes);
+  void release(int64_t bytes);
+
+  // Runs the relief chain until in_use + headroom fits the effective
+  // capacity or the chain is dry. Returns total bytes freed. Used directly
+  // by the step-boundary resource-fault consult (AllocFailure modeled on a
+  // scratch allocation) and internally by try_reserve.
+  int64_t run_relief(int64_t headroom_bytes);
+
+ private:
+  double consume_spike();
+
+  int64_t capacity_ = 0;
+  int64_t in_use_ = 0;
+  int64_t peak_ = 0;
+  int64_t reliefs_ = 0;
+  int64_t relieved_bytes_ = 0;
+  double spike_fraction_ = 1.0;  // consumed by the next reserve/relief
+  std::vector<std::pair<std::string, std::function<int64_t()>>> chain_;
+};
+
+}  // namespace finch::rt

@@ -9,6 +9,30 @@
 
 namespace finch::rt {
 
+DeviceBuffer SimGpu::allocate(size_t doubles, std::string_view site) {
+  const int64_t bytes = static_cast<int64_t>(doubles * sizeof(double));
+  if (faults_ != nullptr && faults_->should_fault(FaultKind::MemoryPressure, site)) {
+    counters_.pressure_events += 1;
+    MetricsRegistry::global().counter("gpu.pressure_events").add(1.0);
+    // External pressure (a co-tenant, the OS) transiently halves the usable
+    // budget; the next reservation rides it out through the relief chain.
+    if (budget_ != nullptr) budget_->spike(0.5);
+  }
+  if (faults_ != nullptr && faults_->should_fault(FaultKind::AllocFailure, site)) {
+    // The first cudaMalloc attempt fails. Graceful degradation: run the
+    // relief chain, then retry — only a retry that still does not fit is
+    // allowed to reach the fatal path below.
+    counters_.alloc_failures += 1;
+    MetricsRegistry::global().counter("gpu.alloc_failures").add(1.0);
+    if (budget_ != nullptr) budget_->run_relief(bytes);
+  }
+  if (budget_ != nullptr && !budget_->try_reserve(bytes))
+    throw TransientFault(FaultKind::AllocFailure, std::string(site));
+  DeviceBuffer buf(doubles);
+  if (budget_ != nullptr) buf.budget_ = budget_;
+  return buf;
+}
+
 void SimGpu::set_trace_track(int32_t track, const std::string& label) {
   trace_track_ = track;
   if (!label.empty()) Tracer::global().set_track_name(1, track, label);

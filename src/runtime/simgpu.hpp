@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fault.hpp"
+#include "memory.hpp"
 
 namespace finch::rt {
 
@@ -57,6 +58,34 @@ class SimGpu;
 class DeviceBuffer {
  public:
   DeviceBuffer() = default;
+  // Buffers allocated under a MemoryBudget release their reservation on
+  // destruction; ownership of the reservation moves with the buffer. Copies
+  // duplicate the data but not the reservation (only SimGpu::allocate goes
+  // through the budget's admission path).
+  DeviceBuffer(const DeviceBuffer& o) : data_(o.data_) {}
+  DeviceBuffer& operator=(const DeviceBuffer& o) {
+    if (this != &o) {
+      release_reservation();
+      data_ = o.data_;
+    }
+    return *this;
+  }
+  DeviceBuffer(DeviceBuffer&& o) noexcept : data_(std::move(o.data_)), budget_(o.budget_) {
+    o.data_.clear();
+    o.budget_ = nullptr;
+  }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release_reservation();
+      data_ = std::move(o.data_);
+      budget_ = o.budget_;
+      o.data_.clear();
+      o.budget_ = nullptr;
+    }
+    return *this;
+  }
+  ~DeviceBuffer() { release_reservation(); }
+
   size_t size() const { return data_.size(); }
   // Raw device-side storage; only kernels (running "on the device") should
   // touch this directly.
@@ -66,7 +95,14 @@ class DeviceBuffer {
  private:
   friend class SimGpu;
   explicit DeviceBuffer(size_t n) : data_(n) {}
+  void release_reservation() {
+    if (budget_ != nullptr) {
+      budget_->release(static_cast<int64_t>(data_.size() * sizeof(double)));
+      budget_ = nullptr;
+    }
+  }
   std::vector<double> data_;
+  MemoryBudget* budget_ = nullptr;
 };
 
 struct GpuCounters {
@@ -95,6 +131,10 @@ struct GpuCounters {
   // kernel_seconds — the work is correct, just late).
   int64_t jitter_events = 0;
   double straggler_seconds = 0;
+  // Resource-fault accounting: first-attempt allocation failures ridden out
+  // through the relief chain, and external memory-pressure episodes absorbed.
+  int64_t alloc_failures = 0;
+  int64_t pressure_events = 0;
 };
 
 class SimGpu {
@@ -108,7 +148,15 @@ class SimGpu {
   void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
   FaultInjector* fault_injector() const { return faults_; }
 
-  DeviceBuffer allocate(size_t doubles) { return DeviceBuffer(doubles); }
+  // Optional memory accounting: with a budget attached, allocations reserve
+  // against it, resource faults (AllocFailure / MemoryPressure) consult the
+  // injector here, and graceful degradation (the budget's relief chain) runs
+  // before the fatal path — only a reservation that still does not fit after
+  // every relief throws TransientFault(AllocFailure). Null disables.
+  void set_memory_budget(MemoryBudget* budget) { budget_ = budget; }
+  MemoryBudget* memory_budget() const { return budget_; }
+
+  DeviceBuffer allocate(size_t doubles, std::string_view site = "alloc");
 
   // Streams are small integer handles; stream 0 always exists.
   int create_stream();
@@ -167,6 +215,7 @@ class SimGpu {
   void trace_stream(const char* name, int stream, double seconds);
   GpuSpec spec_;
   FaultInjector* faults_ = nullptr;
+  MemoryBudget* budget_ = nullptr;
   GpuCounters counters_;
   std::map<std::string, double> kernel_times_;
   std::vector<double> stream_clocks_{0.0};
