@@ -1,0 +1,276 @@
+// Supervisor bench: multi-job goodput under fault pressure, plus the
+// crash-restart acceptance run for the resilient job supervisor.
+//
+// Act 1 sweeps a deterministic mixed job stream (plain / chaos / flaky /
+// poison / deadline jobs, see bte::SupervisorCampaign) through the supervisor
+// at three fault densities — none, low, high — and reports throughput
+// (jobs/sec wall), virtual time-to-terminal percentiles, and goodput
+// (completed solver steps per virtual second, so retries, backoff and
+// quarantined work all show up as lost goodput). Every stream must end with
+// 100% of jobs in a terminal state, the campaign oracle clean (completed
+// jobs bit-exact vs the fault-free reference), and zero step-0 replays:
+// durable retries resume from the newest manifest checkpoint.
+//
+// Act 2 is the crash acceptance criterion: a child process runs a faulted
+// campaign and SIGKILLs itself from inside a manifest-commit window; the
+// parent restarts a fresh supervisor on the same durable root, re-adopts
+// every orphaned job, drains them to terminal states, and the oracle must
+// hold across the restart — completed-before-death jobs stay terminal on
+// disk, adopted in-flight jobs resume instead of replaying from step 0.
+//
+// Usage: bench_supervisor [--njobs N] [--seed N] [--json FILE]
+//                         [--metrics-json FILE] [--trace FILE]
+// FINCH_BENCH_FAST=1 (or --njobs 20) shrinks the stream for PR-time CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bte/supervisor_campaign.hpp"
+#include "fig_common.hpp"
+#include "runtime/checkpoint.hpp"
+#include "svc/job_file.hpp"
+#include "svc/supervisor.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#define FINCH_HAVE_FORK 1
+#endif
+
+using namespace finch;
+using namespace finch::bte;
+
+using bench::check;
+using bench::small_scenario;
+
+namespace {
+
+struct Density {
+  const char* name;
+  StreamShape shape;  // njobs filled in by main
+};
+
+std::vector<Density> densities() {
+  Density none{"none", {}};
+  none.shape.chaos_fraction = 0.0;
+  none.shape.deadline_fraction = 0.0;
+  none.shape.flaky_fraction = 0.0;
+  none.shape.poison_fraction = 0.0;
+  Density low{"low", {}};
+  low.shape.chaos_fraction = 0.15;
+  low.shape.deadline_fraction = 0.05;
+  low.shape.flaky_fraction = 0.05;
+  low.shape.poison_fraction = 0.02;
+  Density high{"high", {}};  // StreamShape defaults are the high-density mix
+  return {none, low, high};
+}
+
+std::string fresh_root(const std::string& name) {
+  const std::string root = "supervisor_bench_" + name;
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string cmd = "rm -rf " + root;
+  [[maybe_unused]] const int rc = std::system(cmd.c_str());
+#endif
+  return root;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+// Completed solver steps per virtual second across the whole stream — the
+// bench's goodput: faults, retries and backoff spend virtual time without
+// adding completed steps.
+double goodput(const SupervisorReport& rep, double virtual_total_s) {
+  int64_t completed_steps = 0;
+  for (const svc::JobOutcome& o : rep.outcomes)
+    if (o.state == svc::TerminalState::Completed) completed_steps += o.final_step;
+  return virtual_total_s > 0 ? static_cast<double>(completed_steps) / virtual_total_s : 0.0;
+}
+
+#ifdef FINCH_HAVE_FORK
+
+// Child: submit the whole stream, start draining, and die from inside the
+// Nth manifest-commit window — mid-job, checkpoints already durable.
+void run_child_until_kill(const BteScenario& base, const svc::SupervisorOptions& opt,
+                          const std::vector<svc::JobSpec>& jobs, int kill_at_commit) {
+  static int commits = 0;
+  static int target = 0;
+  target = kill_at_commit;
+  rt::set_checkpoint_commit_hook([](const std::string& path, rt::CommitPhase phase) {
+    if (phase != rt::CommitPhase::AfterRename) return;
+    if (path.find("manifest.json") == std::string::npos) return;
+    if (++commits == target) ::raise(SIGKILL);
+  });
+  svc::Supervisor sup(base, opt);
+  for (const svc::JobSpec& j : jobs) sup.submit(j);
+  (void)sup.drain();
+  ::_exit(41);  // the kill point never fired: distinct failure code
+}
+
+bool crash_child(const BteScenario& base, const svc::SupervisorOptions& opt,
+                 const std::vector<svc::JobSpec>& jobs, int kill_at_commit) {
+  std::fflush(stdout);
+  const pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    run_child_until_kill(base, opt, jobs, kill_at_commit);
+    ::_exit(40);  // unreachable
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return false;
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+#endif  // FINCH_HAVE_FORK
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const bool fast = std::getenv("FINCH_BENCH_FAST") != nullptr;
+  int njobs = fast ? 20 : 210;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--njobs" && i + 1 < argc) njobs = std::atoi(argv[i + 1]);
+
+  bench::print_header("Supervisor",
+                      "multi-job goodput under fault pressure + crash-restart adoption");
+  bench::JsonBench json = bench::bench_json("bench_supervisor", args);
+  json.set("njobs", njobs);
+
+  const BteScenario base = small_scenario();
+  SupervisorCampaign campaign(base);
+
+  // ---- act 1: fault-density sweep ------------------------------------------
+  std::printf("%-6s %6s %8s %10s %10s %10s %6s %5s %5s %5s %5s\n", "chaos", "jobs", "jobs/s",
+              "p50-ttt", "p99-ttt", "goodput", "fault", "done", "canc", "quar", "shed");
+  SupervisorReport high_rep;
+  for (const Density& d : densities()) {
+    StreamShape shape = d.shape;
+    shape.njobs = njobs;
+    svc::SupervisorOptions opt;
+    opt.durable_root = fresh_root(d.name);
+    svc::Supervisor sup(base, opt);
+    const std::vector<svc::JobSpec> jobs = campaign.mixed_stream(args.seed, shape);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const SupervisorReport rep = campaign.run_stream(sup, jobs);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    std::vector<double> ttt;
+    for (const svc::JobOutcome& o : rep.outcomes) ttt.push_back(o.time_to_terminal_s);
+    const double jobs_per_s = wall_s > 0 ? static_cast<double>(rep.total) / wall_s : 0.0;
+    const double p50 = percentile(ttt, 0.50), p99 = percentile(ttt, 0.99);
+    const double gp = goodput(rep, sup.virtual_now());
+    std::printf("%-6s %6d %8.1f %9.2es %9.2es %10.1f %6d %5d %5d %5d %5d\n", d.name, rep.total,
+                jobs_per_s, p50, p99, gp, rep.faulted_jobs, rep.completed, rep.cancelled,
+                rep.quarantined, rep.shed);
+    for (const std::string& v : rep.violations) std::printf("  VIOLATION %s\n", v.c_str());
+
+    check(rep.nonterminal == 0,
+          std::string(d.name) + ": 100% of jobs reached a terminal state");
+    check(rep.ok(), std::string(d.name) + ": campaign oracle clean (completed jobs bit-exact, " +
+                        std::to_string(rep.violations.size()) + " violations)");
+    check(rep.step0_replays == 0,
+          std::string(d.name) + ": no durable retry replayed from step 0");
+    if (std::string(d.name) == "none")
+      check(rep.completed == rep.total, "fault-free stream completes every job");
+    if (std::string(d.name) == "high") high_rep = rep;
+
+    json.begin_row();
+    json.cell("density", d.name[0] == 'n' ? 0 : (d.name[0] == 'l' ? 1 : 2));
+    json.cell("jobs", rep.total);
+    json.cell("jobs_per_sec_wall", jobs_per_s);
+    json.cell("p50_time_to_terminal_s", p50);
+    json.cell("p99_time_to_terminal_s", p99);
+    json.cell("goodput_steps_per_vsec", gp);
+    json.cell("faulted", rep.faulted_jobs);
+    json.cell("completed", rep.completed);
+    json.cell("cancelled", rep.cancelled);
+    json.cell("quarantined", rep.quarantined);
+    json.cell("shed", rep.shed);
+    json.cell("retried", rep.retried_jobs);
+    json.cell("resumed_retries", rep.resumed_retries);
+    json.cell("violations", static_cast<double>(rep.violations.size()));
+  }
+  // The ISSUE-8 soak criterion: at high density at least 30% of the stream
+  // carries a fault schedule, and every retry that follows a durable
+  // checkpoint resumes from the manifest (counted above as step0_replays=0).
+  check(high_rep.faulted_jobs * 100 >= 30 * high_rep.total,
+        "high density: >= 30% of jobs faulted (" + std::to_string(high_rep.faulted_jobs) + "/" +
+            std::to_string(high_rep.total) + ")");
+  if (high_rep.retried_jobs > 0)
+    check(high_rep.resumed_retries > 0,
+          "high density: retried jobs resumed from durable manifests (" +
+              std::to_string(high_rep.resumed_retries) + " resumed retries)");
+  if (njobs >= 100) {
+    check(high_rep.retried_jobs > 0, "high density: the stream exercised supervisor retries");
+    check(high_rep.quarantined > 0, "high density: the stream tripped the poison breaker");
+    check(high_rep.cancelled > 0, "high density: the stream drained deadline jobs");
+  }
+
+  // ---- act 2: SIGKILL the supervisor mid-campaign, restart, re-adopt -------
+#ifdef FINCH_HAVE_FORK
+  {
+    const int kill_jobs = fast ? 10 : 24;
+    StreamShape shape;  // high-density defaults
+    shape.njobs = kill_jobs;
+    svc::SupervisorOptions opt;
+    opt.durable_root = fresh_root("kill");
+    const std::vector<svc::JobSpec> jobs =
+        campaign.mixed_stream(args.seed ^ 0x5eedULL, shape);
+    // Far enough in that several jobs are already terminal and one is mid-run
+    // with durable checkpoints, early enough that a tail of jobs is queued.
+    const int kill_at_commit = 2 * kill_jobs;
+    const bool killed = crash_child(base, opt, jobs, kill_at_commit);
+    check(killed, "child supervisor died by SIGKILL inside a manifest-commit window");
+
+    int terminal_before = 0;
+    for (const svc::JobSpec& j : jobs)
+      if (svc::file_exists(opt.durable_root + "/" + j.id + "/terminal.json")) ++terminal_before;
+
+    svc::Supervisor restarted(base, opt);
+    const std::vector<std::string> adopted = restarted.adopt_orphans();
+    check(!adopted.empty() && terminal_before + static_cast<int>(adopted.size()) ==
+                                  static_cast<int>(jobs.size()),
+          "restart accounts for every job: " + std::to_string(terminal_before) +
+              " terminal before death + " + std::to_string(adopted.size()) + " adopted");
+
+    const std::vector<svc::JobOutcome> outcomes = restarted.drain();
+    std::vector<svc::JobSpec> adopted_specs;
+    for (const svc::JobSpec& j : jobs)
+      for (const std::string& id : adopted)
+        if (j.id == id) adopted_specs.push_back(j);
+    const SupervisorReport rep = campaign.judge(adopted_specs, outcomes, restarted.options());
+    for (const std::string& v : rep.violations) std::printf("  VIOLATION %s\n", v.c_str());
+    int resumed_adopted = 0;
+    for (const svc::JobOutcome& o : outcomes)
+      if (!o.attempts.empty() && o.attempts.front().resumed) ++resumed_adopted;
+    std::printf("crash restart: %d terminal before death, %zu adopted, %d resumed from "
+                "manifests, %d completed after restart\n",
+                terminal_before, adopted.size(), resumed_adopted, rep.completed);
+    check(rep.nonterminal == 0 && rep.ok(),
+          "every re-adopted job reached a terminal state with the oracle intact");
+    check(resumed_adopted > 0,
+          "the in-flight job resumed from its durable manifest after the restart");
+    json.set("kill_jobs", kill_jobs);
+    json.set("kill_terminal_before", terminal_before);
+    json.set("kill_adopted", static_cast<double>(adopted.size()));
+    json.set("kill_resumed_adopted", resumed_adopted);
+    json.set("kill_completed_after", rep.completed);
+  }
+#else
+  std::printf("fork() unavailable on this platform; crash-restart act skipped\n");
+#endif
+
+  return bench::finish_bench(json, args);
+}

@@ -16,10 +16,28 @@
 //
 //   bte_cli --solver cellpart --durable job/ --steps 200 --cancel-after-steps 50
 //   bte_cli --solver cellpart --durable job/ --steps 200 --resume
+//
+// Batch mode: --jobs FILE hands a JSON job list ({"jobs":[...]}, see
+// svc/job_file.hpp) to the resilient supervisor, which drives every job to a
+// terminal state under retry/quarantine/admission/deadline policies. With
+// --durable ROOT each job keeps <ROOT>/<id>/ durable state and a re-run of
+// the same command after a crash re-adopts in-flight jobs and skips already
+// terminal ones. --budget-mb N arms admission control against a shared
+// memory budget (jobs degrade down their fallback ladder or are shed).
+//
+// Exit codes (single run and batch; batch takes the worst across jobs):
+//   0  completed        all steps ran
+//   1  usage error      bad flags / malformed job file
+//   2  cancelled        a deadline drained the run (resumable when durable)
+//   3  failed           solver threw, or a batch job was shed / not runnable
+//   4  quarantined      the poison circuit breaker tripped (batch only)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "bte/bte_problem.hpp"
 #include "bte/direct_solver.hpp"
@@ -29,6 +47,8 @@
 #include "mesh/vtk_io.hpp"
 #include "runtime/cancel.hpp"
 #include "runtime/manifest.hpp"
+#include "svc/job_file.hpp"
+#include "svc/supervisor.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/stat.h>
@@ -51,6 +71,8 @@ struct Options {
   bool resume = false;          // continue from the manifest in `durable`
   int ckpt_interval = 16;       // durable checkpoint period (steps)
   long cancel_after_steps = 0;  // > 0: drain at this step deadline
+  std::string jobs;             // batch mode: JSON job file for the supervisor
+  long budget_mb = 0;           // > 0: admission-control memory budget (batch)
 };
 
 void usage() {
@@ -70,7 +92,12 @@ void usage() {
       "  --ckpt-interval N                 durable checkpoint period in steps (default 16)\n"
       "  --resume                          continue bit-exactly from DIR's manifest\n"
       "  --cancel-after-steps N            drain cleanly (final checkpoint + manifest)\n"
-      "                                    once N total steps have completed\n");
+      "                                    once N total steps have completed\n"
+      "  --jobs FILE                       batch mode: run a JSON job list under the\n"
+      "                                    resilient supervisor (--durable ROOT keeps\n"
+      "                                    per-job state; re-runs adopt orphans)\n"
+      "  --budget-mb N                     batch admission-control memory budget\n"
+      "exit codes: 0 completed, 2 cancelled/drained, 3 failed/shed, 4 quarantined\n");
 }
 
 bool parse(int argc, char** argv, Options& o) {
@@ -107,6 +134,8 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--ckpt-interval") { if ((v = next(a.c_str())) == nullptr) return false; o.ckpt_interval = std::atoi(v); }
     else if (a == "--resume") { o.resume = true; }
     else if (a == "--cancel-after-steps") { if ((v = next(a.c_str())) == nullptr) return false; o.cancel_after_steps = std::atol(v); }
+    else if (a == "--jobs") { if ((v = next(a.c_str())) == nullptr) return false; o.jobs = v; }
+    else if (a == "--budget-mb") { if ((v = next(a.c_str())) == nullptr) return false; o.budget_mb = std::atol(v); }
     else { std::fprintf(stderr, "unknown option %s\n", a.c_str()); return false; }
   }
   return true;
@@ -114,9 +143,10 @@ bool parse(int argc, char** argv, Options& o) {
 
 // Drives one of the distributed solvers for `nsteps`, honoring the durable /
 // resume / cancel flags. Returns the step the run actually stopped at (equal
-// to nsteps unless a deadline drained it first).
+// to nsteps unless a deadline drained it first, in which case `drained` is
+// set and the process exits 2).
 template <typename Solver>
-int64_t drive(Solver& solver, const Options& o, int nsteps) {
+int64_t drive(Solver& solver, const Options& o, int nsteps, bool& drained) {
   if (o.durable.empty() && o.cancel_after_steps <= 0) {
     solver.run(nsteps);
     return solver.step_index();
@@ -144,10 +174,12 @@ int64_t drive(Solver& solver, const Options& o, int nsteps) {
   }
   const int remaining = nsteps - static_cast<int>(solver.step_index());
   if (remaining > 0) solver.run(remaining);
-  if (solver.resilience_stats().cancel_drains > 0)
+  if (solver.resilience_stats().cancel_drains > 0) {
+    drained = true;
     std::printf("drained at step %lld (%s); resume with --resume\n",
                 static_cast<long long>(solver.step_index()),
                 cancel.drain_reason(solver.step_index(), 0.0).c_str());
+  }
   return solver.step_index();
 }
 
@@ -162,6 +194,79 @@ void report(const std::vector<double>& T, double elapsed_ns) {
   std::printf("t = %.3f ns: T in [%.3f, %.3f] K, mean %.3f K\n", elapsed_ns, lo, hi, mean);
 }
 
+int exit_code_for(svc::TerminalState s) {
+  switch (s) {
+    case svc::TerminalState::Completed: return 0;
+    case svc::TerminalState::Cancelled: return 2;
+    case svc::TerminalState::Quarantined: return 4;
+    default: return 3;  // Shed or (impossibly) non-terminal
+  }
+}
+
+// Batch mode: hand the job file to the supervisor and exit with the worst
+// per-job code (4 quarantined > 3 failed/shed > 2 cancelled > 0 completed).
+int run_batch(const Options& o) {
+  std::vector<svc::JobSpec> jobs;
+  try {
+    jobs = svc::jobs_from_json(svc::read_text_file(o.jobs));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad job file %s: %s\n", o.jobs.c_str(), e.what());
+    return 1;
+  }
+  svc::SupervisorOptions sopt;
+  sopt.durable_root = o.durable;
+  sopt.defense.checkpoint_interval = o.ckpt_interval;
+  rt::MemoryBudget budget(o.budget_mb * 1000000);
+  if (o.budget_mb > 0) sopt.memory = &budget;
+  svc::Supervisor sup(o.scenario, sopt);
+
+  int worst = 0;
+  std::set<std::string> skip;  // already terminal or re-adopted
+  if (!o.durable.empty()) {
+    for (const std::string& id : sup.adopt_orphans()) {
+      std::printf("re-adopted orphaned job %s (durable state survived)\n", id.c_str());
+      skip.insert(id);
+    }
+    // A re-run of the same command skips jobs that already reached a
+    // terminal state instead of re-executing (or double-submitting) them.
+    for (const svc::JobSpec& j : jobs) {
+      const std::string tpath = o.durable + "/" + j.id + "/terminal.json";
+      if (skip.count(j.id) != 0 || !svc::file_exists(tpath)) continue;
+      svc::TerminalState st = svc::TerminalState::Pending;
+      std::string detail;
+      try {
+        svc::terminal_from_json(svc::read_text_file(tpath), &st, &detail);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "job %s: damaged terminal record (%s), re-running\n", j.id.c_str(),
+                     e.what());
+        continue;
+      }
+      std::printf("%-14s %-12s (previous run: %s)\n", j.id.c_str(), svc::terminal_state_name(st),
+                  detail.c_str());
+      worst = std::max(worst, exit_code_for(st));
+      skip.insert(j.id);
+    }
+  }
+  for (svc::JobSpec& j : jobs) {
+    if (skip.count(j.id) != 0) continue;
+    try {
+      sup.submit(std::move(j));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "submit failed: %s\n", e.what());
+      worst = std::max(worst, 3);
+    }
+  }
+  for (const svc::JobOutcome& out : sup.drain()) {
+    std::printf("%-14s %-12s step %lld/%d  attempts %zu%s%s  %s\n", out.spec.id.c_str(),
+                svc::terminal_state_name(out.state), static_cast<long long>(out.final_step),
+                out.spec.nsteps, out.attempts.size(), out.adopted ? "  [adopted]" : "",
+                out.degraded_rung >= 0 ? "  [degraded]" : "", out.detail.c_str());
+    if (!out.repro_path.empty()) std::printf("  quarantine repro: %s\n", out.repro_path.c_str());
+    worst = std::max(worst, exit_code_for(out.state));
+  }
+  return worst;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -170,6 +275,7 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
+  if (!o.jobs.empty()) return run_batch(o);
   const bool durable_flags = !o.durable.empty() || o.resume || o.cancel_after_steps > 0;
   const bool durable_solver =
       o.solver == "cellpart" || o.solver == "bandpart" || o.solver == "multigpu";
@@ -188,6 +294,8 @@ int main(int argc, char** argv) {
               s.ny, s.ndirs, s.nbands, phys->num_bands(), s.nsteps, o.solver.c_str());
 
   std::vector<double> T;
+  bool drained = false;
+  try {
   if (o.solver == "direct") {
     DirectSolver solver(s, phys);
     solver.run(s.nsteps);
@@ -197,7 +305,7 @@ int main(int argc, char** argv) {
                 solver.temperature_seconds());
   } else if (o.solver == "multigpu") {
     MultiGpuSolver solver(s, phys, o.devices);
-    drive(solver, o, s.nsteps);
+    drive(solver, o, s.nsteps, drained);
     T = solver.temperature();
     report(T, s.nsteps * s.dt * 1e9);
     const auto& ph = solver.phases();
@@ -209,7 +317,7 @@ int main(int argc, char** argv) {
                   (solver.device(d).counters().bytes_h2d + solver.device(d).counters().bytes_d2h) / 1e6);
   } else if (o.solver == "cellpart") {
     CellPartitionedSolver solver(s, phys, o.parts);
-    drive(solver, o, s.nsteps);
+    drive(solver, o, s.nsteps, drained);
     T = solver.gather_temperature();
     report(T, s.nsteps * s.dt * 1e9);
     std::printf("halo exchange: %.2f MB/step over %lld messages\n",
@@ -217,7 +325,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(solver.comm().messages_per_step));
   } else if (o.solver == "bandpart") {
     BandPartitionedSolver solver(s, phys, o.parts);
-    drive(solver, o, s.nsteps);
+    drive(solver, o, s.nsteps, drained);
     T = solver.temperature();
     report(T, s.nsteps * s.dt * 1e9);
     std::printf("band gather: %.2f MB/step\n", solver.comm().bytes_per_step / 1e6);
@@ -246,6 +354,10 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run failed: %s\n", e.what());
+    return 3;
+  }
 
   if (!o.csv.empty()) {
     FILE* f = std::fopen(o.csv.c_str(), "w");
@@ -265,5 +377,5 @@ int main(int argc, char** argv) {
     mesh::write_vtk_cells_file(o.vtk, m, s.nx, s.ny, 1, "temperature", T);
     std::printf("wrote %s\n", o.vtk.c_str());
   }
-  return 0;
+  return drained ? 2 : 0;
 }

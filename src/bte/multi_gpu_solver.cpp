@@ -797,6 +797,11 @@ void MultiGpuSolver::resume_from(const rt::RunManifest& manifest,
   rehome_device_mirrors();
   store_ = rt::CheckpointStore(res_.durable.dir, res_.durable.disk_generations);
   store_.resume_sequence(manifest.saves);
+  // Adopt the prior run's surviving generation files so the first
+  // post-resume manifest keeps them as fallback (satellite of ISSUE 8:
+  // without adoption a second crash with a damaged newest generation
+  // had nothing older to fall back to).
+  store_.adopt_disk_paths(manifest.checkpoints);
   restore(load_manifest_checkpoint(manifest, rstats_));  // re-uploads device mirrors
   if (res_.injector != nullptr)
     res_.injector->import_counters(manifest.injector_counters, manifest.injector_events);

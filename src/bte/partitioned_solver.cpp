@@ -444,6 +444,11 @@ void CellPartitionedSolver::resume_from(const rt::RunManifest& manifest,
   register_memory_reliefs();
   store_ = rt::CheckpointStore(res_.durable.dir, res_.durable.disk_generations);
   store_.resume_sequence(manifest.saves);
+  // Adopt the prior run's surviving generation files so the first
+  // post-resume manifest keeps them as fallback (satellite of ISSUE 8:
+  // without adoption a second crash with a damaged newest generation
+  // had nothing older to fall back to).
+  store_.adopt_disk_paths(manifest.checkpoints);
   restore(load_manifest_checkpoint(manifest, rstats_));
   // The injector resumes the exact draw sequence the killed process would
   // have produced — counters key every draw, the event-log size keys victim
@@ -1114,6 +1119,11 @@ void BandPartitionedSolver::resume_from(const rt::RunManifest& manifest,
   register_memory_reliefs();
   store_ = rt::CheckpointStore(res_.durable.dir, res_.durable.disk_generations);
   store_.resume_sequence(manifest.saves);
+  // Adopt the prior run's surviving generation files so the first
+  // post-resume manifest keeps them as fallback (satellite of ISSUE 8:
+  // without adoption a second crash with a damaged newest generation
+  // had nothing older to fall back to).
+  store_.adopt_disk_paths(manifest.checkpoints);
   restore(load_manifest_checkpoint(manifest, rstats_));
   if (res_.injector != nullptr)
     res_.injector->import_counters(manifest.injector_counters, manifest.injector_events);

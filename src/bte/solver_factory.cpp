@@ -1,0 +1,117 @@
+#include "solver_factory.hpp"
+
+#include <stdexcept>
+
+namespace finch::bte {
+
+std::shared_ptr<const BtePhysics> PhysicsCache::get(int nbands_spectral, int ndirs) {
+  auto key = std::make_pair(nbands_spectral, ndirs);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  auto phys = std::make_shared<const BtePhysics>(nbands_spectral, ndirs);
+  cache_.emplace(key, phys);
+  return phys;
+}
+
+MemoryDemand estimate_memory_demand(const std::string& solver, const BteScenario& scen,
+                                    const BtePhysics& phys, int nparts) {
+  const int64_t cells = int64_t{scen.nx} * scen.ny;
+  const int64_t nb = phys.num_bands();
+  const int64_t nd = phys.num_dirs();
+  const int64_t dofs = nb * nd;
+  constexpr int64_t B = sizeof(double);
+
+  // Rank-local fields summed over ranks: I + I_new (cells*dofs each),
+  // Io + beta (cells*nb each), T (cells), plus a global gather scratch of
+  // the full intensity field. Cell partitioning adds halo ghosts — bounded
+  // by +25% at the small part counts the supervisor runs.
+  int64_t host = (2 * cells * dofs + 2 * cells * nb + cells + cells * dofs) * B;
+  if (solver == "cell") host += host / 4;
+
+  // CheckpointStore keeps two in-memory generation images of the canonical
+  // snapshot (intensity + moments + temperature + header slack).
+  const int64_t snapshot = (cells * dofs + 2 * cells * nb + cells + 64) * B;
+  MemoryDemand d;
+  d.host_bytes = host;
+  d.checkpoint_bytes = 2 * snapshot;
+
+  if (solver == "mgpu") {
+    // Per-device intensity mirrors plus staging; x1.5 safety over the raw
+    // field bytes so admission errs toward shedding, never toward OOM.
+    d.mirror_bytes = (2 * cells * dofs + 2 * cells * nb) * B * 3 / 2;
+  } else if (solver != "cell" && solver != "band") {
+    throw std::invalid_argument("estimate_memory_demand: unknown solver '" + solver + "'");
+  }
+  (void)nparts;  // footprint is dominated by global fields, not rank count
+  return d;
+}
+
+AnySolver::AnySolver(const std::string& solver, const BteScenario& scenario,
+                     std::shared_ptr<const BtePhysics> physics, int nparts)
+    : kind_(solver), nparts_(nparts) {
+  if (solver == "cell") {
+    cell_ = std::make_unique<CellPartitionedSolver>(scenario, physics, nparts);
+  } else if (solver == "band") {
+    band_ = std::make_unique<BandPartitionedSolver>(scenario, physics, nparts);
+  } else if (solver == "mgpu") {
+    mgpu_ = std::make_unique<MultiGpuSolver>(scenario, physics, nparts);
+  } else {
+    throw std::invalid_argument("AnySolver: unknown solver '" + solver + "'");
+  }
+}
+
+void AnySolver::enable_resilience(const ResilienceOptions& options) {
+  if (cell_) cell_->enable_resilience(options);
+  if (band_) band_->enable_resilience(options);
+  if (mgpu_) mgpu_->enable_resilience(options);
+}
+
+void AnySolver::resume_from(const rt::RunManifest& manifest, const ResilienceOptions& options) {
+  if (cell_) cell_->resume_from(manifest, options);
+  if (band_) band_->resume_from(manifest, options);
+  if (mgpu_) mgpu_->resume_from(manifest, options);
+}
+
+void AnySolver::run(int nsteps) {
+  if (cell_) cell_->run(nsteps);
+  if (band_) band_->run(nsteps);
+  if (mgpu_) mgpu_->run(nsteps);
+}
+
+int64_t AnySolver::step_index() const {
+  if (cell_) return cell_->step_index();
+  if (band_) return band_->step_index();
+  return mgpu_->step_index();
+}
+
+const ResilienceStats& AnySolver::resilience_stats() const {
+  if (cell_) return cell_->resilience_stats();
+  if (band_) return band_->resilience_stats();
+  return mgpu_->resilience_stats();
+}
+
+std::vector<double> AnySolver::temperature() const {
+  if (cell_) return cell_->gather_temperature();
+  if (band_) return band_->temperature();
+  return mgpu_->temperature();
+}
+
+std::vector<double> AnySolver::intensity() const {
+  if (cell_) return cell_->gather_intensity();
+  if (band_) return band_->gather_intensity();
+  return mgpu_->gather_intensity();
+}
+
+double AnySolver::virtual_elapsed() const {
+  if (cell_) return cell_->virtual_elapsed();
+  if (band_) return band_->virtual_elapsed();
+  return mgpu_->virtual_elapsed();
+}
+
+double AnySolver::phase_total() const {
+  if (cell_) return cell_->phases().total();
+  if (band_) return band_->phases().total();
+  return mgpu_->phases().total();
+}
+
+}  // namespace finch::bte

@@ -1,0 +1,92 @@
+#pragma once
+// Uniform construction and driving of the three distributed BTE solvers, plus
+// the memory-demand model behind supervisor admission control.
+//
+// The job supervisor (src/svc) and the campaign drivers dispatch on a solver
+// *name* — "cell" | "band" | "mgpu" — the same strings the chaos schedules
+// and run manifests record. AnySolver type-erases that dispatch once: one
+// handle that constructs the named solver, arms or resumes resilience, runs,
+// and gathers the canonical global fields, so every driver stops repeating
+// the three-way if/else ladder of chaos_campaign.cpp.
+//
+// estimate_memory_demand() is the admission-control side of the fallback
+// ladder: a deliberately conservative upper bound on what a configuration
+// will hold in host state, retained checkpoint images, and (mgpu) device
+// mirrors. Admission arithmetic runs against this estimate *before* any
+// allocation happens, so a job that cannot fit is degraded or shed without
+// ever touching the shared rt::MemoryBudget.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bte_problem.hpp"
+#include "multi_gpu_solver.hpp"
+#include "partitioned_solver.hpp"
+#include "resilience.hpp"
+
+namespace finch::bte {
+
+// Shares one immutable BtePhysics per (spectral bands, directions) pair —
+// physics construction resolves the full band structure, which is far more
+// expensive than any small-job solve, and a mixed job stream re-uses a small
+// set of discretizations.
+class PhysicsCache {
+ public:
+  std::shared_ptr<const BtePhysics> get(int nbands_spectral, int ndirs);
+
+ private:
+  std::map<std::pair<int, int>, std::shared_ptr<const BtePhysics>> cache_;
+};
+
+// Conservative upper bound on a configuration's memory footprint, split by
+// how the bytes are claimed: admission_bytes() is reserved up front by the
+// supervisor; mirror_bytes is reserved live by MultiGpuSolver's device
+// buffers (zero for the host-only solvers). The fit check uses total_bytes().
+struct MemoryDemand {
+  int64_t host_bytes = 0;        // rank-local fields + gather scratch
+  int64_t checkpoint_bytes = 0;  // retained in-memory generation images
+  int64_t mirror_bytes = 0;      // device mirrors (mgpu only)
+  int64_t admission_bytes() const { return host_bytes + checkpoint_bytes; }
+  int64_t total_bytes() const { return admission_bytes() + mirror_bytes; }
+};
+
+MemoryDemand estimate_memory_demand(const std::string& solver, const BteScenario& scen,
+                                    const BtePhysics& phys, int nparts);
+
+// Type-erased handle over CellPartitionedSolver / BandPartitionedSolver /
+// MultiGpuSolver, keyed by the canonical solver name. Throws
+// std::invalid_argument for an unknown name.
+class AnySolver {
+ public:
+  AnySolver(const std::string& solver, const BteScenario& scenario,
+            std::shared_ptr<const BtePhysics> physics, int nparts);
+
+  void enable_resilience(const ResilienceOptions& options);
+  void resume_from(const rt::RunManifest& manifest, const ResilienceOptions& options);
+  void run(int nsteps);
+
+  int64_t step_index() const;
+  const ResilienceStats& resilience_stats() const;
+  // Canonical global fields (identical layout across the three solvers).
+  std::vector<double> temperature() const;
+  std::vector<double> intensity() const;
+  // Virtual clock and its phase-ledger sum (conservation oracle inputs).
+  double virtual_elapsed() const;
+  double phase_total() const;
+
+  const std::string& kind() const { return kind_; }
+  int nparts() const { return nparts_; }
+
+ private:
+  std::string kind_;
+  int nparts_ = 0;
+  std::unique_ptr<CellPartitionedSolver> cell_;
+  std::unique_ptr<BandPartitionedSolver> band_;
+  std::unique_ptr<MultiGpuSolver> mgpu_;
+};
+
+}  // namespace finch::bte

@@ -1,0 +1,314 @@
+#include "supervisor_campaign.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "runtime/chaos.hpp"
+
+namespace finch::bte {
+
+namespace {
+
+uint64_t splitmix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double unit(uint64_t seed, uint64_t i, uint64_t salt) {
+  return static_cast<double>(splitmix(seed ^ splitmix(i * 1315423911ull + salt)) >> 11) *
+         0x1.0p-53;
+}
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+bool ledger_ok(double phase_total, double virtual_s) {
+  const double scale = std::max({std::fabs(phase_total), std::fabs(virtual_s), 1e-12});
+  return std::fabs(phase_total - virtual_s) <= 1e-9 * scale;
+}
+
+std::string config_key(const svc::JobConfig& cfg, int nsteps) {
+  return cfg.solver + "/" + std::to_string(cfg.nparts) + "/" + std::to_string(cfg.nx) + "x" +
+         std::to_string(cfg.ny) + "/" + std::to_string(cfg.ndirs) + "/" +
+         std::to_string(cfg.nbands) + "/" + std::to_string(nsteps);
+}
+
+}  // namespace
+
+int64_t SupervisorCampaign::probe_halo_consults(int nsteps) {
+  auto it = probe_cache_.find(nsteps);
+  if (it != probe_cache_.end()) return it->second;
+  // Fault-free run of the canonical flaky configuration with an injector
+  // attached: every should_fault() consultation is counted even when nothing
+  // is armed, which yields the exact (TransferCorruption, halo) consultation
+  // budget to place engineered fires on.
+  BteScenario scen = base_;
+  scen.nx = 16;
+  scen.ny = 12;
+  scen.ndirs = 8;
+  scen.nbands = 8;
+  scen.nsteps = nsteps;
+  rt::FaultInjector injector(1);
+  ChaosDefense defense;
+  AnySolver solver("cell", scen, physics_.get(8, 8), 4);
+  solver.enable_resilience(defense.to_options(&injector));
+  solver.run(nsteps);
+  int64_t consults = 0;
+  for (const rt::FaultCounter& c : injector.export_counters()) {
+    if (c.kind == static_cast<int>(rt::FaultKind::TransferCorruption) && c.site == "halo")
+      consults = c.consulted;
+  }
+  if (consults <= 0)
+    throw std::runtime_error("probe_halo_consults: no halo consultations recorded");
+  probe_cache_[nsteps] = consults;
+  return consults;
+}
+
+std::vector<svc::JobSpec> SupervisorCampaign::mixed_stream(uint64_t seed,
+                                                           const StreamShape& shape) {
+  std::vector<svc::JobSpec> jobs;
+  jobs.reserve(static_cast<size_t>(shape.njobs));
+  rt::ChaosEngine engine(seed ^ 0xc4a05c4a05ull);
+  for (int i = 0; i < shape.njobs; ++i) {
+    svc::JobSpec s;
+    s.id = "job-" + std::to_string(i);
+    const uint64_t h = splitmix(seed + 0x10001ull * static_cast<uint64_t>(i) + 1);
+    s.seed = h | 1;
+    s.solver = shape.solvers[h % shape.solvers.size()];
+    s.nparts = s.solver == "mgpu" ? 2 + static_cast<int>((h >> 8) % 3)
+                                  : 3 + static_cast<int>((h >> 8) % 2);
+    const int span = std::max(1, shape.max_steps - shape.min_steps + 1);
+    s.nsteps = shape.min_steps + static_cast<int>((h >> 16) % static_cast<uint64_t>(span));
+
+    const double u = unit(seed, static_cast<uint64_t>(i), 7);
+    double edge = shape.poison_fraction;
+    if (u < edge) {
+      // Poison: a scheduled corruption storm with no rollback budget — every
+      // attempt dies immediately, deterministically, under any seed.
+      s.solver = "cell";
+      s.nparts = 4;
+      s.max_rollbacks = 0;
+      rt::ChaosFault f;
+      f.kind = rt::FaultKind::TransferCorruption;
+      f.site = "halo";
+      f.first_event = 0;
+      f.stride = 1;
+      f.count = 5000;
+      s.faults.push_back(f);
+      jobs.push_back(std::move(s));
+      continue;
+    }
+    edge += shape.flaky_fraction;
+    if (u < edge) {
+      // Flaky: two scheduled corruptions in well-separated steps with a
+      // rollback budget of one per attempt and a checkpoint every step.
+      // Attempt 0 absorbs the first fire, dies on the second; the retry
+      // resumes from the durable manifest just before the second fire with
+      // a fresh budget, absorbs it on replay, completes.
+      s.solver = "cell";
+      s.nparts = 4;
+      s.nsteps = std::max(6, s.nsteps);
+      s.max_rollbacks = 1;
+      s.ckpt_interval = 1;
+      const int64_t consults = probe_halo_consults(s.nsteps);
+      const int64_t per_step = consults / s.nsteps;
+      const int s1 = s.nsteps / 3, s2 = (2 * s.nsteps) / 3;
+      for (int step : {s1, s2}) {
+        rt::ChaosFault f;
+        f.kind = rt::FaultKind::TransferCorruption;
+        f.site = "halo";
+        f.first_event = step * per_step + per_step / 2;
+        f.stride = 1;
+        f.count = 1;
+        s.faults.push_back(f);
+      }
+      jobs.push_back(std::move(s));
+      continue;
+    }
+    edge += shape.deadline_fraction;
+    if (u < edge) {
+      s.deadline_steps = std::max(1, s.nsteps / 2);
+      jobs.push_back(std::move(s));
+      continue;
+    }
+    edge += shape.chaos_fraction;
+    if (u < edge) {
+      // Survivable-by-design composed schedule: recovery happens inside one
+      // attempt (rollbacks, repairs, evictions), not via supervisor retries.
+      rt::ChaosSpec cs;
+      cs.nparts = s.nparts;
+      cs.nsteps = s.nsteps;
+      cs.allow_permanent = s.nparts >= 3;
+      s.faults = engine.generate(s.solver, cs, i).faults;
+      jobs.push_back(std::move(s));
+      continue;
+    }
+    edge += shape.oversized_fraction;
+    if (u < edge) {
+      // Oversized: cannot fit a realistic budget at the top rung. Half of
+      // them declare a fallback ladder (degrade), half do not (shed). Only
+      // meaningful when the supervisor has a MemoryBudget — without one the
+      // full-size job would actually run.
+      s.nx = 320;
+      s.ny = 320;
+      if (unit(seed, static_cast<uint64_t>(i), 11) < 0.5) {
+        svc::JobConfig f;
+        f.nx = 16;
+        f.ny = 12;
+        s.fallbacks.push_back(f);
+      }
+      jobs.push_back(std::move(s));
+      continue;
+    }
+    jobs.push_back(std::move(s));
+  }
+  return jobs;
+}
+
+const SupervisorCampaign::Reference& SupervisorCampaign::reference(const svc::JobConfig& cfg,
+                                                                   int nsteps) {
+  const std::string key = config_key(cfg, nsteps);
+  auto it = refs_.find(key);
+  if (it != refs_.end()) return it->second;
+  BteScenario scen = base_;
+  scen.nx = cfg.nx;
+  scen.ny = cfg.ny;
+  scen.ndirs = cfg.ndirs;
+  scen.nbands = cfg.nbands;
+  scen.nsteps = nsteps;
+  ChaosDefense defense;
+  AnySolver solver(cfg.solver, scen, physics_.get(cfg.nbands, cfg.ndirs), cfg.nparts);
+  solver.enable_resilience(defense.to_options(nullptr));
+  solver.run(nsteps);
+  Reference ref;
+  ref.T = solver.temperature();
+  ref.I = solver.intensity();
+  return refs_.emplace(key, std::move(ref)).first->second;
+}
+
+SupervisorReport SupervisorCampaign::run_stream(svc::Supervisor& supervisor,
+                                                const std::vector<svc::JobSpec>& jobs) {
+  std::vector<std::string> submit_errors;
+  for (const svc::JobSpec& spec : jobs) {
+    try {
+      supervisor.submit(spec);
+    } catch (const std::exception& e) {
+      submit_errors.push_back("submit '" + spec.id + "': " + e.what());
+    }
+  }
+  SupervisorReport report = judge(jobs, supervisor.drain(), supervisor.options());
+  report.violations.insert(report.violations.begin(), submit_errors.begin(),
+                           submit_errors.end());
+  return report;
+}
+
+SupervisorReport SupervisorCampaign::judge(const std::vector<svc::JobSpec>& jobs,
+                                           const std::vector<svc::JobOutcome>& outcomes,
+                                           const svc::SupervisorOptions& options) {
+  SupervisorReport report;
+  report.total = static_cast<int>(jobs.size());
+  report.outcomes = outcomes;
+  std::map<std::string, const svc::JobOutcome*> by_id;
+  for (const svc::JobOutcome& o : outcomes) by_id[o.spec.id] = &o;
+
+  auto violate = [&report](const std::string& id, const std::string& what) {
+    report.violations.push_back(id + ": " + what);
+  };
+
+  for (const svc::JobSpec& spec : jobs) {
+    auto it = by_id.find(spec.id);
+    if (it == by_id.end()) {
+      ++report.nonterminal;
+      violate(spec.id, "no outcome (job lost)");
+      continue;
+    }
+    const svc::JobOutcome& o = *it->second;
+    if (!spec.faults.empty()) ++report.faulted_jobs;
+    if (o.degraded_rung >= 0) ++report.degraded;
+    if (o.adopted) ++report.adopted;
+    if (o.attempts.size() > 1) ++report.retried_jobs;
+
+    // Per-attempt conservation laws, independent of the terminal state.
+    for (size_t k = 0; k < o.attempts.size(); ++k) {
+      const svc::AttemptRecord& a = o.attempts[k];
+      if (a.injected != a.events_logged)
+        violate(spec.id, "attempt " + std::to_string(k) + ": injected " +
+                             std::to_string(a.injected) + " != events logged " +
+                             std::to_string(a.events_logged));
+      if (!ledger_ok(a.phase_total_s, a.virtual_s))
+        violate(spec.id, "attempt " + std::to_string(k) + ": phase ledger does not conserve");
+      for (size_t j = 0; j < k; ++j)
+        if (o.attempts[j].injector_seed == a.injector_seed)
+          violate(spec.id, "attempts " + std::to_string(j) + " and " + std::to_string(k) +
+                               " reused one injector seed");
+      if (k > 0 && !options.durable_root.empty()) {
+        if (a.resumed) {
+          ++report.resumed_retries;
+        } else {
+          const int interval = spec.ckpt_interval >= 0
+                                   ? spec.ckpt_interval
+                                   : options.defense.checkpoint_interval;
+          if (interval > 0 && o.attempts[k - 1].end_step >= interval) {
+            ++report.step0_replays;
+            violate(spec.id, "attempt " + std::to_string(k) +
+                                 " replayed from step 0 past a durable checkpoint");
+          }
+        }
+      }
+    }
+
+    switch (o.state) {
+      case svc::TerminalState::Pending:
+        ++report.nonterminal;
+        violate(spec.id, "left non-terminal");
+        break;
+      case svc::TerminalState::Completed: {
+        ++report.completed;
+        if (o.final_step < spec.nsteps)
+          violate(spec.id, "completed at step " + std::to_string(o.final_step) + " of " +
+                               std::to_string(spec.nsteps));
+        if (!all_finite(o.temperature) || !all_finite(o.intensity))
+          violate(spec.id, "completed with non-finite fields");
+        const Reference& ref = reference(o.ran, spec.nsteps);
+        if (!bits_equal(o.temperature, ref.T) || !bits_equal(o.intensity, ref.I))
+          violate(spec.id, "completed fields are not bit-exact vs fault-free reference");
+        break;
+      }
+      case svc::TerminalState::Cancelled:
+        ++report.cancelled;
+        if (o.detail.empty()) violate(spec.id, "cancelled without a reason");
+        if (spec.deadline_steps > 0 && o.final_step >= spec.nsteps)
+          violate(spec.id, "deadline job ran to completion instead of draining");
+        break;
+      case svc::TerminalState::Quarantined: {
+        ++report.quarantined;
+        if (o.attempts.empty()) violate(spec.id, "quarantined without any attempt");
+        try {
+          const rt::ChaosSchedule repro = rt::schedule_from_json(o.repro_json);
+          (void)repro;
+        } catch (const std::exception& e) {
+          violate(spec.id, std::string("quarantine repro does not parse: ") + e.what());
+        }
+        break;
+      }
+      case svc::TerminalState::Shed:
+        ++report.shed;
+        if (!o.attempts.empty()) violate(spec.id, "shed job ran an attempt");
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace finch::bte

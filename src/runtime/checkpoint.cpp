@@ -261,6 +261,23 @@ std::vector<std::byte> CheckpointStore::image_copy(int generation) const {
   return read_bytes_file(disk_paths_[static_cast<size_t>(generation)]);
 }
 
+int CheckpointStore::adopt_disk_paths(const std::vector<std::string>& paths) {
+  int adopted = 0;
+  for (const std::string& path : paths) {
+    bool dup = false;
+    for (const std::string& have : disk_paths_) dup = dup || have == path;
+    if (dup) continue;
+    try {
+      (void)deserialize(read_bytes_file(path));
+    } catch (const std::exception&) {
+      continue;  // missing / truncated / corrupt: not a usable fallback
+    }
+    disk_paths_.push_back(path);
+    ++adopted;
+  }
+  return adopted;
+}
+
 int64_t CheckpointStore::drop_previous_generation() {
   // Only safe when an older disk file can still serve generation-1 fallback.
   if (prev_image_.empty() || disk_paths_.size() < 2) return 0;

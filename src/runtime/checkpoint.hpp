@@ -139,6 +139,15 @@ class CheckpointStore {
   // Continues the save sequence of a resumed run so new generation files do
   // not collide with ones an old manifest still references.
   void resume_sequence(int64_t saves) { saves_ = saves; }
+  // Re-adopts a resumed run's surviving generation files (newest first, as
+  // the manifest records them). Each candidate is fully read and
+  // deserialized before adoption — a missing or truncated file is skipped,
+  // never adopted as a fake fallback. Returns how many were adopted. Without
+  // this, the fresh store of a resumed run starts with no disk paths, so its
+  // first post-resume manifest would orphan every older generation and a
+  // second crash with a damaged newest file would have nothing to fall back
+  // to.
+  int adopt_disk_paths(const std::vector<std::string>& paths);
   // Graceful-degradation reliefs, in increasing severity; each returns the
   // bytes freed (0 when nothing could be freed safely — a generation is only
   // dropped from memory when a disk file still backs it).

@@ -1,0 +1,123 @@
+#pragma once
+// Resilient job supervisor: drives every submitted BTE job to one terminal
+// state under composed robustness policies.
+//
+// The supervisor owns a FIFO queue of JobSpecs and, per job, an attempt loop
+// that composes the runtime primitives the earlier layers proved out:
+//
+//   retry     — a failed attempt is retried with exponential backoff +
+//               deterministic jitter charged to the virtual clock, under a
+//               distinct derived injector seed; when the job is durable the
+//               retry resumes from the newest rt::RunManifest checkpoint
+//               instead of replaying from step 0
+//   quarantine— the poison circuit breaker: `threshold` consecutive failures
+//               across distinct seeds (or an exhausted retry budget) parks
+//               the job permanently, with the fault schedule ddmin-minimized
+//               into a replayable repro artifact
+//   admission — before anything allocates, the job's declared fallback
+//               ladder is walked against the shared rt::MemoryBudget using
+//               the estimate_memory_demand model; the first rung that fits
+//               is admitted (degraded if it is not the top rung), and a job
+//               no rung can fit is shed WITHOUT ever touching the budget
+//   deadline  — per-job step deadlines and external cancel requests drain
+//               the run cooperatively at a step boundary via rt::CancelToken;
+//               a drained durable job stays resumable on disk
+//
+// Policy precedence within one pass: cancel > quarantine > retry > shed.
+//
+// Crash safety: with a durable root every job directory carries job.json
+// (committed at submit) and terminal.json (committed atomically at the
+// terminal transition). A restarted supervisor calls adopt_orphans() to
+// re-queue every job directory that has a spec but no terminal record —
+// exactly the jobs a dead supervisor left in flight — and their first
+// attempt resumes from the on-disk manifest like any retry.
+//
+// Everything is traced (svc.job / svc.attempt / svc.adopt spans) and metered
+// (svc.jobs_*, svc.retries, svc.backoff_seconds, svc.queue_depth, per-state
+// svc.latency.* histograms) through the PR-5 observability layer.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bte/solver_factory.hpp"
+#include "job.hpp"
+#include "policy.hpp"
+
+namespace finch::svc {
+
+class Supervisor {
+ public:
+  // `base` supplies the physical parameters (domain size, temperatures, dt);
+  // each job overrides the discretization. Validates `options` up front.
+  Supervisor(const bte::BteScenario& base, SupervisorOptions options);
+
+  // Enqueues a job; with a durable root, commits <root>/<id>/job.json first.
+  // Throws std::invalid_argument on duplicate ids, empty ids, unknown solver
+  // names (including fallback rungs) or non-positive nsteps.
+  void submit(JobSpec spec);
+
+  // Scans the durable root for job directories with a spec but no terminal
+  // record and re-queues them (marked adopted). Returns the adopted ids.
+  std::vector<std::string> adopt_orphans();
+
+  // Requests cooperative cancellation: a queued job terminates Cancelled
+  // before its first step, a running job drains at its next step boundary.
+  // Returns false if the id is unknown or already terminal.
+  bool request_cancel(const std::string& id, std::string reason = "cancelled");
+
+  // Runs every queued job to a terminal state; returns their outcomes in
+  // completion order.
+  std::vector<JobOutcome> drain();
+
+  size_t queue_depth() const { return queue_.size(); }
+  // Virtual seconds consumed by all attempts + backoff so far.
+  double virtual_now() const { return virtual_now_; }
+  const SupervisorOptions& options() const { return options_; }
+
+ private:
+  struct QueueEntry {
+    JobSpec spec;
+    bool adopted = false;
+  };
+  // A spec resolved onto one rung of its ladder: concrete config, scenario
+  // and shared physics.
+  struct ResolvedJob {
+    JobSpec spec;
+    JobConfig cfg;
+    bte::BteScenario scenario;
+    std::shared_ptr<const bte::BtePhysics> physics;
+  };
+  struct AttemptResult {
+    AttemptRecord rec;
+    bte::ResilienceStats stats;
+    bool completed = false;
+    bool drained = false;
+    std::string drain_reason;
+    std::vector<double> T, I;
+  };
+
+  JobOutcome run_job(const QueueEntry& entry);
+  ResolvedJob resolve(const JobSpec& spec, int rung) const;
+  AttemptResult run_attempt(const ResolvedJob& rj, int attempt_index, uint64_t seed,
+                            const std::string& job_dir, const std::string& cancel_reason,
+                            const std::vector<rt::ChaosFault>& faults);
+  std::vector<rt::ChaosFault> minimize_repro(const ResolvedJob& rj);
+  void finalize(JobOutcome& out, TerminalState state, std::string detail, double job_virtual_s,
+                int64_t reserved_bytes, const std::string& job_dir);
+  std::string job_dir(const std::string& id) const;
+
+  bte::BteScenario base_;
+  SupervisorOptions options_;
+  std::vector<QueueEntry> queue_;
+  std::map<std::string, std::string> cancel_requests_;  // id -> reason
+  std::set<std::string> known_ids_;                     // queued + terminal
+  std::set<std::string> terminal_ids_;
+  bte::PhysicsCache physics_;
+  double virtual_now_ = 0.0;
+};
+
+}  // namespace finch::svc

@@ -13,6 +13,8 @@
 
 #include <csignal>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -568,6 +570,97 @@ TEST(DurableResume, MissingNewestGenerationFallsBackCorruptAllFails) {
     CellPartitionedSolver s(scen, phys, 2);
     EXPECT_THROW(s.resume_from(manifest, durable_options(dir)), rt::CheckpointError);
   }
+}
+
+namespace {
+// Rewrites `path` keeping only the first half of its bytes — a torn copy, a
+// partial scp, a filesystem that lost the tail. Distinct from deletion: the
+// file still exists and opens fine, only deserialization can reject it.
+void truncate_file_to_half(const std::string& path) {
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << path;
+    data.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(data.size(), 1u);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+}
+}  // namespace
+
+TEST(DurableResume, TruncatedNewestGenerationFallsBack) {
+  const auto scen = tiny_scenario();
+  const auto phys = tiny_physics();
+  const int nsteps = 8;
+
+  CellPartitionedSolver ref(scen, phys, 2);
+  ResilienceOptions ref_opt;
+  ref_opt.checkpoint.interval = 2;
+  ref.enable_resilience(ref_opt);
+  ref.run(nsteps);
+
+  const std::string dir = fresh_dir("resume_truncated");
+  {
+    CellPartitionedSolver s(scen, phys, 2);
+    s.enable_resilience(durable_options(dir));
+    s.run(6);  // generations at steps 6 (newest) and 4
+  }
+  rt::RunManifest manifest = rt::read_manifest(dir + "/manifest.json");
+  ASSERT_EQ(manifest.checkpoints.size(), 2u);
+
+  // Newest generation torn (truncated, not deleted): resume must reject it
+  // by content and fall back to the older generation, then finish bit-exact.
+  truncate_file_to_half(manifest.checkpoints[0]);
+  CellPartitionedSolver resumed(scen, phys, 2);
+  resumed.resume_from(manifest, durable_options(dir));
+  EXPECT_EQ(resumed.step_index(), 4);
+  EXPECT_GE(resumed.resilience_stats().ckpt_generation_fallbacks, 1);
+  resumed.run(nsteps - static_cast<int>(resumed.step_index()));
+  EXPECT_TRUE(bitwise_equal(resumed.gather_temperature(), ref.gather_temperature()));
+  EXPECT_TRUE(bitwise_equal(resumed.gather_intensity(), ref.gather_intensity()));
+}
+
+TEST(DurableResume, ResumedRunAdoptsOlderGenerationsAsFallback) {
+  const auto scen = tiny_scenario();
+  const auto phys = tiny_physics();
+  const std::string dir = fresh_dir("resume_adopt");
+  {
+    CellPartitionedSolver s(scen, phys, 2);
+    s.enable_resilience(durable_options(dir));
+    s.run(6);
+  }
+  const rt::RunManifest first = rt::read_manifest(dir + "/manifest.json");
+  ASSERT_EQ(first.checkpoints.size(), 2u);
+
+  // Resume and immediately "crash" (drop the solver). The resume itself
+  // commits a fresh checkpoint + manifest; the ISSUE-8 fragility was that
+  // this manifest recorded ONLY the new generation, orphaning the files the
+  // first manifest still had — adoption must keep an older one as fallback.
+  {
+    CellPartitionedSolver s(scen, phys, 2);
+    s.resume_from(first, durable_options(dir));
+    EXPECT_EQ(s.step_index(), 6);
+  }
+  rt::RunManifest second = rt::read_manifest(dir + "/manifest.json");
+  ASSERT_EQ(second.checkpoints.size(), 2u)
+      << "post-resume manifest forgot the adopted generation";
+  EXPECT_NE(second.checkpoints[0], second.checkpoints[1]);
+
+  // Second crash with the newest generation torn: the adopted fallback is
+  // what makes this resumable at all.
+  truncate_file_to_half(second.checkpoints[0]);
+  CellPartitionedSolver resumed(scen, phys, 2);
+  resumed.resume_from(second, durable_options(dir));
+  EXPECT_EQ(resumed.step_index(), 6);
+  EXPECT_GE(resumed.resilience_stats().ckpt_generation_fallbacks, 1);
+}
+
+TEST(DurableResume, AdoptDiskPathsSkipsDamagedCandidates) {
+  rt::CheckpointStore store("", 2);
+  // Neither path exists; adoption must validate by content and adopt nothing.
+  EXPECT_EQ(store.adopt_disk_paths({"durability_missing_a.bin", "durability_missing_b.bin"}), 0);
+  EXPECT_TRUE(store.disk_paths().empty());
 }
 
 TEST(DurableResume, OptionValidationCoversDurableKnobs) {
