@@ -18,6 +18,16 @@
 // hold across the restart — completed-before-death jobs stay terminal on
 // disk, adopted in-flight jobs resume instead of replaying from step 0.
 //
+// Act 3 is the ISSUE-9 overload acceptance: the same job mix first runs
+// serially through the PR-8 supervisor (calibrating the scheduler's cost
+// model from its virtual clock), then arrives open-loop at 2x the service
+// capacity of a 4-slot scheduler across 3 equal-weight tenants with a
+// bounded queue. The extended oracle must hold — 100% of admitted jobs
+// terminal, every tenant's goodput >= 60% of its fair share, sheds strictly
+// lowest-priority-first, zero starvation-watchdog violations — and the
+// scheduler's virtual-clock throughput must be >= 2x the serial supervisor's
+// on the same mix.
+//
 // Usage: bench_supervisor [--njobs N] [--seed N] [--json FILE]
 //                         [--metrics-json FILE] [--trace FILE]
 // FINCH_BENCH_FAST=1 (or --njobs 20) shrinks the stream for PR-time CI.
@@ -271,6 +281,103 @@ int main(int argc, char** argv) {
 #else
   std::printf("fork() unavailable on this platform; crash-restart act skipped\n");
 #endif
+
+  // ---- act 3: overload — 2x capacity, 3 tenants, bounded queue -------------
+  {
+    OverloadShape oshape;
+    oshape.njobs = fast ? 60 : 300;
+    const int mc = 4;
+
+    // Serial baseline: the PR-8 supervisor runs the identical job mix one
+    // attempt at a time. Its virtual clock calibrates the scheduler's cost
+    // model, so the two throughput numbers share one currency. The default
+    // retry backoff (0.5 s base) was tuned for much larger jobs; these run
+    // in tens of milliseconds, so both runs scale the policy to the job
+    // scale — otherwise backoff tails, not service, dominate both clocks.
+    svc::RetryPolicy retry;
+    retry.backoff_base_s = 0.002;
+    retry.backoff_max_s = 0.032;
+    const std::vector<svc::Arrival> shape_only =
+        campaign.overload_stream(args.seed, oshape, svc::SchedulerOptions{}.cost_per_unit_s, mc);
+    svc::SupervisorOptions serial_opt;
+    serial_opt.durable_root = fresh_root("overload_serial");
+    serial_opt.retry = retry;
+    svc::Supervisor serial(base, serial_opt);
+    double offered_units = 0.0;
+    for (const svc::Arrival& a : shape_only) {
+      offered_units += static_cast<double>(a.spec.nsteps) * a.spec.nx * a.spec.ny *
+                       a.spec.ndirs * a.spec.nbands;
+      serial.submit(a.spec);
+    }
+    double serial_completed_units = 0.0;
+    for (const svc::JobOutcome& o : serial.drain())
+      if (o.state == svc::TerminalState::Completed)
+        serial_completed_units += static_cast<double>(o.spec.nsteps) * o.spec.nx * o.spec.ny *
+                                  o.spec.ndirs * o.spec.nbands;
+    const double serial_vt = serial.virtual_now();
+    const double serial_tp = serial_vt > 0 ? serial_completed_units / serial_vt : 0.0;
+    const double cpu_cal = offered_units > 0 ? serial_vt / offered_units : 5e-9;
+
+    svc::SchedulerOptions opt;
+    opt.supervisor.durable_root = fresh_root("overload");
+    opt.supervisor.retry = retry;
+    opt.max_concurrency = mc;
+    opt.queue_capacity = fast ? 12 : 24;
+    opt.cost_per_unit_s = cpu_cal;
+    const std::vector<svc::Arrival> arrivals =
+        campaign.overload_stream(args.seed, oshape, cpu_cal, mc);
+    svc::Scheduler sched(base, opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    const svc::ScheduleResult res = sched.run(arrivals);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    const OverloadReport rep = campaign.judge_overload(arrivals, res, opt, 0.60);
+    for (const std::string& v : rep.violations) std::printf("  VIOLATION %s\n", v.c_str());
+    for (const std::string& v : rep.base.violations) std::printf("  VIOLATION %s\n", v.c_str());
+
+    double sched_completed_units = 0.0;
+    for (const auto& [name, ledger] : res.stats.tenants)
+      sched_completed_units += ledger.completed_units;
+    const double sched_tp = res.stats.drain_vtime_s > 0
+                                ? sched_completed_units / res.stats.drain_vtime_s
+                                : 0.0;
+    const double speedup = serial_tp > 0 ? sched_tp / serial_tp : 0.0;
+    std::printf("overload: %d arrivals (%d adm, %d rej, %d shed), %d slots, queue %d, "
+                "%.1f s wall\n",
+                rep.arrivals, rep.admitted, rep.rejected, rep.shed_overload, mc,
+                opt.queue_capacity, wall_s);
+    std::printf("          fairness min %.2f, %d boosts, %d violations, %d storm-damped, "
+                "virtual throughput %.3g vs serial %.3g units/s (%.2fx)\n",
+                rep.min_fair_share_ratio, res.stats.watchdog_boosts,
+                res.stats.watchdog_violations, res.stats.storm_damped, sched_tp, serial_tp,
+                speedup);
+
+    check(rep.base.nonterminal == 0, "overload: 100% of admitted jobs reached a terminal state");
+    check(rep.ok(), "overload: extended oracle clean (" +
+                        std::to_string(rep.violations.size() + rep.base.violations.size()) +
+                        " violations)");
+    check(rep.min_fair_share_ratio >= 0.60,
+          "overload: no tenant's goodput below 60% of fair share");
+    check(res.stats.watchdog_violations == 0, "overload: the starvation watchdog never fired");
+    check(speedup >= 2.0, "overload: scheduler throughput >= 2x serial supervisor (" +
+                              std::to_string(speedup) + "x)");
+
+    json.set("overload_jobs", oshape.njobs);
+    json.set("overload_admitted", rep.admitted);
+    json.set("overload_rejected", rep.rejected);
+    json.set("overload_shed", rep.shed_overload);
+    json.set("overload_min_fair_share", rep.min_fair_share_ratio);
+    json.set("overload_watchdog_boosts", res.stats.watchdog_boosts);
+    json.set("overload_watchdog_violations", res.stats.watchdog_violations);
+    json.set("overload_speedup_vs_serial", speedup);
+    json.set("overload_wall_s", wall_s);
+    json.set("overload_drain_vtime_s", res.stats.drain_vtime_s);
+    json.set("overload_serial_vtime_s", serial_vt);
+    json.set("overload_offered_units", offered_units);
+    json.set("overload_completed_units", sched_completed_units);
+    json.set("overload_serial_completed_units", serial_completed_units);
+  }
 
   return bench::finish_bench(json, args);
 }

@@ -25,12 +25,20 @@
 // terminal ones. --budget-mb N arms admission control against a shared
 // memory budget (jobs degrade down their fallback ladder or are shed).
 //
+// Concurrent batch: --max-concurrency N (N > 1) runs the list through the
+// multi-tenant overload-resilient scheduler instead — up to N attempts in
+// flight, deficit-round-robin fair share across the job file's "tenant"
+// labels, priority-aware shedding. --queue-capacity M bounds the admission
+// queue; arrivals refused by backpressure exit 5 and print a retry-after
+// hint (they never enter the system, so no terminal record is written).
+//
 // Exit codes (single run and batch; batch takes the worst across jobs):
 //   0  completed        all steps ran
 //   1  usage error      bad flags / malformed job file
 //   2  cancelled        a deadline drained the run (resumable when durable)
 //   3  failed           solver threw, or a batch job was shed / not runnable
 //   4  quarantined      the poison circuit breaker tripped (batch only)
+//   5  rejected         backpressure refused admission (bounded queue full)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -48,6 +56,7 @@
 #include "runtime/cancel.hpp"
 #include "runtime/manifest.hpp"
 #include "svc/job_file.hpp"
+#include "svc/scheduler.hpp"
 #include "svc/supervisor.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -73,6 +82,8 @@ struct Options {
   long cancel_after_steps = 0;  // > 0: drain at this step deadline
   std::string jobs;             // batch mode: JSON job file for the supervisor
   long budget_mb = 0;           // > 0: admission-control memory budget (batch)
+  int max_concurrency = 1;      // > 1: concurrent multi-tenant scheduler
+  int queue_capacity = 0;       // > 0: bounded admission queue (backpressure)
 };
 
 void usage() {
@@ -97,7 +108,13 @@ void usage() {
       "                                    resilient supervisor (--durable ROOT keeps\n"
       "                                    per-job state; re-runs adopt orphans)\n"
       "  --budget-mb N                     batch admission-control memory budget\n"
-      "exit codes: 0 completed, 2 cancelled/drained, 3 failed/shed, 4 quarantined\n");
+      "  --max-concurrency N               batch: run up to N attempts at once under\n"
+      "                                    the multi-tenant fair-share scheduler\n"
+      "  --queue-capacity N                batch: bound the admission queue; overflow\n"
+      "                                    arrivals are shed (low priority) or\n"
+      "                                    rejected with a retry-after hint\n"
+      "exit codes: 0 completed, 2 cancelled/drained, 3 failed/shed, 4 quarantined,\n"
+      "            5 rejected by backpressure\n");
 }
 
 bool parse(int argc, char** argv, Options& o) {
@@ -136,6 +153,8 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--cancel-after-steps") { if ((v = next(a.c_str())) == nullptr) return false; o.cancel_after_steps = std::atol(v); }
     else if (a == "--jobs") { if ((v = next(a.c_str())) == nullptr) return false; o.jobs = v; }
     else if (a == "--budget-mb") { if ((v = next(a.c_str())) == nullptr) return false; o.budget_mb = std::atol(v); }
+    else if (a == "--max-concurrency") { if ((v = next(a.c_str())) == nullptr) return false; o.max_concurrency = std::atoi(v); }
+    else if (a == "--queue-capacity") { if ((v = next(a.c_str())) == nullptr) return false; o.queue_capacity = std::atoi(v); }
     else { std::fprintf(stderr, "unknown option %s\n", a.c_str()); return false; }
   }
   return true;
@@ -203,8 +222,93 @@ int exit_code_for(svc::TerminalState s) {
   }
 }
 
-// Batch mode: hand the job file to the supervisor and exit with the worst
-// per-job code (4 quarantined > 3 failed/shed > 2 cancelled > 0 completed).
+// A re-run of the same command skips jobs that already reached a terminal
+// state instead of re-executing (or double-submitting) them.
+void skip_already_terminal(const Options& o, const std::vector<svc::JobSpec>& jobs,
+                           std::set<std::string>& skip, int& worst) {
+  for (const svc::JobSpec& j : jobs) {
+    const std::string tpath = o.durable + "/" + j.id + "/terminal.json";
+    if (skip.count(j.id) != 0 || !svc::file_exists(tpath)) continue;
+    svc::TerminalState st = svc::TerminalState::Pending;
+    std::string detail;
+    try {
+      svc::terminal_from_json(svc::read_text_file(tpath), &st, &detail);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "job %s: damaged terminal record (%s), re-running\n", j.id.c_str(),
+                   e.what());
+      continue;
+    }
+    std::printf("%-14s %-12s (previous run: %s)\n", j.id.c_str(), svc::terminal_state_name(st),
+                detail.c_str());
+    worst = std::max(worst, exit_code_for(st));
+    skip.insert(j.id);
+  }
+}
+
+void print_outcome(const svc::JobOutcome& out) {
+  std::printf("%-14s %-12s step %lld/%d  attempts %zu%s%s  %s\n", out.spec.id.c_str(),
+              svc::terminal_state_name(out.state), static_cast<long long>(out.final_step),
+              out.spec.nsteps, out.attempts.size(), out.adopted ? "  [adopted]" : "",
+              out.degraded_rung >= 0 ? "  [degraded]" : "", out.detail.c_str());
+  if (!out.repro_path.empty()) std::printf("  quarantine repro: %s\n", out.repro_path.c_str());
+}
+
+// Concurrent batch (--max-concurrency > 1 / --queue-capacity set): the job
+// list becomes an arrival schedule (everything arrives at virtual time zero,
+// in file order) for the multi-tenant scheduler. Rejected arrivals never
+// enter the system; they print a retry-after hint and force exit code 5.
+int run_batch_scheduled(const Options& o, std::vector<svc::JobSpec> jobs,
+                        rt::MemoryBudget* budget) {
+  svc::SchedulerOptions sopt;
+  sopt.supervisor.durable_root = o.durable;
+  sopt.supervisor.defense.checkpoint_interval = o.ckpt_interval;
+  sopt.supervisor.memory = budget;
+  sopt.max_concurrency = std::max(1, o.max_concurrency);
+  sopt.queue_capacity = o.queue_capacity;
+  svc::Scheduler sched(o.scenario, sopt);
+
+  int worst = 0;
+  std::set<std::string> skip;
+  if (!o.durable.empty()) {
+    for (const std::string& id : sched.adopt_orphans()) {
+      std::printf("re-adopted orphaned job %s (durable state survived)\n", id.c_str());
+      skip.insert(id);
+    }
+    skip_already_terminal(o, jobs, skip, worst);
+  }
+  std::vector<svc::Arrival> arrivals;
+  for (svc::JobSpec& j : jobs) {
+    if (skip.count(j.id) != 0) continue;
+    svc::Arrival a;
+    a.spec = std::move(j);
+    arrivals.push_back(std::move(a));
+  }
+  svc::ScheduleResult res;
+  try {
+    res = sched.run(std::move(arrivals));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scheduler refused the job list: %s\n", e.what());
+    return 1;
+  }
+  for (const svc::JobOutcome& out : res.outcomes) {
+    print_outcome(out);
+    worst = std::max(worst, exit_code_for(out.state));
+  }
+  for (const svc::RejectAudit& r : res.stats.rejects) {
+    std::printf("%-14s rejected     backpressure (tenant %s), retry after %.3g s\n", r.id.c_str(),
+                r.tenant.c_str(), r.retry_after_s);
+    worst = std::max(worst, 5);
+  }
+  std::printf("scheduler: %d dispatched, %d retries, %zu shed, %zu rejected, "
+              "max queue depth %zu, drained at t=%.3f s (virtual)\n",
+              res.stats.dispatched, res.stats.retries, res.stats.shed_audits.size(),
+              res.stats.rejects.size(), res.stats.max_queue_depth, res.stats.drain_vtime_s);
+  return worst;
+}
+
+// Batch mode: hand the job file to the supervisor (or, with concurrency
+// flags, the scheduler) and exit with the worst per-job code (5 rejected >
+// 4 quarantined > 3 failed/shed > 2 cancelled > 0 completed).
 int run_batch(const Options& o) {
   std::vector<svc::JobSpec> jobs;
   try {
@@ -213,11 +317,14 @@ int run_batch(const Options& o) {
     std::fprintf(stderr, "bad job file %s: %s\n", o.jobs.c_str(), e.what());
     return 1;
   }
+  rt::MemoryBudget budget(o.budget_mb * 1000000);
+  rt::MemoryBudget* bp = o.budget_mb > 0 ? &budget : nullptr;
+  if (o.max_concurrency > 1 || o.queue_capacity > 0) return run_batch_scheduled(o, std::move(jobs), bp);
+
   svc::SupervisorOptions sopt;
   sopt.durable_root = o.durable;
   sopt.defense.checkpoint_interval = o.ckpt_interval;
-  rt::MemoryBudget budget(o.budget_mb * 1000000);
-  if (o.budget_mb > 0) sopt.memory = &budget;
+  sopt.memory = bp;
   svc::Supervisor sup(o.scenario, sopt);
 
   int worst = 0;
@@ -227,25 +334,7 @@ int run_batch(const Options& o) {
       std::printf("re-adopted orphaned job %s (durable state survived)\n", id.c_str());
       skip.insert(id);
     }
-    // A re-run of the same command skips jobs that already reached a
-    // terminal state instead of re-executing (or double-submitting) them.
-    for (const svc::JobSpec& j : jobs) {
-      const std::string tpath = o.durable + "/" + j.id + "/terminal.json";
-      if (skip.count(j.id) != 0 || !svc::file_exists(tpath)) continue;
-      svc::TerminalState st = svc::TerminalState::Pending;
-      std::string detail;
-      try {
-        svc::terminal_from_json(svc::read_text_file(tpath), &st, &detail);
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "job %s: damaged terminal record (%s), re-running\n", j.id.c_str(),
-                     e.what());
-        continue;
-      }
-      std::printf("%-14s %-12s (previous run: %s)\n", j.id.c_str(), svc::terminal_state_name(st),
-                  detail.c_str());
-      worst = std::max(worst, exit_code_for(st));
-      skip.insert(j.id);
-    }
+    skip_already_terminal(o, jobs, skip, worst);
   }
   for (svc::JobSpec& j : jobs) {
     if (skip.count(j.id) != 0) continue;
@@ -257,11 +346,7 @@ int run_batch(const Options& o) {
     }
   }
   for (const svc::JobOutcome& out : sup.drain()) {
-    std::printf("%-14s %-12s step %lld/%d  attempts %zu%s%s  %s\n", out.spec.id.c_str(),
-                svc::terminal_state_name(out.state), static_cast<long long>(out.final_step),
-                out.spec.nsteps, out.attempts.size(), out.adopted ? "  [adopted]" : "",
-                out.degraded_rung >= 0 ? "  [degraded]" : "", out.detail.c_str());
-    if (!out.repro_path.empty()) std::printf("  quarantine repro: %s\n", out.repro_path.c_str());
+    print_outcome(out);
     worst = std::max(worst, exit_code_for(out.state));
   }
   return worst;

@@ -5,6 +5,7 @@
 namespace finch::bte {
 
 std::shared_ptr<const BtePhysics> PhysicsCache::get(int nbands_spectral, int ndirs) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto key = std::make_pair(nbands_spectral, ndirs);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <memory>
 #include <string>
 #include <utility>
@@ -36,9 +37,11 @@ namespace finch::bte {
 // set of discretizations.
 class PhysicsCache {
  public:
+  // Thread-safe find-or-build (scheduler workers resolve jobs concurrently).
   std::shared_ptr<const BtePhysics> get(int nbands_spectral, int ndirs);
 
  private:
+  std::mutex mu_;
   std::map<std::pair<int, int>, std::shared_ptr<const BtePhysics>> cache_;
 };
 

@@ -1,7 +1,9 @@
 #include "supervisor_campaign.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <set>
 #include <stdexcept>
 
 #include "runtime/chaos.hpp"
@@ -211,6 +213,156 @@ SupervisorReport SupervisorCampaign::run_stream(svc::Supervisor& supervisor,
   report.violations.insert(report.violations.begin(), submit_errors.begin(),
                            submit_errors.end());
   return report;
+}
+
+std::vector<svc::Arrival> SupervisorCampaign::overload_stream(uint64_t seed,
+                                                              const OverloadShape& shape,
+                                                              double cost_per_unit_s,
+                                                              int max_concurrency) {
+  std::vector<svc::Arrival> arrivals;
+  arrivals.reserve(static_cast<size_t>(shape.njobs));
+  const int ntenants = std::max(1, shape.ntenants);
+  const int nprios = std::max(1, shape.npriorities);
+  double sum_units = 0.0;
+  for (int i = 0; i < shape.njobs; ++i) {
+    svc::JobSpec s;
+    s.id = "ov-" + std::to_string(i);
+    const uint64_t h = splitmix(seed + 0x20003ull * static_cast<uint64_t>(i) + 1);
+    s.seed = h | 1;
+    // Round-robin tenants so offered load is balanced by construction;
+    // priorities hash independently of the tenant, so shedding pressure
+    // cannot systematically starve one queue.
+    s.tenant = "tenant-" + std::to_string(i % ntenants);
+    s.priority = static_cast<int>((h >> 24) % static_cast<uint64_t>(nprios));
+    s.solver = (h % 2) != 0 ? "band" : "cell";
+    s.nparts = 3 + static_cast<int>((h >> 8) % 2);
+    const int span = std::max(1, shape.max_steps - shape.min_steps + 1);
+    s.nsteps = shape.min_steps + static_cast<int>((h >> 16) % static_cast<uint64_t>(span));
+
+    const double u = unit(seed, static_cast<uint64_t>(i), 23);
+    if (u < shape.flaky_fraction) {
+      // Same engineered fail-once-resume-once job as the mixed stream, so
+      // retries (and the storm damper) interleave with overload decisions.
+      s.solver = "cell";
+      s.nparts = 4;
+      s.nsteps = std::max(6, s.nsteps);
+      s.max_rollbacks = 1;
+      s.ckpt_interval = 1;
+      const int64_t consults = probe_halo_consults(s.nsteps);
+      const int64_t per_step = consults / s.nsteps;
+      for (int step : {s.nsteps / 3, (2 * s.nsteps) / 3}) {
+        rt::ChaosFault f;
+        f.kind = rt::FaultKind::TransferCorruption;
+        f.site = "halo";
+        f.first_event = step * per_step + per_step / 2;
+        f.stride = 1;
+        f.count = 1;
+        s.faults.push_back(f);
+      }
+    } else if (u < shape.flaky_fraction + shape.deadline_fraction) {
+      s.deadline_steps = std::max<int64_t>(1, s.nsteps / 2);
+    }
+    sum_units += static_cast<double>(s.nsteps) * s.nx * s.ny * s.ndirs * s.nbands;
+    arrivals.push_back(svc::Arrival{0.0, std::move(s), /*adopted=*/false});
+  }
+  // Open-loop Poisson process on the virtual clock: arrival rate =
+  // load_factor x the service rate of max_concurrency slots.
+  const double mean_service_s =
+      (sum_units / std::max(1, shape.njobs)) * cost_per_unit_s;
+  const double rate = shape.load_factor * max_concurrency / mean_service_s;
+  double t = 0.0;
+  for (int i = 0; i < shape.njobs; ++i) {
+    const double u = std::min(unit(seed, static_cast<uint64_t>(i), 31), 1.0 - 1e-12);
+    t += -std::log(1.0 - u) / rate;
+    arrivals[static_cast<size_t>(i)].vtime = t;
+  }
+  return arrivals;
+}
+
+OverloadReport SupervisorCampaign::judge_overload(const std::vector<svc::Arrival>& arrivals,
+                                                  const svc::ScheduleResult& result,
+                                                  const svc::SchedulerOptions& options,
+                                                  double fairness_bound) {
+  OverloadReport rep;
+  rep.arrivals = static_cast<int>(arrivals.size());
+  auto violate = [&rep](const std::string& what) { rep.violations.push_back(what); };
+
+  // Every arrival is either rejected (backpressure, never entered) or
+  // admitted with exactly one terminal outcome — a strict partition.
+  std::set<std::string> rejected_ids;
+  for (const svc::RejectAudit& r : result.stats.rejects) {
+    if (!rejected_ids.insert(r.id).second) violate("'" + r.id + "' rejected twice");
+    if (!(r.retry_after_s > 0.0))
+      violate("'" + r.id + "' rejected without a positive retry_after");
+  }
+  std::set<std::string> outcome_ids;
+  for (const svc::JobOutcome& o : result.outcomes)
+    if (!outcome_ids.insert(o.spec.id).second)
+      violate("'" + o.spec.id + "' has two terminal outcomes");
+  std::vector<svc::JobSpec> admitted;
+  for (const svc::Arrival& a : arrivals) {
+    const bool rej = rejected_ids.count(a.spec.id) > 0;
+    const bool out = outcome_ids.count(a.spec.id) > 0;
+    if (rej == out)
+      violate("'" + a.spec.id + "': " +
+              (rej ? "both rejected and terminal" : "neither rejected nor terminal"));
+    if (!rej) admitted.push_back(a.spec);
+  }
+  rep.admitted = static_cast<int>(admitted.size());
+  rep.rejected = static_cast<int>(rejected_ids.size());
+  rep.shed_overload = static_cast<int>(result.stats.shed_audits.size());
+
+  // Base oracle (terminality, bit-exactness, accounting, resume, quarantine,
+  // shed) over everything that entered the system.
+  rep.base = judge(admitted, result.outcomes, options.supervisor);
+
+  // Shedding is strictly lowest-priority-first: each audited eviction was at
+  // the minimum priority present (queue + the arrival that displaced it).
+  for (const svc::ShedAudit& s : result.stats.shed_audits)
+    if (s.priority != s.min_queued_priority)
+      violate("shed '" + s.id + "' at priority " + std::to_string(s.priority) +
+              " while priority " + std::to_string(s.min_queued_priority) + " was queued");
+
+  if (result.stats.watchdog_violations != 0)
+    violate(std::to_string(result.stats.watchdog_violations) +
+            " queued job(s) aged past the starvation bound");
+
+  // Attempt-count conservation across threads: every dispatch produced
+  // exactly one attempt record in exactly one outcome.
+  int attempts = 0;
+  for (const svc::JobOutcome& o : result.outcomes)
+    attempts += static_cast<int>(o.attempts.size());
+  if (attempts != result.stats.dispatched)
+    violate("dispatched " + std::to_string(result.stats.dispatched) + " attempts but " +
+            std::to_string(attempts) + " attempt records landed in outcomes");
+
+  // Per-tenant ledger conservation, then the fairness bound: a tenant with
+  // enough offered work to fill its weight-proportional share of the total
+  // goodput must have received at least `fairness_bound` of that share.
+  double total_goodput = 0.0, wsum = 0.0;
+  for (const auto& [name, led] : result.stats.tenants) {
+    total_goodput += led.completed_units;
+    wsum += led.weight;
+  }
+  for (const auto& [name, led] : result.stats.tenants) {
+    if (led.admitted + led.rejected != led.submitted)
+      violate("tenant " + name + ": admitted " + std::to_string(led.admitted) +
+              " + rejected " + std::to_string(led.rejected) + " != submitted " +
+              std::to_string(led.submitted));
+    const int terminal = led.completed + led.cancelled + led.quarantined + led.shed;
+    if (terminal != led.admitted)
+      violate("tenant " + name + ": " + std::to_string(terminal) +
+              " terminal jobs != " + std::to_string(led.admitted) + " admitted");
+    const double fair = wsum > 0.0 ? total_goodput * led.weight / wsum : 0.0;
+    if (fair > 0.0 && led.offered_units >= fair) {
+      rep.min_fair_share_ratio =
+          std::min(rep.min_fair_share_ratio, led.completed_units / fair);
+    }
+  }
+  if (rep.min_fair_share_ratio < fairness_bound)
+    violate("fair-share goodput ratio " + std::to_string(rep.min_fair_share_ratio) +
+            " below bound " + std::to_string(fairness_bound));
+  return rep;
 }
 
 SupervisorReport SupervisorCampaign::judge(const std::vector<svc::JobSpec>& jobs,

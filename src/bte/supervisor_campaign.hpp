@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "svc/scheduler.hpp"
 #include "svc/supervisor.hpp"
 
 namespace finch::bte {
@@ -68,6 +69,35 @@ struct SupervisorReport {
   bool ok() const { return nonterminal == 0 && violations.empty(); }
 };
 
+// Shape of an open-loop overload campaign against the concurrent Scheduler:
+// Poisson arrivals on the virtual clock at `load_factor` times the service
+// capacity, spread across `ntenants` equal-weight tenants and `npriorities`
+// shedding priorities, with small flaky/deadline admixtures so retries and
+// drains interleave with the overload machinery.
+struct OverloadShape {
+  int njobs = 300;
+  int ntenants = 3;
+  int npriorities = 3;
+  double load_factor = 2.0;        // offered load vs max_concurrency capacity
+  double flaky_fraction = 0.08;    // fail once, succeed on resumed retry
+  double deadline_fraction = 0.05; // drain to Cancelled mid-run
+  int min_steps = 6;
+  int max_steps = 12;
+};
+
+// Overload verdict: the base oracle on every admitted job, plus the
+// scheduler-level conservation and fairness laws.
+struct OverloadReport {
+  SupervisorReport base;  // judged over admitted jobs only
+  int arrivals = 0;
+  int admitted = 0;
+  int rejected = 0;
+  int shed_overload = 0;               // queue-full sheds (audited)
+  double min_fair_share_ratio = 1.0;   // over tenants with enough demand
+  std::vector<std::string> violations; // overload-specific
+  bool ok() const { return base.ok() && violations.empty(); }
+};
+
 class SupervisorCampaign {
  public:
   explicit SupervisorCampaign(const BteScenario& base) : base_(base) {}
@@ -85,6 +115,22 @@ class SupervisorCampaign {
   SupervisorReport judge(const std::vector<svc::JobSpec>& jobs,
                          const std::vector<svc::JobOutcome>& outcomes,
                          const svc::SupervisorOptions& options);
+
+  // Deterministic in (seed, shape): Poisson arrival schedule whose mean
+  // inter-arrival time offers `shape.load_factor` times the service capacity
+  // of `max_concurrency` slots under the scheduler's cost model.
+  std::vector<svc::Arrival> overload_stream(uint64_t seed, const OverloadShape& shape,
+                                            double cost_per_unit_s, int max_concurrency);
+
+  // Judges a Scheduler run of `arrivals`: rejected/admitted partition, the
+  // base oracle over every admitted job, per-tenant fair-share goodput >=
+  // `fairness_bound` of the weight-proportional share (for tenants whose
+  // demand could fill it), shed order strictly lowest-priority-first, zero
+  // starvation-watchdog violations, and attempt-count conservation.
+  OverloadReport judge_overload(const std::vector<svc::Arrival>& arrivals,
+                                const svc::ScheduleResult& result,
+                                const svc::SchedulerOptions& options,
+                                double fairness_bound);
 
  private:
   struct Reference {

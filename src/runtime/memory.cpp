@@ -6,57 +6,96 @@
 
 namespace finch::rt {
 
+MemoryBudget::~MemoryBudget() {
+  if (parent_ != nullptr && in_use_ > 0) parent_->release(in_use_);
+}
+
 void MemoryBudget::add_relief(std::string name, std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
   chain_.emplace_back(std::move(name), std::move(fn));
 }
 
+void MemoryBudget::clear_reliefs() {
+  std::lock_guard<std::mutex> lk(mu_);
+  chain_.clear();
+}
+
 void MemoryBudget::spike(double fraction) {
-  if (fraction > 0.0 && fraction < spike_fraction_) spike_fraction_ = fraction;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fraction > 0.0 && fraction < spike_fraction_) spike_fraction_ = fraction;
+  }
   MetricsRegistry::global().counter("mem.pressure_events").add(1.0);
 }
 
-double MemoryBudget::consume_spike() {
+double MemoryBudget::consume_spike_locked() {
   const double f = spike_fraction_;
   spike_fraction_ = 1.0;
   return f;
 }
 
-int64_t MemoryBudget::run_relief(int64_t headroom_bytes) {
-  const double fraction = consume_spike();
+int64_t MemoryBudget::relieve_one_locked(size_t i) {
+  const int64_t f = chain_[i].second();
+  if (f <= 0) return 0;
+  const int64_t dec = in_use_ > f ? f : in_use_;
+  in_use_ -= dec;
+  reliefs_ += 1;
+  relieved_bytes_ += f;
+  auto& mx = MetricsRegistry::global();
+  mx.counter("mem.reliefs").add(1.0);
+  mx.counter("mem.relieved_bytes").add(static_cast<double>(f));
+  // Reserved bytes were mirrored upstream; freeing them must be too.
+  if (parent_ != nullptr && dec > 0) parent_->release(dec);
+  return f;
+}
+
+int64_t MemoryBudget::run_relief_locked(int64_t headroom_bytes) {
+  const double fraction = consume_spike_locked();
   if (capacity_ <= 0) return 0;  // unlimited: pressure costs nothing
   const int64_t effective =
       static_cast<int64_t>(static_cast<double>(capacity_) * fraction);
   int64_t freed = 0;
-  for (const auto& [name, fn] : chain_) {
+  for (size_t i = 0; i < chain_.size(); ++i) {
     if (in_use_ + headroom_bytes <= effective) break;
-    const int64_t f = fn();
-    if (f <= 0) continue;
-    freed += f;
-    in_use_ = in_use_ > f ? in_use_ - f : 0;
-    reliefs_ += 1;
-    relieved_bytes_ += f;
-    auto& mx = MetricsRegistry::global();
-    mx.counter("mem.reliefs").add(1.0);
-    mx.counter("mem.relieved_bytes").add(static_cast<double>(f));
+    freed += relieve_one_locked(i);
   }
   MetricsRegistry::global().gauge("mem.in_use").set(static_cast<double>(in_use_));
   return freed;
 }
 
+int64_t MemoryBudget::run_relief(int64_t headroom_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return run_relief_locked(headroom_bytes);
+}
+
 bool MemoryBudget::try_reserve(int64_t bytes) {
   if (bytes < 0) bytes = 0;
+  std::lock_guard<std::mutex> lk(mu_);
   if (capacity_ > 0) {
     const double fraction = spike_fraction_;  // run_relief consumes it
     const int64_t effective =
         static_cast<int64_t>(static_cast<double>(capacity_) * fraction);
     if (in_use_ + bytes > effective) {
-      run_relief(bytes);
+      run_relief_locked(bytes);
       if (in_use_ + bytes > effective) {
         MetricsRegistry::global().counter("mem.alloc_failures").add(1.0);
         return false;
       }
     } else {
-      consume_spike();  // the reservation fit; the spike was absorbed
+      consume_spike_locked();  // the reservation fit; the spike was absorbed
+    }
+  }
+  if (parent_ != nullptr && !parent_->try_reserve(bytes)) {
+    // The shared pool is squeezed by a sibling partition: shed local
+    // rebuildable state rung by rung, handing the freed bytes upstream,
+    // until the forward fits or the chain is dry.
+    bool forwarded = false;
+    for (size_t i = 0; i < chain_.size() && !forwarded; ++i) {
+      if (relieve_one_locked(i) > 0) forwarded = parent_->try_reserve(bytes);
+    }
+    if (!forwarded) {
+      MetricsRegistry::global().counter("mem.alloc_failures").add(1.0);
+      return false;
     }
   }
   in_use_ += bytes;
@@ -69,8 +108,12 @@ bool MemoryBudget::try_reserve(int64_t bytes) {
 
 void MemoryBudget::release(int64_t bytes) {
   if (bytes < 0) bytes = 0;
-  in_use_ = in_use_ > bytes ? in_use_ - bytes : 0;
-  MetricsRegistry::global().gauge("mem.in_use").set(static_cast<double>(in_use_));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    in_use_ = in_use_ > bytes ? in_use_ - bytes : 0;
+    MetricsRegistry::global().gauge("mem.in_use").set(static_cast<double>(in_use_));
+  }
+  if (parent_ != nullptr) parent_->release(bytes);
 }
 
 }  // namespace finch::rt

@@ -18,9 +18,22 @@
 // does the allocation path throw TransientFault(AllocFailure), which the
 // solvers' existing retry/rollback machinery handles like any other loud
 // fault. Counters land in the `mem.*` metrics (see OBSERVABILITY.md).
+//
+// Concurrency: every operation is serialized by an internal mutex, so one
+// budget may be charged from many worker threads (the scheduler runs
+// attempts concurrently). A budget may also be a *partition* of a parent
+// budget: reservations and releases forward upstream byte-for-byte, so a
+// tenant partition enforces its own share while the shared root budget sees
+// the aggregate. Relief chains stay local to the budget they were registered
+// on — a solver's relief lambdas only ever run on the thread charging that
+// solver's own view, never from a sibling's allocation path. When a forward
+// to the parent fails (a sibling squeezed the shared pool), the local chain
+// runs rung by rung, releasing freed bytes upstream, until the forward fits
+// or the chain is dry.
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,25 +42,54 @@ namespace finch::rt {
 class MemoryBudget {
  public:
   // `capacity_bytes` <= 0 means unlimited (tracking and reliefs still work).
-  explicit MemoryBudget(int64_t capacity_bytes = 0) : capacity_(capacity_bytes) {}
+  // With a `parent`, this budget is a partition: every reserved/released
+  // byte is mirrored upstream, and both capacities must fit.
+  explicit MemoryBudget(int64_t capacity_bytes = 0, MemoryBudget* parent = nullptr)
+      : capacity_(capacity_bytes), parent_(parent) {}
+  // A partition hands any residual reservation back to its parent, so a
+  // short-lived per-attempt view can never leak bytes into the shared pool.
+  ~MemoryBudget();
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
 
   int64_t capacity() const { return capacity_; }
-  int64_t in_use() const { return in_use_; }
-  int64_t peak() const { return peak_; }
-  int64_t reliefs() const { return reliefs_; }
-  int64_t relieved_bytes() const { return relieved_bytes_; }
+  int64_t in_use() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return in_use_;
+  }
+  int64_t peak() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return peak_;
+  }
+  int64_t reliefs() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return reliefs_;
+  }
+  int64_t relieved_bytes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return relieved_bytes_;
+  }
+  MemoryBudget* parent() const { return parent_; }
 
   // Registers a relief action; `fn` returns the bytes it freed. Reliefs run
-  // in registration order (register cheapest first).
+  // in registration order (register cheapest first). Relief lambdas must not
+  // call back into the budget.
   void add_relief(std::string name, std::function<int64_t()> fn);
+
+  // Drops every registered relief action. Owners whose lambdas capture
+  // objects with a narrower lifetime than the budget (a solver registering
+  // reliefs on a shared budget) must call this before those objects die —
+  // a relief firing after its captures are destroyed is a use-after-free.
+  void clear_reliefs();
 
   // One-shot external pressure: the next reservation (or run_relief) sees
   // capacity scaled by `fraction` in (0, 1]. Models a MemoryPressure fault.
   void spike(double fraction);
 
   // Reserve `bytes`, running the relief chain while the reservation would
-  // overflow the (possibly spiked) capacity. Returns false when the chain is
-  // exhausted and the bytes still do not fit; nothing is reserved then.
+  // overflow the (possibly spiked) capacity or the parent partition refuses
+  // the forward. Returns false when the chain is exhausted and the bytes
+  // still do not fit; nothing is reserved then.
   bool try_reserve(int64_t bytes);
   void release(int64_t bytes);
 
@@ -58,9 +100,15 @@ class MemoryBudget {
   int64_t run_relief(int64_t headroom_bytes);
 
  private:
-  double consume_spike();
+  double consume_spike_locked();
+  // Runs chain_[i] and accounts the freed bytes locally and upstream.
+  // Returns bytes freed. Caller holds mu_.
+  int64_t relieve_one_locked(size_t i);
+  int64_t run_relief_locked(int64_t headroom_bytes);
 
+  mutable std::mutex mu_;
   int64_t capacity_ = 0;
+  MemoryBudget* parent_ = nullptr;
   int64_t in_use_ = 0;
   int64_t peak_ = 0;
   int64_t reliefs_ = 0;

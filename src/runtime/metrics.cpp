@@ -37,17 +37,10 @@ std::string num(double v) {
 }  // namespace
 
 void Histogram::observe(double x) {
-  const int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add(sum_, x);
-  if (n == 0) {
-    // First observation seeds min/max; a racing second observation still
-    // converges through the CAS loops below.
-    min_.store(x, std::memory_order_relaxed);
-    max_.store(x, std::memory_order_relaxed);
-  } else {
-    atomic_min(min_, x);
-    atomic_max(max_, x);
-  }
+  atomic_min(min_, x);
+  atomic_max(max_, x);
   int b = 0;
   const double ax = std::fabs(x);
   if (std::isfinite(ax) && ax > 0.0) {
@@ -63,8 +56,8 @@ double Histogram::bucket_floor(int b) { return std::ldexp(1.0, b - 32); }
 void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(0.0, std::memory_order_relaxed);
-  max_.store(0.0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <iosfwd>
 #include <map>
 #include <memory>
@@ -57,8 +58,20 @@ class Histogram {
   void observe(double x);
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
-  double min() const { return min_.load(std::memory_order_relaxed); }
-  double max() const { return max_.load(std::memory_order_relaxed); }
+  // min/max report 0.0 while empty; internally they idle at +/-inf so
+  // concurrent first observations converge through plain CAS loops with no
+  // seeded-store special case (which raced: a slow first observer could
+  // overwrite a faster second one).
+  double min() const {
+    return count_.load(std::memory_order_relaxed) == 0
+               ? 0.0
+               : min_.load(std::memory_order_relaxed);
+  }
+  double max() const {
+    return count_.load(std::memory_order_relaxed) == 0
+               ? 0.0
+               : max_.load(std::memory_order_relaxed);
+  }
   int64_t bucket(int b) const {
     return buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
   }
@@ -67,10 +80,11 @@ class Histogram {
   void reset();
 
  private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};
-  std::atomic<double> max_{0.0};
+  std::atomic<double> min_{kInf};
+  std::atomic<double> max_{-kInf};
   std::atomic<int64_t> buckets_[kBuckets] = {};
 };
 

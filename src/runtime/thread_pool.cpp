@@ -51,7 +51,12 @@ void ThreadPool::parallel_for_chunks(int64_t begin, int64_t end,
   cv_work_.notify_all();
   run_chunks(job);  // the calling thread participates
   std::unique_lock<std::mutex> lk(mutex_);
-  cv_done_.wait(lk, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  // Wait for completed chunks AND for every worker that copied job_ to leave
+  // run_chunks: job points into this stack frame, so returning while a slow
+  // worker still holds a copy would hand it dangling cursor/body pointers.
+  cv_done_.wait(lk, [&] {
+    return remaining.load(std::memory_order_acquire) == 0 && inflight_ == 0;
+  });
   job_ = Job{};  // clear so late-waking workers see no work
 }
 
@@ -78,8 +83,14 @@ void ThreadPool::worker_loop() {
       if (stopping_) return;
       seen_epoch = job_epoch_;
       job = job_;
+      ++inflight_;
     }
-    if (job.body != nullptr) run_chunks(job);
+    run_chunks(job);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      --inflight_;
+    }
+    cv_done_.notify_all();
   }
 }
 

@@ -49,6 +49,11 @@ class ThreadPool {
   std::condition_variable cv_done_;
   Job job_;
   uint64_t job_epoch_ = 0;
+  // Workers holding a copy of job_ (registered under mutex_ at copy time).
+  // parallel_for_chunks must not return while this is non-zero: the copied
+  // Job points into the caller's stack frame, and a worker that copied it
+  // but has not yet claimed a chunk would otherwise dereference a dead frame.
+  int inflight_ = 0;
   bool stopping_ = false;
 };
 

@@ -54,6 +54,13 @@ struct JobConfig {
 
 struct JobSpec {
   std::string id;
+  // Multi-tenant scheduling (svc/scheduler.hpp): the tenant this job is
+  // billed to (fair-share queue + memory partition) and its shedding
+  // priority — higher values survive overload longer; under a full admission
+  // queue the lowest-priority job is shed first. The serial Supervisor
+  // ignores both.
+  std::string tenant = "default";
+  int priority = 0;
   std::string solver = "cell";  // "cell" | "band" | "mgpu"
   int nparts = 4;
   int nx = 16;

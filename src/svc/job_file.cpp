@@ -112,6 +112,10 @@ JobSpec parse_job(rt::JsonCursor& c) {
     c.expect(':');
     if (key == "id") {
       spec.id = c.parse_string();
+    } else if (key == "tenant") {
+      spec.tenant = c.parse_string();
+    } else if (key == "priority") {
+      spec.priority = static_cast<int>(c.parse_int());
     } else if (key == "solver") {
       spec.solver = c.parse_string();
     } else if (key == "nparts") {
@@ -158,7 +162,8 @@ JobSpec parse_job(rt::JsonCursor& c) {
 }
 
 void append_job(std::ostringstream& os, const JobSpec& spec) {
-  os << "{\"id\":\"" << spec.id << "\",\"solver\":\"" << spec.solver
+  os << "{\"id\":\"" << spec.id << "\",\"tenant\":\"" << spec.tenant
+     << "\",\"priority\":" << spec.priority << ",\"solver\":\"" << spec.solver
      << "\",\"nparts\":" << spec.nparts << ",\"nx\":" << spec.nx << ",\"ny\":" << spec.ny
      << ",\"ndirs\":" << spec.ndirs << ",\"nbands\":" << spec.nbands
      << ",\"nsteps\":" << spec.nsteps << ",\"seed\":" << spec.seed

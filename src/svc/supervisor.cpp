@@ -13,9 +13,7 @@
 
 namespace finch::svc {
 
-namespace {
-
-constexpr uint64_t kSeedMix = 0x9e3779b97f4a7c15ull;
+namespace detail {
 
 bool known_solver(const std::string& s) { return s == "cell" || s == "band" || s == "mgpu"; }
 
@@ -31,30 +29,8 @@ void mkdir_p(const std::string& path) {
   }
 }
 
-// Derived injector seed for retry `attempt` (attempt 0 uses the spec seed
-// itself) — the same golden-ratio mix the chaos campaigns use, so the
-// circuit breaker's "distinct seeds" guarantee is auditable from the
-// attempt records.
-uint64_t attempt_seed(uint64_t base, int attempt) {
-  return attempt == 0 ? base : base ^ (kSeedMix * static_cast<uint64_t>(attempt + 1));
-}
-
-}  // namespace
-
-Supervisor::Supervisor(const bte::BteScenario& base, SupervisorOptions options)
-    : base_(base), options_(std::move(options)) {
-  validate_supervisor_options(options_);
-  if (!options_.durable_root.empty()) mkdir_p(options_.durable_root);
-}
-
-std::string Supervisor::job_dir(const std::string& id) const {
-  return options_.durable_root.empty() ? std::string() : options_.durable_root + "/" + id;
-}
-
-void Supervisor::submit(JobSpec spec) {
+void validate_spec(const JobSpec& spec) {
   if (spec.id.empty()) throw std::invalid_argument("submit: job id must not be empty");
-  if (known_ids_.count(spec.id))
-    throw std::invalid_argument("submit: duplicate job id '" + spec.id + "'");
   if (spec.nsteps <= 0)
     throw std::invalid_argument("submit: job '" + spec.id + "' has nsteps <= 0");
   if (!known_solver(spec.solver))
@@ -65,24 +41,14 @@ void Supervisor::submit(JobSpec spec) {
       throw std::invalid_argument("submit: job '" + spec.id + "' fallback names unknown solver '" +
                                   f.solver + "'");
   }
-  const std::string dir = job_dir(spec.id);
-  if (!dir.empty()) {
-    mkdir_p(dir);
-    write_text_file_atomic(dir + "/job.json", job_to_json(spec));
-  }
-  known_ids_.insert(spec.id);
-  queue_.push_back(QueueEntry{std::move(spec), /*adopted=*/false});
-  auto& mx = rt::MetricsRegistry::global();
-  mx.counter("svc.jobs_submitted").add(1.0);
-  mx.gauge("svc.queue_depth").set(static_cast<double>(queue_.size()));
 }
 
-std::vector<std::string> Supervisor::adopt_orphans() {
-  std::vector<std::string> adopted;
-  if (options_.durable_root.empty()) return adopted;
-  rt::TraceSpan span("svc.adopt");
-  DIR* d = ::opendir(options_.durable_root.c_str());
-  if (d == nullptr) return adopted;
+std::vector<JobSpec> scan_orphans(const std::string& durable_root,
+                                  const std::set<std::string>& skip) {
+  std::vector<JobSpec> orphans;
+  if (durable_root.empty()) return orphans;
+  DIR* d = ::opendir(durable_root.c_str());
+  if (d == nullptr) return orphans;
   std::vector<std::string> names;
   while (dirent* e = ::readdir(d)) {
     const std::string name = e->d_name;
@@ -91,10 +57,9 @@ std::vector<std::string> Supervisor::adopt_orphans() {
   }
   ::closedir(d);
   std::sort(names.begin(), names.end());  // deterministic adoption order
-  auto& mx = rt::MetricsRegistry::global();
   for (const std::string& name : names) {
-    if (known_ids_.count(name)) continue;
-    const std::string dir = options_.durable_root + "/" + name;
+    if (skip.count(name)) continue;
+    const std::string dir = durable_root + "/" + name;
     if (!file_exists(dir + "/job.json") || file_exists(dir + "/terminal.json")) continue;
     JobSpec spec;
     try {
@@ -103,34 +68,26 @@ std::vector<std::string> Supervisor::adopt_orphans() {
       continue;  // damaged spec: leave for inspection, do not adopt
     }
     if (spec.id != name) continue;
-    known_ids_.insert(spec.id);
-    queue_.push_back(QueueEntry{std::move(spec), /*adopted=*/true});
-    adopted.push_back(name);
-    mx.counter("svc.adopted").add(1.0);
+    orphans.push_back(std::move(spec));
   }
-  mx.gauge("svc.queue_depth").set(static_cast<double>(queue_.size()));
-  return adopted;
+  return orphans;
 }
 
-bool Supervisor::request_cancel(const std::string& id, std::string reason) {
-  if (!known_ids_.count(id) || terminal_ids_.count(id)) return false;
-  cancel_requests_[id] = reason.empty() ? "cancelled" : std::move(reason);
-  return true;
+}  // namespace detail
+
+// ---- AttemptEngine ---------------------------------------------------------
+
+AttemptEngine::AttemptEngine(const bte::BteScenario& base, const SupervisorOptions* options)
+    : base_(base), options_(options) {
+  validate_supervisor_options(*options_);
 }
 
-std::vector<JobOutcome> Supervisor::drain() {
-  std::vector<JobOutcome> outcomes;
-  auto& mx = rt::MetricsRegistry::global();
-  while (!queue_.empty()) {
-    QueueEntry entry = std::move(queue_.front());
-    queue_.erase(queue_.begin());
-    mx.gauge("svc.queue_depth").set(static_cast<double>(queue_.size()));
-    outcomes.push_back(run_job(entry));
-  }
-  return outcomes;
+uint64_t AttemptEngine::attempt_seed(uint64_t base, int attempt) {
+  constexpr uint64_t kSeedMix = 0x9e3779b97f4a7c15ull;
+  return attempt == 0 ? base : base ^ (kSeedMix * static_cast<uint64_t>(attempt + 1));
 }
 
-Supervisor::ResolvedJob Supervisor::resolve(const JobSpec& spec, int rung) const {
+AttemptEngine::Resolved AttemptEngine::resolve(const JobSpec& spec, int rung) {
   JobConfig cfg;
   cfg.solver = spec.solver;
   cfg.nparts = spec.nparts;
@@ -147,7 +104,7 @@ Supervisor::ResolvedJob Supervisor::resolve(const JobSpec& spec, int rung) const
     if (f.ndirs > 0) cfg.ndirs = f.ndirs;
     if (f.nbands > 0) cfg.nbands = f.nbands;
   }
-  ResolvedJob rj;
+  Resolved rj;
   rj.spec = spec;
   rj.cfg = cfg;
   rj.scenario = base_;
@@ -156,14 +113,16 @@ Supervisor::ResolvedJob Supervisor::resolve(const JobSpec& spec, int rung) const
   rj.scenario.ndirs = cfg.ndirs;
   rj.scenario.nbands = cfg.nbands;
   rj.scenario.nsteps = spec.nsteps;
+  rj.physics = physics_.get(cfg.nbands, cfg.ndirs);
   return rj;
 }
 
-Supervisor::AttemptResult Supervisor::run_attempt(const ResolvedJob& rj, int attempt_index,
-                                                  uint64_t seed, const std::string& dir,
-                                                  const std::string& cancel_reason,
-                                                  const std::vector<rt::ChaosFault>& faults) {
-  AttemptResult r;
+AttemptEngine::Result AttemptEngine::run_attempt(const Resolved& rj, int attempt_index,
+                                                 uint64_t seed, const std::string& dir,
+                                                 const std::string& cancel_reason,
+                                                 const std::vector<rt::ChaosFault>& faults,
+                                                 rt::MemoryBudget* memory) const {
+  Result r;
   r.rec.index = attempt_index;
   r.rec.injector_seed = seed;
 
@@ -177,14 +136,14 @@ Supervisor::AttemptResult Supervisor::run_attempt(const ResolvedJob& rj, int att
   sched.faults = faults;
   rt::ChaosEngine::arm(injector, sched);
 
-  bte::ResilienceOptions ropt = options_.defense.to_options(&injector);
+  bte::ResilienceOptions ropt = options_->defense.to_options(&injector);
   if (rj.spec.max_rollbacks >= 0) ropt.max_rollbacks = rj.spec.max_rollbacks;
   if (rj.spec.ckpt_interval >= 0) ropt.checkpoint.interval = rj.spec.ckpt_interval;
   rt::CancelToken token;
   if (rj.spec.deadline_steps > 0) token.set_step_deadline(rj.spec.deadline_steps);
   if (!cancel_reason.empty()) token.request(cancel_reason);
   ropt.cancel = &token;
-  ropt.memory = options_.memory;
+  ropt.memory = memory;
   if (!dir.empty()) ropt.durable.dir = dir;
 
   auto make = [&] {
@@ -234,20 +193,55 @@ Supervisor::AttemptResult Supervisor::run_attempt(const ResolvedJob& rj, int att
                     " without a drain";
     }
   }
+  // The solver's relief lambdas capture it; drop them while it is still
+  // alive so a later reservation on a shared budget cannot fire a dangling
+  // relief (the next attempt's solver re-registers its own chain).
+  if (memory != nullptr) memory->clear_reliefs();
   return r;
 }
 
-std::vector<rt::ChaosFault> Supervisor::minimize_repro(const ResolvedJob& rj) {
+AttemptEngine::Decision AttemptEngine::decide(const Result& r, int attempt_index,
+                                              int failures) const {
+  Decision d;
+  if (r.completed) {
+    d.next = Next::Complete;
+    d.detail = attempt_index == 0
+                   ? "completed"
+                   : "completed after " + std::to_string(attempt_index) + " retries";
+    return d;
+  }
+  if (r.drained) {
+    d.next = Next::Drain;
+    d.detail = r.drain_reason;
+    return d;
+  }
+  const bool breaker = failures >= options_->quarantine.threshold;
+  const bool budget_spent = attempt_index >= options_->retry.max_retries;
+  if (breaker || budget_spent) {
+    d.next = Next::Quarantine;
+    std::string why = breaker ? "circuit breaker: " + std::to_string(failures) +
+                                    " consecutive failures across distinct seeds"
+                              : "retry budget exhausted after " + std::to_string(failures) +
+                                    " failures";
+    d.detail = why + "; last error: " + r.rec.error;
+    return d;
+  }
+  d.next = Next::Retry;
+  return d;
+}
+
+std::vector<rt::ChaosFault> AttemptEngine::minimize_repro(const Resolved& rj,
+                                                          rt::MemoryBudget* memory) {
   std::vector<rt::ChaosFault> cur = rj.spec.faults;
-  if (cur.size() < 2 || !options_.quarantine.minimize_repro) return cur;
-  int budget = options_.quarantine.max_shrink_runs;
+  if (cur.size() < 2 || !options_->quarantine.minimize_repro) return cur;
+  int budget = options_->quarantine.max_shrink_runs;
   auto& mx = rt::MetricsRegistry::global();
   auto fails = [&](const std::vector<rt::ChaosFault>& cand) {
     if (budget <= 0) return false;
     --budget;
     mx.counter("svc.shrink_runs").add(1.0);
     // Repro predicate: a fresh, non-durable, attempt-0 replay still fails.
-    return !run_attempt(rj, 0, rj.spec.seed, "", "", cand).rec.error.empty();
+    return !run_attempt(rj, 0, rj.spec.seed, "", "", cand, memory).rec.error.empty();
   };
   // ddmin over the fault list (complement reduction), same shape as the
   // chaos-campaign shrinker.
@@ -271,6 +265,66 @@ std::vector<rt::ChaosFault> Supervisor::minimize_repro(const ResolvedJob& rj) {
     }
   }
   return cur;
+}
+
+// ---- Supervisor ------------------------------------------------------------
+
+Supervisor::Supervisor(const bte::BteScenario& base, SupervisorOptions options)
+    : options_(std::move(options)), engine_(base, &options_) {
+  if (!options_.durable_root.empty()) detail::mkdir_p(options_.durable_root);
+}
+
+std::string Supervisor::job_dir(const std::string& id) const {
+  return options_.durable_root.empty() ? std::string() : options_.durable_root + "/" + id;
+}
+
+void Supervisor::submit(JobSpec spec) {
+  detail::validate_spec(spec);
+  if (known_ids_.count(spec.id))
+    throw std::invalid_argument("submit: duplicate job id '" + spec.id + "'");
+  const std::string dir = job_dir(spec.id);
+  if (!dir.empty()) {
+    detail::mkdir_p(dir);
+    write_text_file_atomic(dir + "/job.json", job_to_json(spec));
+  }
+  known_ids_.insert(spec.id);
+  queue_.push_back(QueueEntry{std::move(spec), /*adopted=*/false});
+  auto& mx = rt::MetricsRegistry::global();
+  mx.counter("svc.jobs_submitted").add(1.0);
+  mx.gauge("svc.queue_depth").set(static_cast<double>(queue_.size()));
+}
+
+std::vector<std::string> Supervisor::adopt_orphans() {
+  std::vector<std::string> adopted;
+  if (options_.durable_root.empty()) return adopted;
+  rt::TraceSpan span("svc.adopt");
+  auto& mx = rt::MetricsRegistry::global();
+  for (JobSpec& spec : detail::scan_orphans(options_.durable_root, known_ids_)) {
+    known_ids_.insert(spec.id);
+    adopted.push_back(spec.id);
+    queue_.push_back(QueueEntry{std::move(spec), /*adopted=*/true});
+    mx.counter("svc.adopted").add(1.0);
+  }
+  mx.gauge("svc.queue_depth").set(static_cast<double>(queue_.size()));
+  return adopted;
+}
+
+bool Supervisor::request_cancel(const std::string& id, std::string reason) {
+  if (!known_ids_.count(id) || terminal_ids_.count(id)) return false;
+  cancel_requests_[id] = reason.empty() ? "cancelled" : std::move(reason);
+  return true;
+}
+
+std::vector<JobOutcome> Supervisor::drain() {
+  std::vector<JobOutcome> outcomes;
+  auto& mx = rt::MetricsRegistry::global();
+  while (!queue_.empty()) {
+    QueueEntry entry = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    mx.gauge("svc.queue_depth").set(static_cast<double>(queue_.size()));
+    outcomes.push_back(run_job(entry));
+  }
+  return outcomes;
 }
 
 void Supervisor::finalize(JobOutcome& out, TerminalState state, std::string detail,
@@ -311,7 +365,7 @@ JobOutcome Supervisor::run_job(const QueueEntry& entry) {
   {
     auto it = cancel_requests_.find(spec.id);
     if (it != cancel_requests_.end()) {
-      out.ran = resolve(spec, -1).cfg;
+      out.ran = engine_.resolve(spec, -1).cfg;
       finalize(out, TerminalState::Cancelled, "cancelled before start: " + it->second, 0.0, 0,
                dir);
       return out;
@@ -321,11 +375,10 @@ JobOutcome Supervisor::run_job(const QueueEntry& entry) {
   // Admission: walk the ladder with pure arithmetic against the budget —
   // the shed path never calls into MemoryBudget at all.
   int chosen = -2;
-  ResolvedJob rj;
+  AttemptEngine::Resolved rj;
   bte::MemoryDemand demand;
   for (int rung = -1; rung < static_cast<int>(spec.fallbacks.size()); ++rung) {
-    ResolvedJob cand = resolve(spec, rung);
-    cand.physics = physics_.get(cand.cfg.nbands, cand.cfg.ndirs);
+    AttemptEngine::Resolved cand = engine_.resolve(spec, rung);
     bte::MemoryDemand d =
         bte::estimate_memory_demand(cand.cfg.solver, cand.scenario, *cand.physics,
                                     cand.cfg.nparts);
@@ -340,7 +393,7 @@ JobOutcome Supervisor::run_job(const QueueEntry& entry) {
     }
   }
   if (chosen == -2) {
-    out.ran = resolve(spec, -1).cfg;
+    out.ran = engine_.resolve(spec, -1).cfg;
     finalize(out, TerminalState::Shed,
              "admission: no rung of the fallback ladder fits the memory budget", 0.0, 0, dir);
     return out;
@@ -369,11 +422,12 @@ JobOutcome Supervisor::run_job(const QueueEntry& entry) {
       auto it = cancel_requests_.find(spec.id);
       if (it != cancel_requests_.end()) cancel_reason = it->second;
     }
-    const uint64_t seed = attempt_seed(spec.seed, attempt);
+    const uint64_t seed = AttemptEngine::attempt_seed(spec.seed, attempt);
     rt::SpanAttrs attrs;
     attrs.step = attempt;
     rt::TraceSpan aspan("svc.attempt", attrs);
-    AttemptResult r = run_attempt(rj, attempt, seed, dir, cancel_reason, spec.faults);
+    AttemptEngine::Result r =
+        engine_.run_attempt(rj, attempt, seed, dir, cancel_reason, spec.faults, options_.memory);
     r.rec.backoff_s = pending_backoff;
     pending_backoff = 0.0;
     job_virtual += r.rec.backoff_s + r.rec.virtual_s;
@@ -381,52 +435,44 @@ JobOutcome Supervisor::run_job(const QueueEntry& entry) {
     out.stats = r.stats;
     out.final_step = r.rec.end_step;
 
-    if (r.completed) {
-      out.temperature = std::move(r.T);
-      out.intensity = std::move(r.I);
-      finalize(out, TerminalState::Completed,
-               attempt == 0 ? "completed" : "completed after " + std::to_string(attempt) +
-                                                " retries",
-               job_virtual, reserved, dir);
-      return out;
-    }
-    if (r.drained) {
-      finalize(out, TerminalState::Cancelled, r.drain_reason, job_virtual, reserved, dir);
-      return out;
-    }
-
-    ++failures;
-    const bool breaker = failures >= options_.quarantine.threshold;
-    const bool budget_spent = attempt >= options_.retry.max_retries;
-    if (breaker || budget_spent) {
-      rt::ChaosSchedule repro;
-      repro.seed = spec.seed;
-      repro.index = 0;
-      repro.solver = rj.cfg.solver;
-      repro.nparts = rj.cfg.nparts;
-      repro.nsteps = spec.nsteps;
-      repro.faults = minimize_repro(rj);
-      out.repro_json = rt::schedule_to_json(repro);
-      if (!dir.empty()) {
-        out.repro_path = dir + "/QUARANTINE_repro.json";
-        try {
-          write_text_file_atomic(out.repro_path, out.repro_json);
-        } catch (const std::exception&) {
-          out.repro_path.clear();
+    if (!r.completed && !r.drained) ++failures;
+    const AttemptEngine::Decision d = engine_.decide(r, attempt, failures);
+    switch (d.next) {
+      case AttemptEngine::Next::Complete:
+        out.temperature = std::move(r.T);
+        out.intensity = std::move(r.I);
+        finalize(out, TerminalState::Completed, d.detail, job_virtual, reserved, dir);
+        return out;
+      case AttemptEngine::Next::Drain:
+        finalize(out, TerminalState::Cancelled, d.detail, job_virtual, reserved, dir);
+        return out;
+      case AttemptEngine::Next::Quarantine: {
+        rt::ChaosSchedule repro;
+        repro.seed = spec.seed;
+        repro.index = 0;
+        repro.solver = rj.cfg.solver;
+        repro.nparts = rj.cfg.nparts;
+        repro.nsteps = spec.nsteps;
+        repro.faults = engine_.minimize_repro(rj, options_.memory);
+        out.repro_json = rt::schedule_to_json(repro);
+        if (!dir.empty()) {
+          out.repro_path = dir + "/QUARANTINE_repro.json";
+          try {
+            write_text_file_atomic(out.repro_path, out.repro_json);
+          } catch (const std::exception&) {
+            out.repro_path.clear();
+          }
         }
+        finalize(out, TerminalState::Quarantined, d.detail, job_virtual, reserved, dir);
+        return out;
       }
-      std::string why = breaker ? "circuit breaker: " + std::to_string(failures) +
-                                      " consecutive failures across distinct seeds"
-                                : "retry budget exhausted after " +
-                                      std::to_string(failures) + " failures";
-      finalize(out, TerminalState::Quarantined, why + "; last error: " + r.rec.error,
-               job_virtual, reserved, dir);
-      return out;
+      case AttemptEngine::Next::Retry:
+        // Charged into job_virtual when the next attempt records it.
+        pending_backoff = backoff_with_jitter(options_.retry, spec.id, failures - 1);
+        mx.counter("svc.retries").add(1.0);
+        mx.counter("svc.backoff_seconds").add(pending_backoff);
+        break;
     }
-    // Charged into job_virtual when the next attempt records it.
-    pending_backoff = backoff_with_jitter(options_.retry, spec.id, failures - 1);
-    mx.counter("svc.retries").add(1.0);
-    mx.counter("svc.backoff_seconds").add(pending_backoff);
   }
 }
 

@@ -2,8 +2,10 @@
 // Resilient job supervisor: drives every submitted BTE job to one terminal
 // state under composed robustness policies.
 //
-// The supervisor owns a FIFO queue of JobSpecs and, per job, an attempt loop
-// that composes the runtime primitives the earlier layers proved out:
+// The per-attempt mechanics live in AttemptEngine — an attempt-granularity
+// state machine shared by the serial Supervisor below and the concurrent
+// multi-tenant Scheduler (svc/scheduler.hpp). One engine pass composes the
+// runtime primitives the earlier layers proved out:
 //
 //   retry     — a failed attempt is retried with exponential backoff +
 //               deterministic jitter charged to the virtual clock, under a
@@ -49,6 +51,77 @@
 
 namespace finch::svc {
 
+// Attempt-granularity execution core. resolve() and run_attempt() are safe
+// to call from several threads at once for DISTINCT jobs (each attempt owns
+// its solver, injector and cancel token; the physics cache and any shared
+// MemoryBudget serialize internally). decide() and minimize_repro() are pure
+// policy/replay helpers driven from the coordinating thread.
+class AttemptEngine {
+ public:
+  // A spec resolved onto one rung of its ladder: concrete config, scenario
+  // and shared physics.
+  struct Resolved {
+    JobSpec spec;
+    JobConfig cfg;
+    bte::BteScenario scenario;
+    std::shared_ptr<const bte::BtePhysics> physics;
+  };
+  struct Result {
+    AttemptRecord rec;
+    bte::ResilienceStats stats;
+    bool completed = false;
+    bool drained = false;
+    std::string drain_reason;
+    std::vector<double> T, I;
+  };
+  // The state machine's verdict on what attempt k's result means for the job.
+  enum class Next {
+    Complete,    // terminal: Completed
+    Drain,       // terminal: Cancelled (deadline / external cancel)
+    Retry,       // schedule attempt k+1 after backoff
+    Quarantine,  // terminal: circuit breaker or retry budget exhausted
+  };
+  struct Decision {
+    Next next = Next::Retry;
+    std::string detail;  // terminal detail for Complete/Drain/Quarantine
+  };
+
+  // `options` must outlive the engine (the owning Supervisor/Scheduler holds
+  // it). Validates once.
+  AttemptEngine(const bte::BteScenario& base, const SupervisorOptions* options);
+
+  // Derived injector seed for retry `attempt` (attempt 0 uses the base seed
+  // itself) — the same golden-ratio mix the chaos campaigns use, so the
+  // circuit breaker's "distinct seeds" guarantee is auditable from the
+  // attempt records.
+  static uint64_t attempt_seed(uint64_t base, int attempt);
+
+  Resolved resolve(const JobSpec& spec, int rung);
+  // Runs one attempt: arm faults, resume from the durable manifest when one
+  // exists, run to the end or a drain, classify. `memory` is the budget this
+  // attempt's live allocations charge (the scheduler passes a per-attempt
+  // view of the tenant partition; the serial supervisor its shared budget).
+  Result run_attempt(const Resolved& rj, int attempt_index, uint64_t seed,
+                     const std::string& job_dir, const std::string& cancel_reason,
+                     const std::vector<rt::ChaosFault>& faults,
+                     rt::MemoryBudget* memory) const;
+  // Attempt-granularity transition: `failures` counts consecutive failures
+  // INCLUDING this one when it failed; `attempt_index` is the index just run.
+  Decision decide(const Result& r, int attempt_index, int failures) const;
+  // ddmin the job's fault schedule down to a minimal still-failing repro.
+  std::vector<rt::ChaosFault> minimize_repro(const Resolved& rj, rt::MemoryBudget* memory);
+
+  const SupervisorOptions& options() const { return *options_; }
+  const bte::BteScenario& base_scenario() const { return base_; }
+
+ private:
+  bte::BteScenario base_;
+  const SupervisorOptions* options_;
+  bte::PhysicsCache physics_;
+};
+
+// Serial supervisor: one job at a time, submission order. The concurrent
+// multi-tenant front end is svc::Scheduler.
 class Supervisor {
  public:
   // `base` supplies the physical parameters (domain size, temperatures, dt);
@@ -83,41 +156,33 @@ class Supervisor {
     JobSpec spec;
     bool adopted = false;
   };
-  // A spec resolved onto one rung of its ladder: concrete config, scenario
-  // and shared physics.
-  struct ResolvedJob {
-    JobSpec spec;
-    JobConfig cfg;
-    bte::BteScenario scenario;
-    std::shared_ptr<const bte::BtePhysics> physics;
-  };
-  struct AttemptResult {
-    AttemptRecord rec;
-    bte::ResilienceStats stats;
-    bool completed = false;
-    bool drained = false;
-    std::string drain_reason;
-    std::vector<double> T, I;
-  };
 
   JobOutcome run_job(const QueueEntry& entry);
-  ResolvedJob resolve(const JobSpec& spec, int rung) const;
-  AttemptResult run_attempt(const ResolvedJob& rj, int attempt_index, uint64_t seed,
-                            const std::string& job_dir, const std::string& cancel_reason,
-                            const std::vector<rt::ChaosFault>& faults);
-  std::vector<rt::ChaosFault> minimize_repro(const ResolvedJob& rj);
   void finalize(JobOutcome& out, TerminalState state, std::string detail, double job_virtual_s,
                 int64_t reserved_bytes, const std::string& job_dir);
   std::string job_dir(const std::string& id) const;
 
-  bte::BteScenario base_;
   SupervisorOptions options_;
+  AttemptEngine engine_;  // after options_: holds a pointer to it
   std::vector<QueueEntry> queue_;
   std::map<std::string, std::string> cancel_requests_;  // id -> reason
   std::set<std::string> known_ids_;                     // queued + terminal
   std::set<std::string> terminal_ids_;
-  bte::PhysicsCache physics_;
   double virtual_now_ = 0.0;
 };
+
+// Shared helpers for the supervisor family (scheduler reuses them).
+namespace detail {
+// mkdir -p; EEXIST is fine.
+void mkdir_p(const std::string& path);
+bool known_solver(const std::string& s);
+// Throws std::invalid_argument unless `spec` is well-formed (non-empty id,
+// known solver names, positive nsteps).
+void validate_spec(const JobSpec& spec);
+// Deterministic (sorted) scan of `durable_root` for job directories with a
+// spec but no terminal record; ids in `skip` are ignored.
+std::vector<JobSpec> scan_orphans(const std::string& durable_root,
+                                  const std::set<std::string>& skip);
+}  // namespace detail
 
 }  // namespace finch::svc

@@ -243,3 +243,115 @@ TEST(SimGpu, CountersAggregate) {
   EXPECT_GT(gpu.counters().flop_fraction, 0.0);
   EXPECT_LT(gpu.counters().flop_fraction, 1.0);
 }
+
+// ---- ThreadPool wave-reuse regression --------------------------------------
+
+#include "runtime/memory.hpp"
+#include "runtime/metrics.hpp"
+
+TEST(ThreadPool, ManyShortWavesNeverTouchDeadFrames) {
+  // Regression for a lifetime race: parallel_for published a pointer to the
+  // caller's stack-resident function object, and a worker that copied the
+  // job but lost the race for its chunks could dereference it after the
+  // caller's frame died. The scheduler's short back-to-back waves made this
+  // ~5/6 reproducible; with the in-flight handshake it must be silent under
+  // ASan/TSan across thousands of tiny reused waves.
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 2000; ++round)
+    pool.parallel_for(0, 4, [&](int64_t) { total.fetch_add(1, std::memory_order_relaxed); },
+                      /*grain=*/1);
+  EXPECT_EQ(total.load(), 8000);
+}
+
+// ---- MetricsRegistry under contention --------------------------------------
+
+TEST(Metrics, ConcurrentFindOrCreateAndIncrementsAreExact) {
+  // Satellite: many threads racing find-or-create on the *same* fresh name
+  // must converge on one instrument (exact totals prove no duplicate was
+  // handed out), and racing increments/observations must lose nothing.
+  // runtime_test runs under TSan in CI, so this also proves data-race
+  // freedom, not just accounting.
+  auto& reg = MetricsRegistry::global();
+  const int nthreads = 8, iters = 1000, n = nthreads * iters;
+  reg.counter("test.mt.shared").reset();
+  reg.histogram("test.mt.hist").reset();
+  for (int s = 0; s < 16; ++s)
+    reg.counter("test.mt.stripe." + std::to_string(s)).reset();
+
+  ThreadPool pool(static_cast<unsigned>(nthreads));
+  pool.parallel_for(0, n, [&](int64_t i) {
+    // Find-or-create races on every call; stripes race creation across
+    // threads in the first iterations.
+    reg.counter("test.mt.shared").add(1.0);
+    reg.counter("test.mt.stripe." + std::to_string(i % 16)).add(1.0);
+    reg.histogram("test.mt.hist").observe(static_cast<double>(i % 7) + 1.0);
+    reg.gauge("test.mt.depth").set(static_cast<double>(i));
+  }, /*grain=*/1);
+
+  EXPECT_DOUBLE_EQ(reg.counter("test.mt.shared").value(), static_cast<double>(n));
+  double striped = 0.0;
+  for (int s = 0; s < 16; ++s) striped += reg.counter("test.mt.stripe." + std::to_string(s)).value();
+  EXPECT_DOUBLE_EQ(striped, static_cast<double>(n));
+  auto& h = reg.histogram("test.mt.hist");
+  EXPECT_EQ(h.count(), n);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+  int64_t bucketed = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) bucketed += h.bucket(b);
+  EXPECT_EQ(bucketed, n);
+  EXPECT_GE(reg.gauge("test.mt.depth").value(), 0.0);
+}
+
+// ---- MemoryBudget partitions -----------------------------------------------
+
+TEST(MemoryBudget, PartitionForwardsEveryByteUpstream) {
+  MemoryBudget root(1000);
+  MemoryBudget a(600, &root);
+  MemoryBudget b(600, &root);
+  EXPECT_TRUE(a.try_reserve(500));
+  EXPECT_EQ(a.in_use(), 500);
+  EXPECT_EQ(root.in_use(), 500);
+  // b's own capacity would fit 600, but the shared root only has 500 left
+  // and b has no reliefs to squeeze it: the forward must refuse atomically.
+  EXPECT_FALSE(b.try_reserve(600));
+  EXPECT_EQ(b.in_use(), 0);
+  EXPECT_EQ(root.in_use(), 500);
+  EXPECT_TRUE(b.try_reserve(400));
+  EXPECT_EQ(root.in_use(), 900);
+  a.release(500);
+  b.release(400);
+  EXPECT_EQ(root.in_use(), 0);
+}
+
+TEST(MemoryBudget, DyingPartitionReturnsResidualToParent) {
+  MemoryBudget root(1000);
+  {
+    MemoryBudget view(200, &root);
+    EXPECT_TRUE(view.try_reserve(150));
+    EXPECT_EQ(root.in_use(), 150);
+  }  // view dies holding 150 bytes
+  EXPECT_EQ(root.in_use(), 0);
+}
+
+TEST(MemoryBudget, ConcurrentPartitionChargesConserveTheRoot) {
+  // Two partitions charged from many threads at once: the root's peak never
+  // exceeds capacity, and after all releases the whole tree reads zero.
+  MemoryBudget root(1200);
+  MemoryBudget a(900, &root);
+  MemoryBudget b(900, &root);
+  ThreadPool pool(8);
+  std::atomic<int64_t> granted{0};
+  pool.parallel_for(0, 800, [&](int64_t i) {
+    MemoryBudget& part = (i % 2 == 0) ? a : b;
+    if (part.try_reserve(30)) {
+      granted.fetch_add(1, std::memory_order_relaxed);
+      part.release(30);
+    }
+  }, /*grain=*/1);
+  EXPECT_GT(granted.load(), 0);
+  EXPECT_LE(root.peak(), 1200);
+  EXPECT_EQ(root.in_use(), 0);
+  EXPECT_EQ(a.in_use(), 0);
+  EXPECT_EQ(b.in_use(), 0);
+}
