@@ -94,6 +94,10 @@ void usage() {
       "  --dirs N --bands N                angular / spectral discretization\n"
       "  --steps N --dt SECONDS            time integration\n"
       "  --solver dsl|direct|gpu|multigpu|cellpart|bandpart\n"
+      "  --backend vm|native|auto          kernel backend for the dsl solver:\n"
+      "                                    bytecode VM, JIT-compiled native kernels,\n"
+      "                                    or native-when-available (default: the\n"
+      "                                    FINCH_BACKEND env var, else vm)\n"
       "  --threads N                       thread pool for the dsl solver\n"
       "  --devices N                       simulated GPUs for multigpu\n"
       "  --parts N                         ranks for cellpart/bandpart\n"
@@ -142,6 +146,14 @@ bool parse(int argc, char** argv, Options& o) {
     else if (a == "--steps") { if ((v = next(a.c_str())) == nullptr) return false; o.scenario.nsteps = std::atoi(v); }
     else if (a == "--dt") { if ((v = next(a.c_str())) == nullptr) return false; o.scenario.dt = std::atof(v); }
     else if (a == "--solver") { if ((v = next(a.c_str())) == nullptr) return false; o.solver = v; }
+    else if (a == "--backend") {
+      if ((v = next(a.c_str())) == nullptr) return false;
+      if (std::strcmp(v, "vm") != 0 && std::strcmp(v, "native") != 0 && std::strcmp(v, "auto") != 0) {
+        std::fprintf(stderr, "unknown backend %s (expected vm, native or auto)\n", v);
+        return false;
+      }
+      o.scenario.backend = v;
+    }
     else if (a == "--threads") { if ((v = next(a.c_str())) == nullptr) return false; o.threads = std::atoi(v); }
     else if (a == "--devices") { if ((v = next(a.c_str())) == nullptr) return false; o.devices = std::atoi(v); }
     else if (a == "--parts") { if ((v = next(a.c_str())) == nullptr) return false; o.parts = std::atoi(v); }

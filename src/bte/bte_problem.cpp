@@ -105,6 +105,8 @@ void BteProblem::build() {
   p.domain(2).solver_type(dsl::SolverType::FV).time_stepper(dsl::TimeScheme::ForwardEuler);
   p.set_steps(scenario_.dt, scenario_.nsteps);
   p.set_mesh(mesh::Mesh::structured_quad(scenario_.nx, scenario_.ny, scenario_.lx, scenario_.ly));
+  if (!scenario_.backend.empty())
+    p.execution_backend(dsl::backend_from_string(scenario_.backend));
 
   p.index("d", 1, nd);
   p.index("b", 1, nb);

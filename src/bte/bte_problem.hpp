@@ -37,6 +37,9 @@ struct BteScenario {
   double dt = 1e-12;
   int nsteps = 100;
   enum class Kind { HotSpotTop, CornerSource } kind = Kind::HotSpotTop;
+  // Kernel backend: "" = process default (FINCH_BACKEND else vm), or one of
+  // "vm" / "native" / "auto" (see CODEGEN.md §6). Validated at build time.
+  std::string backend;
 
   // Paper-exact configuration of §III.A (1100 DOF/cell on a 120x120 grid).
   static BteScenario paper_hotspot();

@@ -50,6 +50,12 @@ MemoryDemand estimate_memory_demand(const std::string& solver, const BteScenario
 AnySolver::AnySolver(const std::string& solver, const BteScenario& scenario,
                      std::shared_ptr<const BtePhysics> physics, int nparts)
     : kind_(solver), nparts_(nparts) {
+  // Validate the backend request up front so job manifests with a typo fail
+  // at admission, not mid-run. The distributed solvers execute hand-written
+  // sweeps (no codegen), so only the VM-equivalent path exists for them —
+  // "native"/"auto" are accepted and degrade to that path (CODEGEN.md §6;
+  // engine unification is ROADMAP item 3).
+  if (!scenario.backend.empty()) (void)dsl::backend_from_string(scenario.backend);
   if (solver == "cell") {
     cell_ = std::make_unique<CellPartitionedSolver>(scenario, physics, nparts);
   } else if (solver == "band") {

@@ -1,0 +1,834 @@
+#include "native_backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "native_ir.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/trace.hpp"
+
+#if __has_include(<dlfcn.h>)
+#include <dlfcn.h>
+#define FINCH_HAS_DLOPEN 1
+#else
+#define FINCH_HAS_DLOPEN 0
+#endif
+
+namespace fs = std::filesystem;
+
+namespace finch::codegen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string getenv_str(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+bool compiler_usable(const std::string& c) {
+  if (c.empty()) return false;
+  // Probe results are cached: each candidate costs one shell invocation.
+  static std::mutex mu;
+  static std::map<std::string, bool> cache;
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = cache.find(c);
+  if (it != cache.end()) return it->second;
+  const std::string cmd = "command -v '" + c + "' >/dev/null 2>&1";
+  const bool ok = std::system(cmd.c_str()) == 0;
+  cache.emplace(c, ok);
+  return ok;
+}
+
+std::string default_cache_dir() {
+  std::string dir = getenv_str("FINCH_JIT_CACHE_DIR");
+  if (!dir.empty()) return dir;
+  const std::string home = getenv_str("HOME");
+  if (!home.empty()) return home + "/.cache/finch-jit";
+  return "/tmp/finch-jit";
+}
+
+JitConfig config_from_env() {
+  JitConfig cfg;
+  cfg.compiler = getenv_str("FINCH_JIT_CXX");
+  if (cfg.compiler.empty()) {
+    for (const char* cand : {"c++", "g++", "clang++"}) {
+      if (compiler_usable(cand)) {
+        cfg.compiler = cand;
+        break;
+      }
+    }
+  }
+  cfg.extra_cflags = getenv_str("FINCH_JIT_CFLAGS");
+  cfg.cache_dir = default_cache_dir();
+  cfg.disable = getenv_str("FINCH_JIT_DISABLE") == "1";
+  cfg.verify_first_sweep = getenv_str("FINCH_JIT_VERIFY") != "0";
+  return cfg;
+}
+
+// ---- emission ---------------------------------------------------------------
+
+// Evaluation flavor of one code region. The VM resolves neighbor-side loads
+// differently per region (cpu solver sweep semantics); the emitter mirrors
+// each case exactly.
+enum class Flavor {
+  Volume,    // no face: NORMAL = 0, neighbor loads read the self cell
+  Interior,  // interior face: neighbor loads read the cell across the face
+  Ghost,     // value-BC face: neighbor loads of the updated field read the
+             // ghost value, other neighbor loads fall back to self
+};
+
+// Placement scope of an SSA node: 0 = function top (loop invariant),
+// 1 = per cell, 2 = per dof, 3 = per face (face-variant surface values).
+constexpr int kScopeFn = 0, kScopeCell = 1, kScopeDof = 2, kScopeFace = 3;
+
+struct ArrayInfo {
+  std::string cname;       // F0, F1, ...
+  const double* ptr;       // runtime base pointer
+  bool is_field = false;   // indexed with a cell coordinate
+  fvm::Layout layout = fvm::Layout::CellMajor;
+  int32_t dpc = 1;         // field dof_per_cell
+  std::string entity;      // manifest comment
+};
+
+class Emitter {
+ public:
+  explicit Emitter(const NativeKernelInputs& in) : in_(in) {
+    vol_ = lower_kernel_ir(*in.volume);
+    if (in.surface != nullptr) {
+      surf_ = lower_kernel_ir(*in.surface);
+      has_surface_ = true;
+    }
+    ndof_ = in.out->dof_per_cell();
+    if (ndof_ > 16384)
+      throw std::runtime_error("native backend: dof_per_cell too large for stack staging");
+    build_loops();
+    resolve_arrays();
+  }
+
+  NativePlan plan() {
+    NativePlan p;
+    p.name = in_.name;
+    p.ir_fingerprint = fingerprint(vol_);
+    if (has_surface_) p.ir_fingerprint = fingerprint(surf_) ^ (p.ir_fingerprint * 1099511628211ull);
+    p.ndof = ndof_;
+    for (const auto& a : arrays_) p.arrays.push_back(a.ptr);
+    p.scalars = scalars_;
+    p.source = render(p.ir_fingerprint);
+    return p;
+  }
+
+  KernelIr::Stats stats() const {
+    KernelIr::Stats s = vol_.stats;
+    s.instrs_before += surf_.stats.instrs_before;
+    s.nodes_after += surf_.stats.nodes_after;
+    return s;
+  }
+
+ private:
+  struct LoopVar {
+    int slot = 0;
+    int extent = 0;
+  };
+  struct PinnedVar {
+    int slot = 0;
+    int value = 0;
+    std::string why;
+  };
+
+  static bool contains(const std::vector<std::string>& v, const std::string& s) {
+    for (const auto& x : v)
+      if (x == s) return true;
+    return false;
+  }
+
+  void note_slot(std::map<int, bool>& used, const Binding& b) {
+    for (int k = 0; k < b.n_idx; ++k) used[b.loop_slot[static_cast<size_t>(k)]] = true;
+  }
+
+  void build_loops() {
+    const ir::StepProgram& prog = *in_.program;
+    std::map<int, bool> used;
+    for (const auto& b : vol_.bindings) note_slot(used, b);
+    for (const auto& b : surf_.bindings) note_slot(used, b);
+    note_slot(used, *in_.var_addr);
+
+    std::map<int, bool> covered;
+    // The updated variable's indices become real loops, emitted with the
+    // stride-1 index innermost so writes to `out` are contiguous. Indices the
+    // assembly-loop order omits stay at their default loop value (0), exactly
+    // as the VM leaves them.
+    const Binding& va = *in_.var_addr;
+    for (int k = va.n_idx; k-- > 0;) {  // descending stride == outer to inner
+      const int slot = va.loop_slot[static_cast<size_t>(k)];
+      const std::string& idx = prog.var_indices[static_cast<size_t>(k)];
+      bool in_loops = false;
+      for (const auto& l : prog.loops)
+        in_loops = in_loops || (l.kind == ir::LoopSpec::Kind::Index && l.index_name == idx);
+      if (in_loops)
+        loops_.push_back({slot, in_.env->index_extent[static_cast<size_t>(slot)]});
+      else
+        pinned_.push_back({slot, 0, "index \"" + idx + "\" not in the assembly loops"});
+      covered[slot] = true;
+      used[slot] = true;
+    }
+    // Assembly loops over indices the variable does not carry: every iteration
+    // overwrites the same out-dof, so the VM's final state is the last
+    // iteration's value — evaluate there only.
+    for (const auto& l : prog.loops) {
+      if (l.kind != ir::LoopSpec::Kind::Index) continue;
+      const int slot = in_.env->loop_slot_of(l.index_name);
+      if (covered.count(slot) != 0) continue;
+      covered[slot] = true;
+      pinned_.push_back({slot, static_cast<int>(l.extent) - 1,
+                         "loop \"" + l.index_name + "\" does not index the variable; last write wins"});
+    }
+    // Any slot a binding references outside the loop nest keeps the VM's
+    // default loop value of zero.
+    for (const auto& [slot, _] : used) {
+      if (covered.count(slot) != 0) continue;
+      pinned_.push_back({slot, 0, "index outside the assembly loops"});
+    }
+  }
+
+  int array_of(const Binding& b) {
+    const bool is_field =
+        b.source == Binding::Source::FieldSelf || b.source == Binding::Source::FieldNeighbor;
+    const std::string key = (is_field ? "field:" : "coef:") + b.debug_name;
+    auto it = array_ids_.find(key);
+    if (it != array_ids_.end()) return it->second;
+    ArrayInfo a;
+    a.cname = "F" + std::to_string(arrays_.size());
+    a.is_field = is_field;
+    a.entity = b.debug_name;
+    if (is_field) {
+      a.ptr = b.field->data().data();
+      a.layout = b.field->layout();
+      a.dpc = b.field->dof_per_cell();
+    } else {
+      a.ptr = b.coef;
+    }
+    const int id = static_cast<int>(arrays_.size());
+    arrays_.push_back(a);
+    array_ids_.emplace(key, id);
+    return id;
+  }
+
+  int scalar_of(const Binding& b) {
+    auto it = scalar_ids_.find(b.debug_name);
+    if (it != scalar_ids_.end()) return it->second;
+    const int id = static_cast<int>(scalars_.size());
+    scalars_.push_back(b.scalar);
+    scalar_names_.push_back(b.debug_name);
+    scalar_ids_.emplace(b.debug_name, id);
+    return id;
+  }
+
+  void resolve_arrays() {
+    for (const auto& b : vol_.bindings) resolve_binding(b);
+    for (const auto& b : surf_.bindings) resolve_binding(b);
+  }
+  void resolve_binding(const Binding& b) {
+    if (b.source == Binding::Source::Scalar)
+      scalar_of(b);
+    else
+      array_of(b);
+  }
+
+  // dof = sum_k i<slot_k> * stride_k for a binding's index tuple.
+  static std::string dof_expr(const Binding& b) {
+    if (b.n_idx == 0) return "0";
+    std::string s;
+    for (int k = 0; k < b.n_idx; ++k) {
+      if (k > 0) s += " + ";
+      s += "i" + std::to_string(b.loop_slot[static_cast<size_t>(k)]);
+      if (b.stride[static_cast<size_t>(k)] != 1)
+        s += "*" + std::to_string(b.stride[static_cast<size_t>(k)]);
+    }
+    return s;
+  }
+
+  std::string elem(const ArrayInfo& a, const std::string& cell, const std::string& dof) const {
+    if (!a.is_field) return a.cname + "[" + dof + "]";
+    if (a.layout == fvm::Layout::CellMajor) {
+      if (a.dpc == 1) return a.cname + "[" + cell + "]";
+      return a.cname + "[" + cell + "*" + std::to_string(a.dpc) + " + (" + dof + ")]";
+    }
+    return a.cname + "[(" + dof + ")*nc + " + cell + "]";
+  }
+
+  std::string load_expr(const Binding& b, Flavor f) const {
+    switch (b.source) {
+      case Binding::Source::Scalar:
+        return "SC[" + std::to_string(scalar_ids_.at(b.debug_name)) + "]";
+      case Binding::Source::CoefIndexed:
+        return arrays_[static_cast<size_t>(array_ids_.at("coef:" + b.debug_name))].cname + "[" +
+               dof_expr(b) + "]";
+      case Binding::Source::FieldSelf:
+      case Binding::Source::FieldNeighbor: {
+        const ArrayInfo& a = arrays_[static_cast<size_t>(array_ids_.at("field:" + b.debug_name))];
+        if (b.source == Binding::Source::FieldSelf || f == Flavor::Volume)
+          return elem(a, "cell", dof_expr(b));
+        if (f == Flavor::Interior) return elem(a, "nbr", dof_expr(b));
+        // Ghost: the updated variable reads the boundary callback's ghost
+        // value; every other field falls back to the self cell (zero
+        // gradient) — the VM's EvalContext semantics verbatim.
+        if (b.field == in_.out) return "gv";
+        return elem(a, "cell", dof_expr(b));
+      }
+    }
+    return "0.0";
+  }
+
+  static std::string literal(double v) {
+    char hex[48], dec[48];
+    std::snprintf(hex, sizeof hex, "%a", v);
+    std::snprintf(dec, sizeof dec, "%.17g", v);
+    return std::string(hex) + " /* " + dec + " */";
+  }
+
+  std::string node_expr(const KernelIr& ir, const KernelIr::Node& n,
+                        const std::vector<std::string>& name, Flavor f) const {
+    auto A = [&] { return name[static_cast<size_t>(n.a)]; };
+    auto B = [&] { return name[static_cast<size_t>(n.b)]; };
+    auto C = [&] { return name[static_cast<size_t>(n.c)]; };
+    auto bin = [&](const char* op) { return A() + " " + op + " " + B(); };
+    auto cmp = [&](const char* op) {
+      return "(" + A() + " " + op + " " + B() + ") ? 1.0 : 0.0";
+    };
+    switch (n.op) {
+      case Op::Const:
+        return literal(n.imm);
+      case Op::Load:
+        return load_expr(ir.bindings[static_cast<size_t>(n.slot)], f);
+      case Op::LoadNormal:
+        if (f == Flavor::Volume) return "0.0";  // the VM's zeroed volume normal
+        return n.slot == 0 ? "nx" : n.slot == 1 ? "ny" : "nz";
+      case Op::LoadDt:
+        return "dt";
+      case Op::Add:
+        return bin("+");
+      case Op::Sub:
+        return bin("-");
+      case Op::Mul:
+        return bin("*");
+      case Op::Div:
+        return bin("/");
+      case Op::Neg:
+        return "-" + A();
+      case Op::Pow:
+        return "pow(" + A() + ", " + B() + ")";
+      case Op::CmpGT:
+        return cmp(">");
+      case Op::CmpGE:
+        return cmp(">=");
+      case Op::CmpLT:
+        return cmp("<");
+      case Op::CmpLE:
+        return cmp("<=");
+      case Op::CmpEQ:
+        return cmp("==");
+      case Op::CmpNE:
+        return cmp("!=");
+      case Op::Select:
+        return "(" + A() + " != 0.0) ? " + B() + " : " + C();
+      case Op::MathExp:
+        return "exp(" + A() + ")";
+      case Op::MathSqrt:
+        return "sqrt(" + A() + ")";
+      case Op::MathAbs:
+        return "fabs(" + A() + ")";
+      case Op::MathSin:
+        return "sin(" + A() + ")";
+      case Op::MathCos:
+        return "cos(" + A() + ")";
+      case Op::MathLog:
+        return "log(" + A() + ")";
+      case Op::Ret:
+        break;
+    }
+    throw std::runtime_error("native backend: unexpected opcode in SSA graph");
+  }
+
+  // Placement scope per node for a given flavor (operands dominate).
+  std::vector<int> scopes(const KernelIr& ir, bool surface) const {
+    std::vector<bool> facevar;
+    if (surface) facevar = face_invariant_mask(ir);
+    std::vector<int> sc(ir.nodes.size(), kScopeFn);
+    for (size_t i = 0; i < ir.nodes.size(); ++i) {
+      const auto& n = ir.nodes[i];
+      int own = kScopeFn;
+      switch (n.op) {
+        case Op::Load: {
+          const Binding& b = ir.bindings[static_cast<size_t>(n.slot)];
+          bool loops_dof = false;
+          for (int k = 0; k < b.n_idx; ++k)
+            for (const auto& lv : loops_)
+              loops_dof = loops_dof || lv.slot == b.loop_slot[static_cast<size_t>(k)];
+          if (b.source == Binding::Source::Scalar)
+            own = kScopeFn;
+          else if (b.source == Binding::Source::CoefIndexed)
+            own = loops_dof ? kScopeDof : kScopeFn;
+          else if (surface && b.source == Binding::Source::FieldNeighbor)
+            own = kScopeFace;
+          else
+            own = loops_dof ? kScopeDof : kScopeCell;
+          break;
+        }
+        case Op::LoadNormal:
+          own = surface ? kScopeFace : kScopeFn;
+          break;
+        default:
+          own = kScopeFn;
+      }
+      if (n.a >= 0) own = std::max(own, sc[static_cast<size_t>(n.a)]);
+      if (n.b >= 0) own = std::max(own, sc[static_cast<size_t>(n.b)]);
+      if (n.c >= 0) own = std::max(own, sc[static_cast<size_t>(n.c)]);
+      sc[i] = own;
+    }
+    return sc;
+  }
+
+  // Emits `const double <name> = <expr>;` for every node whose scope is in
+  // [lo, hi], assigning fresh names; nodes outside keep their prior names.
+  void emit_nodes(std::string& out, const KernelIr& ir, const std::vector<int>& sc, int lo, int hi,
+                  std::vector<std::string>& name, const char* prefix, Flavor f,
+                  const std::string& ind) const {
+    for (size_t i = 0; i < ir.nodes.size(); ++i) {
+      if (sc[i] < lo || sc[i] > hi) continue;
+      name[i] = std::string(prefix) + std::to_string(i);
+      out += ind + "const double " + name[i] + " = " + node_expr(ir, ir.nodes[i], name, f) + ";\n";
+    }
+  }
+
+  std::string out_index(const std::string& dof) const {
+    if (in_.out->layout() == fvm::Layout::CellMajor)
+      return "cell*" + std::to_string(ndof_) + " + " + dof;
+    return "(" + dof + ")*nc + cell";
+  }
+
+  // Opens the variable's dof loop nest; returns the matching closers and the
+  // loop body indentation.
+  std::string open_dof_loops(std::string& out, const std::string& ind, std::string* body_ind) const {
+    std::string close;
+    std::string cur = ind;
+    for (const auto& lv : loops_) {
+      const std::string v = "i" + std::to_string(lv.slot);
+      out += cur + "for (int64_t " + v + " = 0; " + v + " < " + std::to_string(lv.extent) + "; ++" +
+             v + ") {\n";
+      close = cur + "}\n" + close;
+      cur += "  ";
+    }
+    out += cur + "const int64_t dof = " + dof_expr(*in_.var_addr) + ";\n";
+    *body_ind = cur;
+    return close;
+  }
+
+  std::string render(uint64_t fp) const {
+    std::string s;
+    char fphex[32];
+    std::snprintf(fphex, sizeof fphex, "%016llx", static_cast<unsigned long long>(fp));
+    s += "// finch native kernel: " + in_.name + " (IR fingerprint " + fphex + ")\n";
+    s += "// Generated by codegen::NativeBackend — ABI v1, see CODEGEN.md. Do not edit.\n";
+    s += "// One statement per SSA node: the kernel performs op-for-op the same IEEE\n";
+    s += "// arithmetic as the bytecode VM (compiled with -ffp-contract=off).\n";
+    s += "#include <math.h>\n#include <stdint.h>\n\n";
+    s += "typedef struct {\n";
+    s += "  int64_t cell_begin, cell_end, ncells;\n";
+    s += "  double dt;\n";
+    s += "  double* out;\n";
+    s += "  const double* const* arrays;\n";
+    s += "  const double* scalars;\n";
+    s += "  const int64_t* face_off;\n";
+    s += "  const int32_t* face_nbr;\n";
+    s += "  const double* face_geom;\n";
+    s += "  const int32_t* face_bslot;\n";
+    s += "  const uint8_t* bc_kind;\n";
+    s += "  const double* bc_value;\n";
+    s += "} finch_kernel_args_v1;\n\n";
+    s += "extern \"C\" int32_t finch_kernel_abi_version(void) { return 1; }\n\n";
+    // Manifest: how the host fills arrays[] / scalars[].
+    for (size_t i = 0; i < arrays_.size(); ++i) {
+      const auto& a = arrays_[i];
+      s += "// arrays[" + std::to_string(i) + "] = " + (a.is_field ? "field " : "coef ") + a.entity;
+      if (a.is_field)
+        s += std::string(" (") + (a.layout == fvm::Layout::CellMajor ? "cell-major" : "dof-major") +
+             ", " + std::to_string(a.dpc) + " dof/cell)";
+      s += "\n";
+    }
+    for (size_t i = 0; i < scalars_.size(); ++i)
+      s += "// scalars[" + std::to_string(i) + "] = " + scalar_names_[i] + "\n";
+    s += "\nextern \"C\" void finch_kernel_v1(const finch_kernel_args_v1* A) {\n";
+    s += "  const double dt = A->dt; (void)dt;\n";
+    s += "  const int64_t nc = A->ncells; (void)nc;\n";
+    s += "  const double* __restrict__ SC = A->scalars; (void)SC;\n";
+    for (size_t i = 0; i < arrays_.size(); ++i)
+      s += "  const double* __restrict__ " + arrays_[i].cname + " = A->arrays[" +
+           std::to_string(i) + "];\n";
+    s += "  double* __restrict__ OUT = A->out;\n";
+    for (const auto& p : pinned_)
+      s += "  const int64_t i" + std::to_string(p.slot) + " = " + std::to_string(p.value) +
+           ";  // pinned: " + p.why + "\n";
+
+    const std::vector<int> vsc = scopes(vol_, false);
+    const std::vector<int> ssc = has_surface_ ? scopes(surf_, true) : std::vector<int>{};
+    std::vector<std::string> vn(vol_.nodes.size());
+    std::vector<std::string> sn(surf_.nodes.size());
+
+    // Loop-invariant values (scalars, dt, constants and arithmetic on them).
+    emit_nodes(s, vol_, vsc, kScopeFn, kScopeFn, vn, "v", Flavor::Volume, "  ");
+    if (has_surface_) emit_nodes(s, surf_, ssc, kScopeFn, kScopeFn, sn, "s", Flavor::Interior, "  ");
+
+    s += "  for (int64_t cell = A->cell_begin; cell < A->cell_end; ++cell) {\n";
+    emit_nodes(s, vol_, vsc, kScopeCell, kScopeCell, vn, "v", Flavor::Volume, "    ");
+    if (has_surface_)
+      emit_nodes(s, surf_, ssc, kScopeCell, kScopeCell, sn, "s", Flavor::Interior, "    ");
+
+    const std::string nd = std::to_string(ndof_);
+    if (!has_surface_) {
+      // Volume-only update: write out directly, no flux staging needed.
+      std::string body;
+      const std::string close = open_dof_loops(s, "    ", &body);
+      emit_nodes(s, vol_, vsc, kScopeDof, kScopeFace, vn, "v", Flavor::Volume, body);
+      s += body + "OUT[" + out_index("dof") + "] = " + vn[static_cast<size_t>(vol_.ret)] + ";\n";
+      s += close;
+      s += "  }\n}\n";
+      return s;
+    }
+
+    s += "    double vol[" + nd + "];\n";
+    s += "    double flux[" + nd + "];\n";
+    s += "    // Volume terms, fused with the flux reset. The dof loops run the\n";
+    s += "    // variable's stride-1 index innermost, so these writes vectorize\n";
+    s += "    // across directions/bands.\n";
+    {
+      std::string body;
+      const std::string close = open_dof_loops(s, "    ", &body);
+      emit_nodes(s, vol_, vsc, kScopeDof, kScopeFace, vn, "v", Flavor::Volume, body);
+      s += body + "vol[dof] = " + vn[static_cast<size_t>(vol_.ret)] + ";\n";
+      s += body + "flux[dof] = 0.0;\n";
+      s += close;
+    }
+    s += "    // Surface terms: the face loop is outermost so the dof loops\n";
+    s += "    // vectorize; per dof the faces accumulate in the VM's order, so\n";
+    s += "    // the sum is bit-identical to the interpreter's.\n";
+    s += "    for (int64_t fs = A->face_off[cell]; fs < A->face_off[cell + 1]; ++fs) {\n";
+    s += "      const double nx = A->face_geom[4*fs + 0]; (void)nx;\n";
+    s += "      const double ny = A->face_geom[4*fs + 1]; (void)ny;\n";
+    s += "      const double nz = A->face_geom[4*fs + 2]; (void)nz;\n";
+    s += "      const double scale = A->face_geom[4*fs + 3];  // area / cell volume\n";
+    s += "      const int64_t nbr = (int64_t)A->face_nbr[fs];\n";
+    s += "      if (nbr >= 0) {\n";
+    {
+      std::string body;
+      const std::string close = open_dof_loops(s, "        ", &body);
+      emit_nodes(s, surf_, ssc, kScopeDof, kScopeFace, sn, "s", Flavor::Interior, body);
+      s += body + "flux[dof] += scale * " + sn[static_cast<size_t>(surf_.ret)] + ";\n";
+      s += close;
+    }
+    s += "      } else {\n";
+    s += "        const int32_t bs = A->face_bslot[fs];\n";
+    s += "        if (bs >= 0) {\n";
+    s += "          const double* __restrict__ BCV = A->bc_value + (int64_t)bs * " + nd + ";\n";
+    s += "          if (A->bc_kind[bs] == 1) {\n";
+    s += "            // Value BC: the callback's ghost value substitutes for the\n";
+    s += "            // updated variable across the face.\n";
+    {
+      std::vector<std::string> gn = sn;  // ghost region reuses hoisted s-values
+      std::string body;
+      const std::string close = open_dof_loops(s, "            ", &body);
+      s += body + "const double gv = BCV[dof]; (void)gv;\n";
+      emit_nodes(s, surf_, ssc, kScopeDof, kScopeFace, gn, "g", Flavor::Ghost, body);
+      s += body + "flux[dof] += scale * " + gn[static_cast<size_t>(surf_.ret)] + ";\n";
+      s += close;
+    }
+    s += "          } else {\n";
+    s += "            // Flux BC: callback integrand enters as -dt * (A/V) * f.\n";
+    {
+      std::string body;
+      const std::string close = open_dof_loops(s, "            ", &body);
+      s += body + "flux[dof] += scale * (-dt) * BCV[dof];\n";
+      s += close;
+    }
+    s += "          }\n        }\n      }\n    }\n";
+    s += "    // Update: volume value plus the face accumulation, exactly once\n";
+    s += "    // per (cell, dof).\n";
+    {
+      std::string body;
+      const std::string close = open_dof_loops(s, "    ", &body);
+      s += body + "OUT[" + out_index("dof") + "] = vol[dof] + flux[dof];\n";
+      s += close;
+    }
+    s += "  }\n}\n";
+    return s;
+  }
+
+  const NativeKernelInputs& in_;
+  KernelIr vol_, surf_;
+  bool has_surface_ = false;
+  int64_t ndof_ = 0;
+  std::vector<LoopVar> loops_;     // emission order: outermost first
+  std::vector<PinnedVar> pinned_;  // slots fixed to a constant loop value
+  std::vector<ArrayInfo> arrays_;
+  std::map<std::string, int> array_ids_;
+  std::vector<double> scalars_;
+  std::vector<std::string> scalar_names_;
+  std::map<std::string, int> scalar_ids_;
+};
+
+// ---- compile / cache / dlopen ----------------------------------------------
+
+std::mutex g_cache_mu;
+std::map<uint64_t, KernelFnV1>& mem_cache() {
+  static std::map<uint64_t, KernelFnV1> cache;
+  return cache;
+}
+
+std::string hex_key(uint64_t key) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(key));
+  return buf;
+}
+
+std::string file_tail(const std::string& path, size_t max_bytes = 512) {
+  std::ifstream is(path);
+  if (!is) return "";
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  std::string s = ss.str();
+  if (s.size() > max_bytes) s = "..." + s.substr(s.size() - max_bytes);
+  return s;
+}
+
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) return false;
+    os << content;
+    if (!os) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+  return !ec;
+}
+
+#if FINCH_HAS_DLOPEN
+#if defined(__ELF__)
+bool looks_like_shared_object(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  char magic[4] = {};
+  is.read(magic, 4);
+  return is.gcount() == 4 && magic[0] == 0x7f && magic[1] == 'E' && magic[2] == 'L' &&
+         magic[3] == 'F';
+}
+#endif
+
+// Opens a kernel shared object and resolves + sanity-checks the v1 ABI.
+// Returns null (appending the reason to *log) on any failure — the caller
+// treats that as a corrupt cache entry.
+KernelFnV1 open_kernel(const std::string& so_path, std::string* log) {
+#if defined(__ELF__)
+  // Validate the magic with read(2) before involving the dynamic linker:
+  // dlopen of a pathname this process already loaded returns the cached
+  // mapping without re-reading the file, so a truncated or overwritten
+  // entry must be rejected up front — touching the stale mapping's code
+  // after its backing file shrank raises SIGBUS.
+  if (!looks_like_shared_object(so_path)) {
+    if (log != nullptr) *log += "not a valid shared object: " + so_path + "; ";
+    return nullptr;
+  }
+#endif
+  void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    if (log != nullptr) *log += std::string("dlopen: ") + ::dlerror() + "; ";
+    return nullptr;
+  }
+  auto abi = reinterpret_cast<int32_t (*)()>(::dlsym(handle, "finch_kernel_abi_version"));
+  if (abi == nullptr || abi() != 1) {
+    if (log != nullptr) *log += "bad or missing finch_kernel_abi_version; ";
+    ::dlclose(handle);
+    return nullptr;
+  }
+  auto fn = reinterpret_cast<KernelFnV1>(::dlsym(handle, "finch_kernel_v1"));
+  if (fn == nullptr) {
+    if (log != nullptr) *log += "missing finch_kernel_v1 symbol; ";
+    ::dlclose(handle);
+    return nullptr;
+  }
+  // Intentionally no dlclose: the function pointer stays cached process-wide.
+  return fn;
+}
+#endif
+
+}  // namespace
+
+JitConfig& jit_config() {
+  static JitConfig cfg = config_from_env();
+  return cfg;
+}
+
+void reset_jit_config_from_env() { jit_config() = config_from_env(); }
+
+bool native_backend_available() {
+#if FINCH_HAS_DLOPEN
+  const JitConfig& cfg = jit_config();
+  return !cfg.disable && !cfg.compiler.empty();
+#else
+  return false;
+#endif
+}
+
+void reset_native_memory_cache() {
+  std::lock_guard<std::mutex> lk(g_cache_mu);
+  mem_cache().clear();
+}
+
+NativePlan emit_native_plan(const NativeKernelInputs& in) {
+  rt::TraceSpan span("jit.emit");
+  const auto t0 = Clock::now();
+  Emitter em(in);
+  NativePlan plan = em.plan();
+  auto& reg = rt::MetricsRegistry::global();
+  reg.counter("jit.emit_seconds").add(seconds_since(t0));
+  reg.counter("jit.ir.nodes_before").add(em.stats().instrs_before);
+  reg.counter("jit.ir.nodes_after").add(em.stats().nodes_after);
+  return plan;
+}
+
+bool load_native_plan(NativePlan& plan, std::string* error) {
+  auto fail = [&](const std::string& m) {
+    if (error != nullptr) *error = m;
+    return false;
+  };
+  const JitConfig cfg = jit_config();  // snapshot: config may mutate under tests
+  if (cfg.disable) return fail("jit disabled (FINCH_JIT_DISABLE=1)");
+#if !FINCH_HAS_DLOPEN
+  return fail("dlopen not available on this platform");
+#else
+  if (cfg.compiler.empty()) return fail("no usable compiler found (set FINCH_JIT_CXX)");
+  auto& reg = rt::MetricsRegistry::global();
+
+  // Flag ladder: the tuned variant first, the conservative baseline second
+  // (-march=native is not universal). Both keep bit-compatible FP semantics:
+  // no fast-math, no FMA contraction. Each variant is its own cache key.
+  const std::string base = "-O3 -fPIC -shared -ffp-contract=off";
+  const std::string extra = cfg.extra_cflags.empty() ? "" : " " + cfg.extra_cflags;
+  const std::string variants[] = {base + " -march=native" + extra, base + extra};
+
+  std::string log;
+  for (const std::string& flags : variants) {
+    uint64_t key = fnv1a64(plan.source);
+    key = fnv1a64(cfg.compiler, key);
+    key = fnv1a64(flags, key);
+
+    {
+      std::lock_guard<std::mutex> lk(g_cache_mu);
+      auto it = mem_cache().find(key);
+      if (it != mem_cache().end()) {
+        plan.fn = it->second;
+        plan.key = key;
+        plan.flags = flags;
+        reg.counter("jit.cache.hit").add();
+        reg.counter("jit.cache.hit_mem").add();
+        return true;
+      }
+    }
+
+    std::error_code ec;
+    fs::create_directories(cfg.cache_dir, ec);
+    if (ec) {
+      log += "cache dir '" + cfg.cache_dir + "': " + ec.message() + "; ";
+      continue;
+    }
+    const std::string stem = cfg.cache_dir + "/" + hex_key(key);
+    const std::string so = stem + ".so";
+
+    if (fs::exists(so, ec)) {
+      rt::TraceSpan hit_span("jit.cache.hit");
+      if (KernelFnV1 fn = open_kernel(so, &log); fn != nullptr) {
+        std::lock_guard<std::mutex> lk(g_cache_mu);
+        mem_cache()[key] = fn;
+        plan.fn = fn;
+        plan.key = key;
+        plan.flags = flags;
+        reg.counter("jit.cache.hit").add();
+        reg.counter("jit.cache.hit_disk").add();
+        return true;
+      }
+      // Unreadable / truncated / wrong-ABI entry: evict and recompile.
+      reg.counter("jit.cache.corrupt").add();
+      fs::remove(so, ec);
+    }
+
+    reg.counter("jit.cache.miss").add();
+    rt::TraceSpan compile_span("jit.compile");
+    const auto t0 = Clock::now();
+    if (!fs::exists(stem + ".cpp", ec) && !write_file_atomic(stem + ".cpp", plan.source)) {
+      log += "cannot write " + stem + ".cpp; ";
+      continue;
+    }
+    // Concurrent solvers may compile the same key: each writes a unique temp
+    // object, and the rename makes publication atomic. The name must be
+    // unique per attempt, not just per process — the dynamic linker caches
+    // loaded objects by pathname, and dlopen of a previously-used temp name
+    // would return the stale mapping instead of the fresh compile.
+    static std::atomic<uint64_t> tmp_seq{0};
+    const std::string so_tmp = so + ".tmp." + std::to_string(::getpid()) + "." +
+                               std::to_string(tmp_seq.fetch_add(1));
+    const std::string cmd = cfg.compiler + " " + flags + " -o '" + so_tmp + "' '" + stem +
+                            ".cpp' > '" + stem + ".log' 2>&1";
+    const int rc = std::system(cmd.c_str());
+    reg.counter("jit.compile_seconds").add(seconds_since(t0));
+    if (rc != 0 || !fs::exists(so_tmp, ec)) {
+      log += "compile failed (" + cfg.compiler + " " + flags + "): " + file_tail(stem + ".log") + "; ";
+      fs::remove(so_tmp, ec);
+      continue;
+    }
+    // Load the pid-unique temp object BEFORE publishing it under the final
+    // name: the linker's pathname cache means re-opening `so` after a
+    // corrupt entry was evicted could resurrect the stale broken mapping.
+    // The mapping survives the rename (or removal) of its file.
+    KernelFnV1 fn = open_kernel(so_tmp, &log);
+    if (fn == nullptr) {
+      fs::remove(so_tmp, ec);
+      continue;
+    }
+    fs::rename(so_tmp, so, ec);
+    if (ec) {
+      // Publication failed but the loaded kernel is good — future processes
+      // just recompile.
+      log += "publish " + so + ": " + ec.message() + "; ";
+      fs::remove(so_tmp, ec);
+    }
+    {
+      std::lock_guard<std::mutex> lk(g_cache_mu);
+      mem_cache()[key] = fn;
+    }
+    plan.fn = fn;
+    plan.key = key;
+    plan.flags = flags;
+    return true;
+  }
+  return fail("native kernel unavailable: " + log);
+#endif
+}
+
+}  // namespace finch::codegen

@@ -1,0 +1,113 @@
+#pragma once
+// Native JIT kernel backend: emit → compile → dlopen (CODEGEN.md §4–§6).
+//
+// Takes the same optimized bytecode programs the VM interprets, renders one
+// self-contained C++ translation unit per equation (one `const double`
+// statement per SSA node, so the compiled kernel performs op-for-op the same
+// IEEE arithmetic as the interpreter), invokes the system compiler at solve
+// time to produce a shared object, and resolves the kernel through a stable
+// `extern "C"` v1 ABI. Shared objects live in a content-addressed on-disk
+// cache keyed by (TU text — itself a pure function of the IR — compiler,
+// flags), fronted by an in-process handle cache, so repeated solves and
+// `finch::svc` job fleets amortize compilation. Every failure mode — no
+// compiler, compile error, corrupt cache entry, dlopen/dlsym failure — is
+// reported to the caller, which falls back to the VM; the backend never
+// guesses.
+//
+// Environment knobs (all optional; see CODEGEN.md §6 for the full matrix):
+//   FINCH_BACKEND        vm | native | auto — default backend for dsl::Problem
+//   FINCH_JIT_CXX        compiler to invoke (default: probe c++, g++, clang++)
+//   FINCH_JIT_CFLAGS     extra flags appended to the baked-in safe set
+//   FINCH_JIT_CACHE_DIR  kernel cache directory (default ~/.cache/finch-jit)
+//   FINCH_JIT_DISABLE=1  force the VM everywhere
+//   FINCH_JIT_VERIFY=0   skip the bit-compatibility check on the first sweep
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bytecode.hpp"
+#include "core/ir/step_program.hpp"
+
+namespace finch::codegen {
+
+// Process-wide JIT configuration, seeded from the environment on first use.
+// Tests mutate it directly (e.g. point compiler at /nonexistent to exercise
+// the fallback ladder) and restore via reset_jit_config_from_env().
+struct JitConfig {
+  std::string compiler;    // empty = no usable compiler found
+  std::string extra_cflags;
+  std::string cache_dir;
+  bool disable = false;
+  bool verify_first_sweep = true;
+};
+JitConfig& jit_config();
+void reset_jit_config_from_env();
+
+// True when JIT execution can work here: dlopen support compiled in, a
+// compiler resolved, and FINCH_JIT_DISABLE unset. `auto` backend selection
+// keys off this.
+bool native_backend_available();
+
+// ---- v1 kernel ABI ----------------------------------------------------------
+// Mirrors the struct emitted into every kernel TU (CODEGEN.md §5). Flat
+// arrays + sizes only; no C++ types cross the boundary. Append-only: layout
+// changes require a v2 symbol.
+struct KernelArgsV1 {
+  int64_t cell_begin = 0;         // kernel updates cells in [cell_begin, cell_end)
+  int64_t cell_end = 0;
+  int64_t ncells = 0;             // total cells (DofMajor indexing)
+  double dt = 0.0;                // stage dt (RK stages pass their own)
+  double* out = nullptr;          // scratch storage of the updated field
+  const double* const* arrays = nullptr;  // binding arrays, manifest in the TU
+  const double* scalars = nullptr;        // scalar coefficients
+  const int64_t* face_off = nullptr;      // CSR: faces of cell c at [off[c], off[c+1])
+  const int32_t* face_nbr = nullptr;      // cell across each face slot; -1 boundary
+  const double* face_geom = nullptr;      // per slot: nx, ny, nz, area/volume
+  const int32_t* face_bslot = nullptr;    // boundary-condition slot or -1
+  const uint8_t* bc_kind = nullptr;       // per bslot: 1 = value (ghost), 2 = flux
+  const double* bc_value = nullptr;       // per (bslot, out-dof), refreshed per sweep
+};
+using KernelFnV1 = void (*)(const KernelArgsV1*);
+
+// One equation's native plan: the emitted TU plus the runtime argument tables
+// resolved against the problem's live storage, and (after load) the kernel.
+struct NativePlan {
+  std::string name;
+  std::string source;
+  uint64_t ir_fingerprint = 0;        // structural hash of the lowered IR
+  uint64_t key = 0;                   // cache key of the variant actually loaded
+  std::string flags;                  // compiler flags of that variant
+  std::vector<const double*> arrays;  // arrays[i] backs the TU's Fi
+  std::vector<double> scalars;
+  int64_t ndof = 0;
+  KernelFnV1 fn = nullptr;
+};
+
+// Everything emission needs about one compiled equation.
+struct NativeKernelInputs {
+  std::string name;                          // e.g. "step_I"
+  const Program* volume = nullptr;           // required
+  const Program* surface = nullptr;          // null when no surface terms
+  const ir::StepProgram* program = nullptr;  // loop structure + var indices
+  const CompileEnv* env = nullptr;           // loop-slot assignment
+  const fvm::CellField* out = nullptr;       // updated field
+  const Binding* var_addr = nullptr;         // out-dof addressing
+};
+
+// Pure emission: lowers through KernelIr (CSE + DCE) and renders the TU.
+// No I/O. Throws std::runtime_error on structures the emitter cannot lower.
+NativePlan emit_native_plan(const NativeKernelInputs& in);
+
+// Compile-or-fetch: memory cache → disk cache (dlopen) → compile. Fills
+// plan.fn/key/flags on success; on failure returns false with a diagnostic in
+// *error and leaves plan.fn null. Never throws for environmental failures.
+bool load_native_plan(NativePlan& plan, std::string* error);
+
+// Testing hook: drop the in-process handle cache so the next load exercises
+// the disk path. Loaded shared objects are intentionally never dlclose()d —
+// cached function pointers may still be live in solvers.
+void reset_native_memory_cache();
+
+}  // namespace finch::codegen

@@ -1,0 +1,72 @@
+#pragma once
+// Shared scaffolding for in-process step solvers executing compiled
+// StepPrograms: equation compilation, scratch/commit double-buffering, the
+// ForwardEuler and RK2-midpoint schemes, the bytecode-VM sweep (with the
+// non-finite guard) and the boundary-condition handling. The CPU targets use
+// this class directly; the native JIT backend subclasses it and overrides
+// sweep_equation() with kernel execution, keeping every scheme/BC/guard
+// behavior — and the VM as a drop-in oracle — in one place.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "bytecode.hpp"
+#include "core/dsl/problem.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace finch::codegen {
+
+// One compiled equation: programs plus the addressing info for its variable.
+struct CompiledEquation {
+  const ir::StepProgram* program = nullptr;
+  Program volume;
+  Program surface;
+  bool has_surface = false;
+  fvm::CellField* field = nullptr;
+  // DOF addressing of the updated variable from loop_values.
+  Binding var_addr;
+  // Loop-slot ids of the variable's first/second index (for BC context).
+  int dir_slot = -1, band_slot = -1;
+};
+
+class StepSolverBase : public dsl::Solver {
+ public:
+  StepSolverBase(dsl::Problem& p, rt::ThreadPool* pool);
+  void step() override;
+
+ protected:
+  // Computes one equation's stage update for `dt_stage` into `out` (the
+  // equation's scratch field). The base class runs the bytecode VM; the
+  // native backend overrides this with JIT-kernel execution and falls back
+  // to vm_sweep() whenever a kernel is unavailable.
+  virtual void sweep_equation(size_t e, fvm::CellField& out, double dt_stage);
+
+  // The interpreter sweep — the portable path and the differential oracle.
+  void vm_sweep(size_t e, fvm::CellField& out, double dt_stage);
+
+  void euler_step();
+  void rk2_step();
+  void commit();
+  size_t backup_offset(size_t e) const;
+  double surface_contribution(CompiledEquation& ce, EvalContext& ctx, int32_t cell,
+                              GuardReport* guard);
+
+  dsl::Problem& p_;
+  rt::ThreadPool* pool_;
+  CompileEnv env_;
+  std::vector<CompiledEquation> eqs_;
+  std::vector<fvm::CellField> scratch_;
+  std::vector<double> backup_;
+  // Guard tallies: atomics so pooled sweeps can report without contention;
+  // the mutex only serializes recording the (rare) first offender.
+  std::atomic<int64_t> guard_evals_{0};
+  std::atomic<int64_t> guard_nonfinite_{0};
+  std::mutex guard_mutex_;
+
+ private:
+  void build_env();
+};
+
+}  // namespace finch::codegen

@@ -1,13 +1,42 @@
 #include "problem.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "core/codegen/cpu_solver.hpp"
 #include "core/codegen/gpu_solver.hpp"
+#include "core/codegen/native_backend.hpp"
+#include "core/codegen/native_solver.hpp"
 #include "core/codegen/source_cpp.hpp"
 #include "core/codegen/source_cuda.hpp"
 
 namespace finch::dsl {
+
+Backend backend_from_string(const std::string& s) {
+  if (s == "auto") return Backend::Auto;
+  if (s == "vm") return Backend::Vm;
+  if (s == "native") return Backend::Native;
+  throw std::invalid_argument("unknown backend \"" + s + "\" (expected vm, native or auto)");
+}
+
+const char* backend_to_string(Backend b) {
+  switch (b) {
+    case Backend::Auto: return "auto";
+    case Backend::Vm: return "vm";
+    case Backend::Native: return "native";
+  }
+  return "vm";
+}
+
+Backend default_backend_from_env() {
+  const char* v = std::getenv("FINCH_BACKEND");
+  if (v == nullptr || *v == '\0') return Backend::Vm;
+  try {
+    return backend_from_string(v);
+  } catch (const std::invalid_argument&) {
+    return Backend::Vm;  // an unknown value must not break solves
+  }
+}
 
 Problem& Problem::domain(int dim) {
   if (dim < 1 || dim > 3) throw std::invalid_argument("domain: dimension must be 1..3");
@@ -50,6 +79,11 @@ Problem& Problem::use_cuda(rt::SimGpu* gpu) {
 
 Problem& Problem::use_threads(rt::ThreadPool* pool) {
   pool_ = pool;
+  return *this;
+}
+
+Problem& Problem::execution_backend(Backend b) {
+  backend_ = b;
   return *this;
 }
 
@@ -229,17 +263,29 @@ std::unique_ptr<Solver> Problem::compile() {
 
 std::unique_ptr<Solver> Problem::compile(Target target) {
   finalize();
+  // Backend routing for the CPU targets: Native JITs kernels (with
+  // per-equation VM fallback inside the solver); Auto only attempts the JIT
+  // when a compiler and dlopen support are actually present.
+  const bool native = backend_ == Backend::Native ||
+                      (backend_ == Backend::Auto && codegen::native_backend_available());
   switch (target) {
     case Target::CpuSerial:
-      return codegen::make_cpu_solver(*this, nullptr);
+      return native ? codegen::make_native_solver(*this, nullptr)
+                    : codegen::make_cpu_solver(*this, nullptr);
     case Target::CpuThreads:
       if (pool_ == nullptr) throw std::logic_error("compile: use_threads() not configured");
-      return codegen::make_cpu_solver(*this, pool_);
+      return native ? codegen::make_native_solver(*this, pool_)
+                    : codegen::make_cpu_solver(*this, pool_);
     case Target::Gpu:
       if (gpu_ == nullptr) throw std::logic_error("compile: use_cuda() not configured");
       return codegen::make_gpu_solver(*this, gpu_);
   }
   throw std::logic_error("compile: unknown target");
+}
+
+std::string Problem::generated_native_source() {
+  finalize();
+  return codegen::emitted_native_source(*this);
 }
 
 std::string Problem::generated_cpp_source() {

@@ -39,6 +39,20 @@ namespace finch::dsl {
 
 enum class SolverType { FV };
 enum class Target { CpuSerial, CpuThreads, Gpu };
+
+// Kernel execution backend for the CPU targets (CODEGEN.md §6):
+//  * Vm     — bytecode interpreter, always available (the portable oracle).
+//  * Native — JIT: emit C++ → system compiler → dlopen; per-equation VM
+//             fallback when a kernel cannot be produced.
+//  * Auto   — Native when codegen::native_backend_available(), else Vm.
+// The process default comes from FINCH_BACKEND (vm | native | auto),
+// falling back to Vm. The GPU target models its own execution and ignores
+// the backend.
+enum class Backend { Auto, Vm, Native };
+Backend backend_from_string(const std::string& s);  // throws on unknown names
+const char* backend_to_string(Backend b);
+Backend default_backend_from_env();
+
 using sym::TimeScheme;
 using fvm::BcType;
 
@@ -101,6 +115,8 @@ class Problem {
   // The paper's useCUDA(): route compile() to the GPU target using `gpu`.
   Problem& use_cuda(rt::SimGpu* gpu);
   Problem& use_threads(rt::ThreadPool* pool);
+  // Kernel backend for the CPU targets; default is FINCH_BACKEND else Vm.
+  Problem& execution_backend(Backend b);
 
   // ---- entities -------------------------------------------------------------
   Problem& index(const std::string& name, int lo, int hi);
@@ -142,6 +158,7 @@ class Problem {
   double dt() const { return dt_; }
   int num_steps() const { return nsteps_; }
   TimeScheme scheme() const { return scheme_; }
+  Backend execution_backend() const { return backend_; }
   fvm::Layout field_layout() const { return layout_; }
   const mesh::Mesh& mesh() const;
   fvm::FieldSet& fields() { return fields_; }
@@ -176,6 +193,11 @@ class Problem {
   // the problem (run the symbolic pipeline) if compile() has not done so yet.
   std::string generated_cpp_source();
   std::string generated_cuda_source();
+  // The native backend's kernel TU(s), exactly as they would be handed to the
+  // system compiler (emit only — nothing is compiled or loaded). This is the
+  // text behind CODEGEN.md §7's commented listing; tools/check_docs.sh diffs
+  // the doc against it.
+  std::string generated_native_source();
   std::string ir_pseudocode();
 
   // Internal hooks used by solvers.
@@ -201,6 +223,7 @@ class Problem {
   std::optional<mesh::Mesh> mesh_;
   rt::SimGpu* gpu_ = nullptr;
   rt::ThreadPool* pool_ = nullptr;
+  Backend backend_ = default_backend_from_env();
 
   sym::EntityTable table_;
   sym::OperatorRegistry registry_;

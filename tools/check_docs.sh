@@ -7,8 +7,16 @@
 #  2. Every intra-repo Markdown link ([text](path)) in the tracked *.md files
 #     must resolve to an existing file, so doc refactors can't leave dangling
 #     references.
+#  3. The emitted-kernel listing in CODEGEN.md §7 (between the BEGIN/END
+#     GENERATED markers) must match what the live emitter produces for the
+#     gray-model scenario (tools/emit_kernel_listing). Run with --fix to
+#     regenerate the block in place. Skipped with a note when the tool binary
+#     is not built; set FINCH_EMIT_TOOL to point at it explicitly.
 set -u
 cd "$(dirname "$0")/.."
+
+fix_mode=0
+[ "${1:-}" = "--fix" ] && fix_mode=1
 
 failures=0
 
@@ -41,6 +49,57 @@ while IFS= read -r md; do
     fi
   done < <(grep -o '\[[^]]*\]([^)]*)' "$md" | sed 's/.*](\([^)]*\))/\1/')
 done < <(find . -name '*.md' -not -path './build/*' -not -path './.git/*' | sort)
+
+# ---- 3. CODEGEN.md emitted-kernel listing -----------------------------------
+# The listing is the emitter's verbatim output; regenerating on drift keeps
+# the documented kernel honest the same way the golden source tests do.
+emit_tool="${FINCH_EMIT_TOOL:-}"
+if [ -z "$emit_tool" ]; then
+  for cand in build*/tools/emit_kernel_listing; do
+    [ -x "$cand" ] && emit_tool="$cand" && break
+  done
+fi
+if [ -f CODEGEN.md ]; then
+  if [ -z "$emit_tool" ] || [ ! -x "$emit_tool" ]; then
+    echo "DOCS-CHECK [--] CODEGEN.md listing not checked (emit_kernel_listing not built;" \
+         "build it or set FINCH_EMIT_TOOL)"
+  else
+    begin_marker='<!-- BEGIN GENERATED: emit_kernel_listing -->'
+    end_marker='<!-- END GENERATED -->'
+    if ! grep -qF "$begin_marker" CODEGEN.md || ! grep -qF "$end_marker" CODEGEN.md; then
+      echo "DOCS-CHECK [!!] CODEGEN.md is missing the GENERATED listing markers"
+      failures=$((failures + 1))
+    else
+      current=$(mktemp) && expected=$(mktemp)
+      # Between the markers the doc wraps the listing in a ```cpp fence.
+      awk -v b="$begin_marker" -v e="$end_marker" \
+          '$0==e{on=0} on && $0!~/^```/{print} $0==b{on=1}' CODEGEN.md > "$current"
+      "$emit_tool" > "$expected" || { echo "DOCS-CHECK [!!] emit_kernel_listing failed"; failures=$((failures + 1)); }
+      if ! diff -q "$current" "$expected" >/dev/null; then
+        if [ "$fix_mode" -eq 1 ]; then
+          rebuilt=$(mktemp)
+          awk -v b="$begin_marker" -v e="$end_marker" -v src="$expected" '
+            $0==b { print; print "```cpp"; while ((getline line < src) > 0) print line; print "```"; skip=1; next }
+            $0==e { skip=0 }
+            !skip { print }' CODEGEN.md > "$rebuilt"
+          mv "$rebuilt" CODEGEN.md
+          echo "DOCS-CHECK [ok] CODEGEN.md listing regenerated from the emitter"
+        else
+          echo "DOCS-CHECK [!!] CODEGEN.md §7 listing drifted from the emitter" \
+               "(run tools/check_docs.sh --fix)"
+          diff "$current" "$expected" | head -20
+          failures=$((failures + 1))
+        fi
+      else
+        echo "DOCS-CHECK [ok] CODEGEN.md listing matches the emitter"
+      fi
+      rm -f "$current" "$expected"
+    fi
+  fi
+else
+  echo "DOCS-CHECK [!!] CODEGEN.md not found"
+  failures=$((failures + 1))
+fi
 
 if [ "$failures" -ne 0 ]; then
   echo "DOCS-CHECK: $failures failure(s)"
